@@ -1,0 +1,96 @@
+"""Ablation: offline selection algorithms (Section 4.4 / Appendix B).
+
+Compares the exact branch-and-bound, the greedy O(log n) approximation,
+and randomized LP rounding on the Figure 5 candidate structure with
+randomized statistics: solution quality (net benefit vs optimal) and
+wall-clock cost of the solver itself.
+"""
+
+import random
+import statistics
+import time
+
+from repro.core.candidates import enumerate_prefix_candidates
+from repro.core.exhaustive import select_exhaustive
+from repro.core.greedy import select_greedy
+from repro.core.lp_rounding import select_lp_rounding
+from repro.core.selection import SelectionProblem
+from repro.streams.workloads import star_graph
+
+FIGURE5_ORDERS = {
+    "R1": ("R2", "R3", "R4", "R5", "R6"),
+    "R2": ("R1", "R3", "R5", "R4", "R6"),
+    "R3": ("R2", "R1", "R4", "R5", "R6"),
+    "R4": ("R5", "R1", "R2", "R3", "R6"),
+    "R5": ("R4", "R2", "R3", "R1", "R6"),
+    "R6": ("R2", "R1", "R4", "R5", "R3"),
+}
+
+
+def make_problem(seed):
+    rng = random.Random(seed)
+    graph = star_graph(6)
+    candidates = enumerate_prefix_candidates(graph, FIGURE5_ORDERS)
+    operator_cost = {
+        (owner, slot): rng.uniform(1, 30)
+        for owner, order in FIGURE5_ORDERS.items()
+        for slot in range(len(order))
+    }
+    benefit, proc = {}, {}
+    for c in candidates:
+        work = sum(operator_cost[s] for s in c.covered_slots)
+        p = rng.uniform(0.1, 1.2) * work
+        proc[c.candidate_id] = p
+        benefit[c.candidate_id] = work - p
+    group_cost = {}
+    for c in candidates:
+        group_cost.setdefault(c.share_token, rng.uniform(0, 40))
+    return SelectionProblem(
+        candidates=candidates,
+        benefit=benefit,
+        proc=proc,
+        group_cost=group_cost,
+        operator_cost=operator_cost,
+    )
+
+
+def evaluate(solver, instances):
+    values, times = [], []
+    for problem in instances:
+        start = time.perf_counter()
+        selected = solver(problem)
+        times.append(time.perf_counter() - start)
+        values.append(problem.subset_value(selected))
+    return values, sum(times) / len(times)
+
+
+def test_selection_ablation(benchmark, reporter):
+    instances = [make_problem(seed) for seed in range(30)]
+    exact_values, exact_time = evaluate(select_exhaustive, instances)
+    greedy_values, greedy_time = evaluate(select_greedy, instances)
+    lp_values, lp_time = evaluate(
+        lambda p: select_lp_rounding(p, seed=0), instances
+    )
+
+    def quality(values):
+        shares = [
+            v / e if e > 0 else 1.0 for v, e in zip(values, exact_values)
+        ]
+        return statistics.mean(shares)
+
+    reporter(
+        "Ablation — offline selection algorithms (30 random instances)\n"
+        "==============================================================\n"
+        f"{'algorithm':>12} | {'mean net/optimal':>16} | {'mean solve ms':>14}\n"
+        f"{'exhaustive':>12} | {1.0:>16.3f} | {exact_time * 1e3:>14.3f}\n"
+        f"{'greedy':>12} | {quality(greedy_values):>16.3f} | "
+        f"{greedy_time * 1e3:>14.3f}\n"
+        f"{'LP rounding':>12} | {quality(lp_values):>16.3f} | "
+        f"{lp_time * 1e3:>14.3f}"
+    )
+    assert quality(greedy_values) >= 0.5
+    assert quality(lp_values) >= 0.5
+
+    benchmark.pedantic(
+        lambda: select_greedy(instances[0]), rounds=10, iterations=1
+    )

@@ -1,0 +1,39 @@
+"""Figure 6: varying cache hit probability (multiplicity of T.B).
+
+Paper shape: the caching/MJoin time ratio falls monotonically as the
+multiplicity of T.B grows (≈1.05 at multiplicity 1 down to ≈0.45 at 10),
+and caching wins even at multiplicity 1 because sliding-window deletions
+re-probe each value once.
+"""
+
+from repro.bench import figures
+from repro.bench.harness import format_rows, monotone_non_increasing
+
+
+def test_figure6_series(bench_scale, benchmark, reporter):
+    rows = figures.figure6(
+        multiplicities=tuple(range(1, 11)), arrivals=bench_scale(8000)
+    )
+    reporter(
+        format_rows(
+            "Figure 6 — varying cache hit probability",
+            "T.B multiplicity",
+            rows,
+            extra_keys=("hit_rate",),
+        )
+    )
+    ratios = [row.ratio for row in rows]
+    # Shape 1: ratio trends down as multiplicity grows.
+    assert monotone_non_increasing(ratios, tolerance=0.10)
+    assert ratios[-1] < 0.8, "high multiplicity should clearly favor caching"
+    # Shape 2: caching is not worse than MJoin even at multiplicity 1.
+    assert ratios[0] <= 1.05
+    # Hit probability tracks multiplicity.
+    assert rows[-1].extra["hit_rate"] > rows[0].extra["hit_rate"]
+
+    # Timed kernel: one mid-curve point at reduced scale.
+    benchmark.pedantic(
+        lambda: figures.figure6(multiplicities=(5,), arrivals=2000),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,37 @@
+"""Figure 7: varying join selectivity for ∆T tuples.
+
+Paper shape: caching improves performance over the entire selectivity
+range (ratio < 1 everywhere). The paper additionally observes the weakest
+relative improvement near selectivity 1; under our cost constants the
+hit-side savings dominate the miss-side update penalty throughout, so the
+ratio falls monotonically — recorded as a known divergence in
+EXPERIMENTS.md.
+"""
+
+from repro.bench import figures
+from repro.bench.harness import format_rows
+
+
+def test_figure7_series(bench_scale, benchmark, reporter):
+    rows = figures.figure7(
+        selectivities=(0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0),
+        arrivals=bench_scale(8000),
+    )
+    reporter(
+        format_rows(
+            "Figure 7 — varying join selectivity",
+            "T selectivity",
+            rows,
+            extra_keys=("hit_rate",),
+        )
+    )
+    # Headline shape: caching wins across the whole range.
+    assert all(row.ratio <= 1.0 for row in rows)
+    # And decisively at high selectivity (each hit saves more work).
+    assert rows[-1].ratio < 0.8
+
+    benchmark.pedantic(
+        lambda: figures.figure7(selectivities=(1.0,), arrivals=2000),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,34 @@
+"""Figure 8: varying the cache update rate over the probe rate.
+
+Paper shape: caching degrades as the update/probe ratio grows, but the
+cache's update cost is low relative to the work saved per hit, so caching
+remains better even when updates outpace probes (ratio 4).
+"""
+
+from repro.bench import figures
+from repro.bench.harness import format_rows
+
+
+def test_figure8_series(bench_scale, benchmark, reporter):
+    rows = figures.figure8(
+        ratios=(0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0),
+        arrivals=bench_scale(8000),
+    )
+    reporter(
+        format_rows(
+            "Figure 8 — varying update rate / probe rate",
+            "update/probe",
+            rows,
+            extra_keys=("hit_rate",),
+        )
+    )
+    # Shape: ratio worsens (rises) as the update share grows ...
+    assert rows[-1].ratio > rows[0].ratio
+    # ... but caching is still worthwhile past parity.
+    assert all(row.ratio <= 1.05 for row in rows)
+
+    benchmark.pedantic(
+        lambda: figures.figure8(ratios=(1.0,), arrivals=2000),
+        rounds=3,
+        iterations=1,
+    )

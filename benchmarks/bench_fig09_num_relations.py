@@ -1,0 +1,38 @@
+"""Figure 9: varying the number of joining relations (n-way star).
+
+Paper shape: the caching advantage is maintained across n = 3..9, with
+multiple caches chosen from the candidate set as n grows (the paper's
+7-way join used 6 of 15 candidates).
+"""
+
+from repro.bench import figures
+from repro.bench.harness import format_rows
+
+
+def test_figure9_series(bench_scale, benchmark, reporter):
+    rows = figures.figure9(
+        relation_counts=tuple(range(3, 10)),
+        arrivals_for=lambda n: bench_scale(max(2500, 10_000 // max(1, n - 2))),
+    )
+    reporter(
+        format_rows(
+            "Figure 9 — varying number of joining relations",
+            "n relations",
+            rows,
+            extra_keys=("caches_used",),
+        )
+    )
+    # Shape: caching at least matches MJoin across the range and wins
+    # clearly somewhere.
+    assert all(row.ratio <= 1.1 for row in rows)
+    assert min(row.ratio for row in rows) < 0.95
+    # Larger joins offer more candidates; some runs should use several.
+    assert max(row.extra["caches_used"] for row in rows) >= 2
+
+    benchmark.pedantic(
+        lambda: figures.figure9(
+            relation_counts=(4,), arrivals_for=lambda n: 2000
+        ),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,33 @@
+"""Figure 10: varying join cost (nested-loop join, no index on S.B).
+
+Paper shape: with the S.B hash index dropped, the join with S in ∆T's
+pipeline costs Θ(|S|), and the relative advantage of caching improves
+significantly as |S| grows (time ratio falling toward ≈0.15).
+"""
+
+from repro.bench import figures
+from repro.bench.harness import format_rows, monotone_non_increasing
+
+
+def test_figure10_series(bench_scale, benchmark, reporter):
+    rows = figures.figure10(
+        s_windows=(50, 250, 500, 1000, 1500, 2000),
+        arrivals=bench_scale(12_000),
+    )
+    reporter(
+        format_rows(
+            "Figure 10 — varying join cost (|S| window, nested loop)",
+            "|S| window",
+            rows,
+            extra_keys=("hit_rate",),
+        )
+    )
+    ratios = [row.ratio for row in rows]
+    assert monotone_non_increasing(ratios, tolerance=0.15)
+    assert ratios[-1] < 0.35, "large nested loops should strongly favor caching"
+
+    benchmark.pedantic(
+        lambda: figures.figure10(s_windows=(250,), arrivals=2000),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,56 @@
+"""Figure 13: adaptivity to the amount of memory available.
+
+Paper shape: MJoins are insensitive to extra memory (no subresults);
+XJoins are infeasible below their subresult footprint and flat above it;
+A-Caching spans the space between, improving as the budget admits more
+caches by priority (net benefit per byte, Section 5).
+"""
+
+from repro.bench import figures
+
+
+def render(rows):
+    lines = [
+        "Figure 13 — adaptivity to memory availability (point D8)",
+        "=" * 60,
+        f"{'budget KB':>10} | {'MJoin':>9} | {'A-Caching':>10} | "
+        f"{'cache mem KB':>12} | {'XJoin':>10}",
+    ]
+    for r in rows:
+        xjoin = f"{r.xjoin_rate:,.0f}" if r.xjoin_rate else "infeasible"
+        lines.append(
+            f"{r.memory_kb:>10} | {r.mjoin_rate:>9,.0f} | "
+            f"{r.acaching_rate:>10,.0f} | "
+            f"{r.acaching_memory_bytes / 1024:>12.1f} | {xjoin:>10}"
+        )
+    return "\n".join(lines)
+
+
+def test_figure13_memory_adaptivity(bench_scale, benchmark, reporter):
+    rows = figures.figure13(
+        budgets_kb=(0.5, 2, 8, 16, 32, 48, 64, 96, 128),
+        arrivals=bench_scale(20_000),
+    )
+    reporter(render(rows))
+
+    # MJoin is flat (it holds no subresults).
+    mjoin_rates = {r.mjoin_rate for r in rows}
+    assert len(mjoin_rates) == 1
+
+    # XJoin is infeasible below its subresult footprint, then flat.
+    assert rows[0].xjoin_rate is None
+    feasible = [r.xjoin_rate for r in rows if r.xjoin_rate is not None]
+    assert feasible, "the largest budgets must admit the XJoin"
+    assert len(set(feasible)) == 1
+
+    # A-Caching: never meaningfully below MJoin, and improving once the
+    # budget admits its caches.
+    assert all(r.acaching_rate > 0.93 * r.mjoin_rate for r in rows)
+    assert rows[-1].acaching_rate > rows[0].acaching_rate
+    assert rows[-1].acaching_memory_bytes > 0
+
+    benchmark.pedantic(
+        lambda: figures.figure13(budgets_kb=(64,), arrivals=3000),
+        rounds=1,
+        iterations=1,
+    )

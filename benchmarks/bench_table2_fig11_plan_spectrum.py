@@ -1,0 +1,66 @@
+"""Table 2 + Figure 11: the plan spectrum M / X / P / G at D1-D8.
+
+Paper trends (Section 7.3):
+1. X, P, and G almost always outperform M;
+2. P usually significantly outperforms M;
+3. there are points where X significantly outperforms P (prefix-invariant
+   restriction bites), alleviated by globally-consistent caches;
+4. G can outperform X by caching more subresults than any tree plan.
+"""
+
+from repro.bench import figures
+
+
+def render(results):
+    lines = [
+        "Figure 11 — performance of stream-join plans (Table 2 points)",
+        "=" * 62,
+        f"{'point':>6} | {'M (MJoin)':>11} | {'X (XJoin)':>11} | "
+        f"{'P (prefix)':>11} | {'G (global)':>11}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r.point:>6} | {r.rates['M']:>11,.0f} | {r.rates['X']:>11,.0f}"
+            f" | {r.rates['P']:>11,.0f} | {r.rates['G']:>11,.0f}"
+        )
+        lines.append(
+            f"{'':>6}   P uses {r.detail['P_caches']}; "
+            f"G uses {r.detail['G_caches']}; X tree {r.detail['xjoin_tree']}"
+        )
+    return "\n".join(lines)
+
+
+def test_table2_parameters(reporter, benchmark):
+    reporter(figures.table2())
+    benchmark.pedantic(figures.table2, rounds=5, iterations=1)
+
+
+def test_figure11_plan_spectrum(bench_scale, benchmark, reporter):
+    results = figures.figure11(arrivals=bench_scale(16_000))
+    reporter(render(results))
+    rates = {r.point: r.rates for r in results}
+
+    # Trend 1/2: caching-based plans beat the MJoin on most points, and
+    # decisively on several.
+    p_wins = [p for p in rates if rates[p]["P"] > rates[p]["M"]]
+    assert len(p_wins) >= 5, f"P beat M only at {p_wins}"
+    big_wins = [
+        p for p in rates if rates[p]["P"] > 1.15 * rates[p]["M"]
+    ]
+    assert len(big_wins) >= 3
+
+    # Trend 1: X almost always outperforms M.
+    x_wins = [p for p in rates if rates[p]["X"] > rates[p]["M"]]
+    assert len(x_wins) >= 6
+
+    # Trend 4: somewhere, a caching plan beats the best XJoin (the plan
+    # spectrum between MJoins and XJoins pays off).
+    assert any(
+        max(rates[p]["P"], rates[p]["G"]) > rates[p]["X"] for p in rates
+    )
+
+    benchmark.pedantic(
+        lambda: figures.figure11(points=("D2",), arrivals=3000),
+        rounds=1,
+        iterations=1,
+    )

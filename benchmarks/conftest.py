@@ -1,0 +1,52 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Every module regenerates one of the paper's tables or figures at a
+moderate scale (absolute numbers come from the virtual cost clock; see
+DESIGN.md), prints the series, checks its headline shape, and times a
+representative kernel with pytest-benchmark.
+"""
+
+import pytest
+
+_REPORTS = []
+
+
+@pytest.fixture
+def reporter():
+    """Collect experiment tables for the end-of-run summary.
+
+    In-test prints are captured by pytest; the collected tables are
+    emitted from ``pytest_terminal_summary`` (after capture ends) so the
+    regenerated series land in ``bench_output.txt``.
+    """
+
+    def write(text: str) -> None:
+        _REPORTS.append(text)
+
+    return write
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.section("regenerated paper tables and figures")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Arrival counts used across benchmark modules.
+
+    Raise these for tighter series (e.g. BENCH_SCALE=2 doubles arrivals).
+    """
+    import os
+
+    factor = float(os.environ.get("BENCH_SCALE", "1"))
+
+    def scale(base: int) -> int:
+        return max(500, int(base * factor))
+
+    return scale

@@ -1,0 +1,148 @@
+"""Bloom filter used for online miss-probability estimation.
+
+Appendix A: when a candidate cache ``Cijk`` is not in use, a CacheLookup
+operator in profile mode hashes the key of every tuple reaching ``./ij``
+into a Bloom filter of ``α·Wd`` bits over non-overlapping windows of ``Wd``
+tuples. If ``b`` bits are set at the end of a window, the estimate of
+``miss_prob`` is ``b / Wd`` — intuitively, ``b`` distinct keys appeared,
+and each distinct key misses exactly once before being cached.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class BloomFilter:
+    """A bit-set Bloom filter over hashable keys."""
+
+    __slots__ = ("bits", "hashes", "_words", "_set_bits", "inserted")
+
+    def __init__(self, bits: int, hashes: int = 2):
+        if bits < 1:
+            raise ValueError("bloom filter needs at least one bit")
+        if hashes < 1:
+            raise ValueError("bloom filter needs at least one hash")
+        self.bits = bits
+        self.hashes = hashes
+        self._words = bytearray((bits + 7) // 8)
+        self._set_bits = 0
+        self.inserted = 0
+
+    def _positions(self, key) -> range:
+        base = hash(key)
+        # Double hashing: position_i = h1 + i*h2 (standard Kirsch-Mitzenmacher).
+        h1 = base & 0xFFFFFFFF
+        h2 = (base >> 32) | 1
+        return [(h1 + i * h2) % self.bits for i in range(self.hashes)]
+
+    def add(self, key) -> None:
+        """Set this key's bit positions (duplicates are absorbed)."""
+        self.inserted += 1
+        for pos in self._positions(key):
+            byte, bit = divmod(pos, 8)
+            mask = 1 << bit
+            if not self._words[byte] & mask:
+                self._words[byte] |= mask
+                self._set_bits += 1
+
+    def __contains__(self, key) -> bool:
+        for pos in self._positions(key):
+            byte, bit = divmod(pos, 8)
+            if not self._words[byte] & (1 << bit):
+                return False
+        return True
+
+    @property
+    def set_bits(self) -> int:
+        """Number of bits currently set (the paper's ``b``)."""
+        return self._set_bits
+
+    def distinct_estimate(self) -> float:
+        """Standard occupancy-based distinct-count estimate.
+
+        ``n ≈ -(m/k) · ln(1 - b/m)`` for ``m`` bits, ``k`` hashes, ``b``
+        set bits. Falls back to ``inserted`` when the filter saturates.
+        """
+        if self._set_bits >= self.bits:
+            return float(self.inserted)
+        fill = self._set_bits / self.bits
+        return -(self.bits / self.hashes) * math.log(1.0 - fill)
+
+    def reset(self) -> None:
+        """Clear the filter for the next non-overlapping window."""
+        self._words = bytearray(len(self._words))
+        self._set_bits = 0
+        self.inserted = 0
+
+
+class MissProbEstimator:
+    """Windowed miss-probability estimation per Appendix A.
+
+    Feeds probe keys into a Bloom filter over non-overlapping windows of
+    ``window_tuples`` keys; at each window boundary emits one observation
+    ``distinct/window`` and resets. With ``paper_mode=True`` (default) the
+    distinct count is the raw set-bit count ``b`` as in the paper; the
+    occupancy-corrected estimate is available with ``paper_mode=False``.
+    """
+
+    def __init__(
+        self,
+        window_tuples: int = 64,
+        alpha: float = 4.0,
+        paper_mode: bool = True,
+        hashes: int = 2,
+        sign_aware: bool = True,
+    ):
+        self.sign_aware = sign_aware
+        if window_tuples < 1:
+            raise ValueError("window must contain at least one tuple")
+        if alpha < 1.0:
+            raise ValueError("alpha must be >= 1 (bits per window tuple)")
+        self.window_tuples = window_tuples
+        self.paper_mode = paper_mode
+        # Duty cycling: once the consumer has enough observations it may
+        # pause the estimator; a paused BloomLookup skips hashing entirely
+        # until the next re-optimization cycle reactivates it.
+        self.paused = False
+        self._filter = BloomFilter(
+            bits=max(8, int(alpha * window_tuples)), hashes=hashes
+        )
+        self._seen_in_window = 0
+        self._last_observation: Optional[float] = None
+
+    def observe(self, key, is_insert: bool = True) -> Optional[float]:
+        """Feed one probe key; returns an observation at window boundaries.
+
+        Sign-aware refinement of the Appendix A scheme for windowed
+        inputs: a *deletion* re-probes the key its tuple was inserted
+        with — an almost-sure hit (the entry was created at insert time) —
+        so only insertion keys feed the distinct count, while deletions
+        still advance the window. ``distinct / window`` then estimates the
+        miss probability of the full probe stream instead of wildly
+        overestimating it whenever the window span exceeds ``Wd``.
+
+        With ``sign_aware=False`` (used for globally-consistent
+        candidates, whose delete probes *consume* entries) every key feeds
+        the filter, which is the paper's original estimator.
+        """
+        if is_insert or not self.sign_aware:
+            self._filter.add(key)
+        self._seen_in_window += 1
+        if self._seen_in_window < self.window_tuples:
+            return None
+        if self.paper_mode:
+            distinct = float(self._filter.set_bits) / self._filter.hashes
+        else:
+            distinct = self._filter.distinct_estimate()
+        observation = min(1.0, distinct / self.window_tuples)
+        self._filter.reset()
+        self._seen_in_window = 0
+        self._last_observation = observation
+        return observation
+
+    @property
+    def last_observation(self) -> Optional[float]:
+        """The most recently completed window's estimate, if any."""
+        return self._last_observation

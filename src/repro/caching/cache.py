@@ -1,0 +1,180 @@
+"""Join-subresult caches ``Cijk`` (Sections 3.2-3.3).
+
+A cache lives in one pipeline (its *owner*), covers a contiguous segment of
+join operators, and maps a key ``u`` (projection on ``Kijk``) to the set of
+segment-join composites ``σ_{Kijk=u}(Rij ⋈ … ⋈ Rik)``.
+
+The consistency invariant (Definition 3.1) is equality with the true
+segment join for every *present* key; completeness across keys is never
+guaranteed, so entries may be dropped at any time (direct-mapped
+replacement, memory reclamation, plan switches) without affecting
+correctness.
+
+Value composites are stored keyed by their rid identity, so a maintenance
+delete removes exactly the right derivation: for prefix-invariant caches a
+derivation *is* a full segment composite and appears exactly once, which is
+why no multiplicity counting is needed here (contrast with
+:mod:`repro.caching.global_cache`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.caching.key import CacheKey
+from repro.caching.store import (
+    DirectMappedStore,
+    ENTRY_OVERHEAD_BYTES,
+    KEY_COMPONENT_BYTES,
+    REFERENCE_BYTES,
+)
+from repro.streams.tuples import CompositeTuple
+
+DEFAULT_BUCKETS = 256
+
+
+class Cache:
+    """One cache: key, direct-mapped store, and consistency operations."""
+
+    def __init__(
+        self,
+        name: str,
+        owner_pipeline: str,
+        segment: Tuple[str, ...],
+        key: CacheKey,
+        buckets: int = DEFAULT_BUCKETS,
+        store=None,
+    ):
+        self.name = name
+        self.owner_pipeline = owner_pipeline
+        self.segment = tuple(segment)
+        self._canonical_order = tuple(sorted(self.segment))
+        self.key = key
+        self.store = store if store is not None else DirectMappedStore(buckets)
+        self.probes = 0
+        self.hits = 0
+        self._memory_bytes = 0
+        self._entry_base = (
+            ENTRY_OVERHEAD_BYTES + key.width * KEY_COMPONENT_BYTES
+        )
+        self._composite_bytes = REFERENCE_BYTES * len(self.segment)
+
+    # ------------------------------------------------------------------
+    # probe path (CacheLookup)
+    # ------------------------------------------------------------------
+    def probe(
+        self, composite: CompositeTuple, key: Optional[CacheKey] = None
+    ) -> Tuple[tuple, Optional[List[CompositeTuple]]]:
+        """Probe with a prefix-side composite.
+
+        Returns ``(key, values)`` where values is the list of cached
+        segment composites on a hit or None on a miss (an empty list is a
+        *hit* on a key known to join nothing). The key is returned so the
+        pipeline can group misses and call :meth:`create` once per key.
+
+        ``key`` overrides the cache's own key extractor: a shared cache
+        (Definition 4.1) is probed from several pipelines whose prefix
+        slots differ even though entry keys coincide.
+        """
+        self.probes += 1
+        probe_key = (key or self.key).probe_value(composite)
+        value = self.store.get(probe_key)
+        if value is None:
+            return probe_key, None
+        self.hits += 1
+        return probe_key, list(value.values())
+
+    def create(self, probe_key: tuple, composites: List[CompositeTuple]) -> int:
+        """Add an entry computed on a miss (the ``create(u, v)`` of §3.2).
+
+        Returns the net change in stored composite count (for cost
+        accounting); handles direct-mapped eviction bookkeeping.
+        """
+        value: Dict[tuple, CompositeTuple] = {
+            c.identity(self._canonical_order): c for c in composites
+        }
+        evicted = self.store.put(probe_key, value)
+        self._memory_bytes += self._entry_base + len(value) * self._composite_bytes
+        if evicted is not None:
+            self._memory_bytes -= (
+                self._entry_base + len(evicted[1]) * self._composite_bytes
+            )
+        return len(value)
+
+    # ------------------------------------------------------------------
+    # maintenance path (CacheUpdate operators in segment pipelines)
+    # ------------------------------------------------------------------
+    def maintain_insert(self, composite: CompositeTuple) -> bool:
+        """Apply ``insert(u, r)``: ignored unless key ``u`` is present."""
+        seg = self._segment_part(composite)
+        value = self.store.get(self.key.entry_key(seg))
+        if value is None:
+            return False
+        identity = seg.identity(self._canonical_order)
+        if identity not in value:
+            value[identity] = seg
+            self._memory_bytes += self._composite_bytes
+        return True
+
+    def maintain_delete(self, composite: CompositeTuple) -> bool:
+        """Apply ``delete(u, r)``: ignored unless key ``u`` is present."""
+        seg = self._segment_part(composite)
+        value = self.store.get(self.key.entry_key(seg))
+        if value is None:
+            return False
+        if value.pop(seg.identity(self._canonical_order), None) is not None:
+            self._memory_bytes -= self._composite_bytes
+        return True
+
+    def invalidate(self, probe_key: tuple) -> bool:
+        """Drop one entry wholesale (always consistent); True if present."""
+        value = self.store.get(probe_key)
+        if value is None:
+            return False
+        self.store.remove(probe_key)
+        self._memory_bytes -= (
+            self._entry_base + len(value) * self._composite_bytes
+        )
+        return True
+
+    def _segment_part(self, composite: CompositeTuple) -> CompositeTuple:
+        if composite.relations() == frozenset(self.segment):
+            return composite
+        return composite.project(self.segment)
+
+    # ------------------------------------------------------------------
+    # lifecycle / accounting
+    # ------------------------------------------------------------------
+    def drop_all(self) -> None:
+        """Empty the cache (plan switch / memory reclamation); always safe."""
+        self.store.clear()
+        self._memory_bytes = 0
+
+    @property
+    def memory_bytes(self) -> int:
+        """Reference-based footprint of all entries (Section 3.3)."""
+        return max(0, self._memory_bytes)
+
+    @property
+    def entry_count(self) -> int:
+        """Number of keys currently cached."""
+        return len(self.store)
+
+    @property
+    def observed_miss_prob(self) -> float:
+        """Directly observed miss probability (Appendix A, in-use case)."""
+        if self.probes == 0:
+            return 1.0
+        return 1.0 - self.hits / self.probes
+
+    def reset_counters(self) -> None:
+        """Zero the probe/hit counters (after a profiler harvest)."""
+        self.probes = 0
+        self.hits = 0
+
+    def __repr__(self) -> str:
+        seg = "⋈".join(self.segment)
+        return (
+            f"Cache[{self.name}: {seg} in ∆{self.owner_pipeline}, "
+            f"entries={self.entry_count}]"
+        )

@@ -1,0 +1,112 @@
+"""Globally-consistent caches ``X ⋉ Y`` (Section 6).
+
+A globally-consistent cache stores composites of the relation set ``X``
+(a contiguous pipeline segment that does *not* satisfy the prefix
+invariant) and is maintained through the pipelines of ``X ∪ Y``, the
+smallest enclosing set that does. Its entries obey the relaxed invariant
+of Definition 6.1: a present key's value set lies between the
+``Y``-semijoin-filtered segment join and the full segment join.
+
+**Maintenance scheme.** Maintenance deltas arrive as full ``X ∪ Y``
+composites; projecting them onto ``X`` loses derivation multiplicity, so
+per-composite delete counting is unsound without witness counts, and
+witness *counts* are themselves unsound when the anchor contains the
+cache's own probing relation (a count that drops to zero evicts a
+composite that a future probing tuple still needs — and that probe runs
+before its own maintenance, so the loss is unrecoverable). We therefore
+use a counting-free scheme that is sound for every anchor position:
+
+* **segment (X) insert/delete** — add/remove the projected composite;
+  a derivation *is* the composite here, so set semantics are exact;
+* **anchor (Y) insert** — set-insert the projected composite; this also
+  repairs composites that were skipped earlier for lack of a witness;
+* **anchor (Y) delete** — drop the *whole entry*; the next probe misses
+  and recomputes, which is always consistent.
+
+Soundness sketch (full argument in DESIGN.md): an entry is created
+complete by a probing miss, and while it exists every prefix-side witness
+(owner or upstream anchors) for its key is guaranteed live — the probing
+tuple that created it is inserted right after creation, and any delete of
+such a witness invalidates the entry. Hence composites absent from a live
+entry lack only *downstream* anchor witnesses, and those composites
+produce no outputs downstream anyway, so a hit never loses results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.caching.cache import Cache
+from repro.caching.key import CacheKey
+from repro.streams.tuples import CompositeTuple
+
+
+class GlobalCache(Cache):
+    """A cache of ``X`` maintained through ``X ∪ Y`` pipelines."""
+
+    def __init__(
+        self,
+        name: str,
+        owner_pipeline: str,
+        segment: Tuple[str, ...],
+        key: CacheKey,
+        anchor: Tuple[str, ...],
+        buckets: int = 256,
+        store=None,
+    ):
+        super().__init__(name, owner_pipeline, segment, key, buckets, store)
+        self.anchor = tuple(anchor)
+        if set(self.anchor) & set(self.segment):
+            raise ValueError("anchor relations must be disjoint from segment")
+        self.invalidations = 0  # entries dropped by anchor deletes
+
+    @property
+    def maintenance_relations(self) -> Tuple[str, ...]:
+        """Relations whose pipelines carry maintenance for this cache."""
+        return tuple(self.segment) + tuple(self.anchor)
+
+    # ------------------------------------------------------------------
+    # maintenance path (CacheUpdate taps pass the updated relation)
+    # ------------------------------------------------------------------
+    def maintain_insert(
+        self, composite: CompositeTuple, updated_relation: str = ""
+    ) -> bool:
+        # Inserts behave identically for segment and anchor updates: make
+        # sure the projected composite is present (idempotent set-add).
+        """Set-insert the projected composite (segment or anchor insert)."""
+        seg = composite.project(self.segment)
+        value = self.store.get(self.key.entry_key(seg))
+        if value is None:
+            return False
+        identity = seg.identity(self._canonical_order)
+        if identity not in value:
+            value[identity] = seg
+            self._memory_bytes += self._composite_bytes
+        return True
+
+    def maintain_delete(
+        self, composite: CompositeTuple, updated_relation: str = ""
+    ) -> bool:
+        """Segment delete removes the composite; anchor delete invalidates the entry."""
+        seg = composite.project(self.segment)
+        entry_key = self.key.entry_key(seg)
+        value = self.store.get(entry_key)
+        if value is None:
+            return False
+        if updated_relation in self.anchor:
+            # Anchor delete: the affected composites may retain other
+            # witnesses we do not count, so invalidate the entry wholesale.
+            self.invalidate(entry_key)
+            self.invalidations += 1
+            return True
+        if value.pop(seg.identity(self._canonical_order), None) is not None:
+            self._memory_bytes -= self._composite_bytes
+        return True
+
+    def __repr__(self) -> str:
+        seg = "⋈".join(self.segment)
+        anchor = "⋈".join(self.anchor) if self.anchor else "∅"
+        return (
+            f"GlobalCache[{self.name}: ({seg})⋉({anchor}) in "
+            f"∆{self.owner_pipeline}, entries={self.entry_count}]"
+        )

@@ -1,0 +1,110 @@
+"""Cache keys ``Kijk``.
+
+Section 3.2: the cache key of ``Cijk`` is the set of join attributes
+between the relations of the pipeline *prefix* (those joined before the
+cached segment, including the pipeline's own update relation) and the
+relations of the cached *segment*.
+
+We canonicalize the key as the ordered tuple of crossing predicates. Probe
+values are extracted from the prefix side of each predicate, entry keys
+from the segment side; because the predicates are equijoins, a probe value
+equals the entry key of exactly the segment tuples that join with the
+probing composite, so a hit needs no residual predicate checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import PlanError
+from repro.relations.predicates import EquiPredicate, JoinGraph
+from repro.streams.tuples import CompositeTuple
+
+
+class CacheKey:
+    """The resolved key of one cache: paired (prefix, segment) attr slots."""
+
+    __slots__ = ("predicates", "_prefix_slots", "_segment_slots")
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        prefix_relations: Tuple[str, ...],
+        segment_relations: Tuple[str, ...],
+    ):
+        crossing = graph.crossing_predicates(prefix_relations, segment_relations)
+        if not crossing:
+            raise PlanError(
+                "cache key would be empty: no predicates connect prefix "
+                f"{prefix_relations} to segment {segment_relations}"
+            )
+        prefix_set = set(prefix_relations)
+        resolved = []
+        for pred in crossing:
+            if pred.left.relation in prefix_set:
+                prefix_ref, segment_ref = pred.left, pred.right
+            else:
+                prefix_ref, segment_ref = pred.right, pred.left
+            resolved.append(
+                (
+                    (segment_ref.relation, graph.attr_position(segment_ref)),
+                    (prefix_ref.relation, graph.attr_position(prefix_ref)),
+                    pred,
+                )
+            )
+        # Canonical component order: sorted by segment-side slot, so two
+        # shared caches (Definition 4.1) in different pipelines build
+        # identical entry keys and can back one physical store. Duplicate
+        # segment slots are dropped: the transitive closure can equate one
+        # segment attribute to several prefix attributes, but those prefix
+        # attributes are already equal in any composite that reaches the
+        # lookup (every closure predicate is enforced upstream), so one
+        # component carries the full constraint.
+        resolved.sort(key=lambda item: item[0])
+        deduped = []
+        seen_slots = set()
+        for item in resolved:
+            if item[0] in seen_slots:
+                continue
+            seen_slots.add(item[0])
+            deduped.append(item)
+        self._segment_slots = tuple(item[0] for item in deduped)
+        self._prefix_slots = tuple(item[1] for item in deduped)
+        self.predicates: Tuple[EquiPredicate, ...] = tuple(
+            item[2] for item in deduped
+        )
+
+    def probe_value(self, composite: CompositeTuple) -> tuple:
+        """Key extracted from a prefix-side composite (a probing tuple)."""
+        return tuple(
+            composite.value(rel, pos) for rel, pos in self._prefix_slots
+        )
+
+    def entry_key(self, composite: CompositeTuple) -> tuple:
+        """Key extracted from a segment-side composite (a cached value)."""
+        return tuple(
+            composite.value(rel, pos) for rel, pos in self._segment_slots
+        )
+
+    @property
+    def prefix_slots(self) -> Tuple[Tuple[str, int], ...]:
+        """(relation, position) of each key component on the prefix side."""
+        return self._prefix_slots
+
+    @property
+    def width(self) -> int:
+        """Number of key components (constant per cache, Section 3.3)."""
+        return len(self.predicates)
+
+    def signature(self) -> tuple:
+        """A hashable identity used to detect shared caches (Def. 4.1).
+
+        Two caches share iff they cache the same relation set with the same
+        key; the key part of that identity is the *segment-side* slots,
+        which are pipeline-independent.
+        """
+        return self._segment_slots  # already canonically sorted
+
+    def __repr__(self) -> str:
+        parts = ", ".join(repr(p) for p in self.predicates)
+        return f"CacheKey({parts})"

@@ -1,0 +1,223 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+    python -m repro list
+    python -m repro figure fig6 --arrivals 8000
+    python -m repro spectrum D2 --arrivals 12000
+    python -m repro table2
+    python -m repro demo
+
+Arrival counts trade precision for time; the defaults match the
+benchmark suite's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench import figures
+from repro.bench.harness import ExperimentRow, format_rows
+
+FIGURES: Dict[str, str] = {
+    "fig6": "varying cache hit probability (T.B multiplicity 1-10)",
+    "fig7": "varying join selectivity for ∆T tuples",
+    "fig8": "varying cache update rate / probe rate",
+    "fig9": "varying number of joining relations (3-9)",
+    "fig10": "varying join cost (nested-loop |S| sweep)",
+    "fig12": "adaptivity to a 20x rate burst on ∆R",
+    "fig13": "adaptivity to the available memory (point D8)",
+}
+
+
+def _run_row_figure(name: str, arrivals: Optional[int]) -> str:
+    kwargs = {} if arrivals is None else {"arrivals": arrivals}
+    if name == "fig6":
+        rows = figures.figure6(**kwargs)
+        return format_rows(
+            "Figure 6 — varying cache hit probability",
+            "T.B multiplicity", rows, ("hit_rate",),
+        )
+    if name == "fig7":
+        rows = figures.figure7(**kwargs)
+        return format_rows(
+            "Figure 7 — varying join selectivity",
+            "T selectivity", rows, ("hit_rate",),
+        )
+    if name == "fig8":
+        rows = figures.figure8(**kwargs)
+        return format_rows(
+            "Figure 8 — varying update/probe ratio",
+            "update/probe", rows, ("hit_rate",),
+        )
+    if name == "fig9":
+        rows = figures.figure9()  # scales arrivals per n internally
+        return format_rows(
+            "Figure 9 — varying number of joining relations",
+            "n relations", rows, ("caches_used",),
+        )
+    if name == "fig10":
+        rows = figures.figure10(**kwargs)
+        return format_rows(
+            "Figure 10 — varying join cost (no S.B index)",
+            "|S| window", rows, ("hit_rate",),
+        )
+    raise ValueError(name)
+
+
+def _run_fig12(arrivals: Optional[int]) -> str:
+    total = arrivals if arrivals is not None else 44_000
+    series = figures.figure12(
+        total_arrivals=total, burst_after_arrivals=total // 2
+    )
+    lines = [
+        "Figure 12 — adaptivity to changing stream rate",
+        f"{'∆S tuples':>10} | {'T⋈(R⋈S)':>10} | {'R⋈(T⋈S)':>10} | "
+        f"{'adaptive':>10} | caches",
+    ]
+    for a, b, c in zip(
+        series.static_rs_cache, series.static_ts_cache, series.adaptive
+    ):
+        lines.append(
+            f"{c.x:>10} | {a.window_throughput:>10,.0f} | "
+            f"{b.window_throughput:>10,.0f} | "
+            f"{c.window_throughput:>10,.0f} | {list(c.used_caches)}"
+        )
+    return "\n".join(lines)
+
+
+def _run_fig13(arrivals: Optional[int]) -> str:
+    kwargs = {} if arrivals is None else {"arrivals": arrivals}
+    rows = figures.figure13(**kwargs)
+    lines = [
+        "Figure 13 — adaptivity to memory availability (D8)",
+        f"{'budget KB':>10} | {'MJoin':>9} | {'A-Caching':>10} | {'XJoin':>10}",
+    ]
+    for r in rows:
+        xjoin = f"{r.xjoin_rate:,.0f}" if r.xjoin_rate else "infeasible"
+        lines.append(
+            f"{r.memory_kb:>10} | {r.mjoin_rate:>9,.0f} | "
+            f"{r.acaching_rate:>10,.0f} | {xjoin:>10}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_list(_args: argparse.Namespace) -> str:
+    """``list``: enumerate the available experiments."""
+    lines = ["available experiments:"]
+    for name, blurb in FIGURES.items():
+        lines.append(f"  figure {name:<6} {blurb}")
+    lines.append("  spectrum D1..D8   M/X/P/G comparison at a Table 2 point")
+    lines.append("  table2            print the Table 2 parameters")
+    lines.append("  demo              quick adaptive-vs-MJoin demonstration")
+    return "\n".join(lines)
+
+
+def cmd_figure(args: argparse.Namespace) -> str:
+    """``figure NAME``: regenerate one figure's data series."""
+    if args.name == "fig12":
+        return _run_fig12(args.arrivals)
+    if args.name == "fig13":
+        return _run_fig13(args.arrivals)
+    return _run_row_figure(args.name, args.arrivals)
+
+
+def cmd_spectrum(args: argparse.Namespace) -> str:
+    """``spectrum POINT``: the M/X/P/G comparison at a Table 2 point."""
+    results = figures.figure11(
+        points=(args.point,),
+        arrivals=args.arrivals if args.arrivals else 16_000,
+    )
+    (result,) = results
+    lines = [f"plan spectrum at {result.point}:"]
+    for label, rate in result.rates.items():
+        lines.append(f"  {label}: {rate:>10,.0f} tuples/sec")
+    lines.append(f"  P caches: {result.detail['P_caches']}")
+    lines.append(f"  G caches: {result.detail['G_caches']}")
+    lines.append(f"  X tree:   {result.detail['xjoin_tree']}")
+    return "\n".join(lines)
+
+
+def cmd_table2(_args: argparse.Namespace) -> str:
+    """``table2``: print the Table 2 parameters."""
+    return figures.table2()
+
+
+def cmd_demo(args: argparse.Namespace) -> str:
+    """``demo``: a quick adaptive-caching-vs-MJoin measurement."""
+    from repro.planner.enumeration import run_acaching, run_mjoin
+    from repro.streams.workloads import three_way_chain
+
+    arrivals = args.arrivals if args.arrivals else 12_000
+
+    def factory():
+        return three_way_chain(t_multiplicity=5.0, window_r=96, window_s=96)
+
+    mjoin = run_mjoin(factory, arrivals)
+    cached = run_acaching(
+        factory, arrivals, global_quota=6,
+        reopt_interval_updates=3000, stat_window=5,
+    )
+    return (
+        "three-way stream join, adaptive caching vs MJoin\n"
+        f"  MJoin      : {mjoin.throughput:>10,.0f} tuples/sec\n"
+        f"  A-Caching  : {cached.throughput:>10,.0f} tuples/sec "
+        f"(caches {cached.detail['used_caches']}, "
+        f"hit rate {cached.detail['hit_rate']:.0%})\n"
+        f"  speedup    : {cached.throughput / mjoin.throughput:.2f}x"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (also used by the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's experiments (see EXPERIMENTS.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        handler=cmd_list
+    )
+
+    figure = sub.add_parser("figure", help="regenerate one figure's series")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--arrivals", type=int, default=None)
+    figure.set_defaults(handler=cmd_figure)
+
+    spectrum = sub.add_parser(
+        "spectrum", help="M/X/P/G comparison at a Table 2 point"
+    )
+    spectrum.add_argument(
+        "point", choices=[f"D{i}" for i in range(1, 9)]
+    )
+    spectrum.add_argument("--arrivals", type=int, default=None)
+    spectrum.set_defaults(handler=cmd_spectrum)
+
+    sub.add_parser("table2", help="print Table 2").set_defaults(
+        handler=cmd_table2
+    )
+
+    demo = sub.add_parser("demo", help="adaptive caching vs MJoin, quickly")
+    demo.add_argument("--arrivals", type=int, default=None)
+    demo.set_defaults(handler=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        print(args.handler(args))
+    except BrokenPipeError:  # e.g. `python -m repro table2 | head`
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

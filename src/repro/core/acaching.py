@@ -1,0 +1,145 @@
+"""The A-Caching controller: Profiler + Re-optimizer + Executor (Figure 4).
+
+This is the main public entry point of the library: build one from a
+:class:`~repro.relations.predicates.JoinGraph` (or a workload) and feed it
+the update stream; it executes the stream join while adaptively ordering
+pipelines (A-Greedy), selecting caches, and allocating memory.
+
+>>> engine = ACaching.for_workload(workload)
+>>> for update in workload.updates(100_000):
+...     engine.process(update)
+>>> engine.throughput()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.profiler import Profiler, ProfilerConfig
+from repro.core.reoptimizer import (
+    CandidateState,
+    Reoptimizer,
+    ReoptimizerConfig,
+)
+from repro.mjoin.executor import MJoinExecutor
+from repro.operators.base import ExecContext
+from repro.ordering.agreedy import AGreedyOrderer, OrderingConfig
+from repro.relations.predicates import JoinGraph
+from repro.streams.events import OutputDelta, Update
+
+
+@dataclass
+class ACachingConfig:
+    """All tunables in one place; defaults follow Section 7.1.
+
+    ``incremental_reoptimizer`` enables the Section 8 future-work
+    extension: local add/drop/swap re-selection with unimportant-statistic
+    tracking (see :mod:`repro.core.incremental`).
+    """
+
+    profiler: ProfilerConfig = field(default_factory=ProfilerConfig)
+    reoptimizer: ReoptimizerConfig = field(default_factory=ReoptimizerConfig)
+    ordering: Optional[OrderingConfig] = field(default_factory=OrderingConfig)
+    adaptive_ordering: bool = True
+    memory_check_every_updates: int = 500
+    incremental_reoptimizer: bool = False
+
+
+class ACaching:
+    """Adaptive caching for one continuous multiway join query."""
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        orders: Optional[Dict[str, Sequence[str]]] = None,
+        indexed_attributes: Optional[Dict[str, Iterable[str]]] = None,
+        config: Optional[ACachingConfig] = None,
+        ctx: Optional[ExecContext] = None,
+    ):
+        self.config = config if config is not None else ACachingConfig()
+        self.executor = MJoinExecutor(
+            graph, orders=orders, indexed_attributes=indexed_attributes, ctx=ctx
+        )
+        self.profiler = Profiler(self.executor, self.config.profiler)
+        if self.config.incremental_reoptimizer:
+            from repro.core.incremental import IncrementalReoptimizer
+
+            self.reoptimizer: Reoptimizer = IncrementalReoptimizer(
+                self.executor, self.profiler, self.config.reoptimizer
+            )
+        else:
+            self.reoptimizer = Reoptimizer(
+                self.executor, self.profiler, self.config.reoptimizer
+            )
+        self.orderer: Optional[AGreedyOrderer] = None
+        if self.config.adaptive_ordering and self.config.ordering is not None:
+            self.orderer = AGreedyOrderer(self.executor, self.config.ordering)
+        self._updates_at_memory_check = 0
+
+    @classmethod
+    def for_workload(
+        cls, workload, config: Optional[ACachingConfig] = None
+    ) -> "ACaching":
+        """Build an engine configured for a synthetic workload."""
+        return cls(
+            workload.graph,
+            indexed_attributes=workload.indexed_attributes,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def process(self, update: Update) -> List[OutputDelta]:
+        """Process one update and run the adaptive machinery hooks."""
+        outputs = self.executor.process(update)
+        if self.orderer is not None:
+            for owner in self.orderer.maybe_reorder():
+                self.reoptimizer.on_reorder(owner)
+        self.reoptimizer.after_update()
+        metrics = self.executor.ctx.metrics
+        if (
+            self.reoptimizer.allocator.budget_bytes is not None
+            and metrics.updates_processed - self._updates_at_memory_check
+            >= self.config.memory_check_every_updates
+        ):
+            self._updates_at_memory_check = metrics.updates_processed
+            self.reoptimizer.enforce_memory()
+        return outputs
+
+    def run(self, updates: Iterable[Update]) -> List[OutputDelta]:
+        """Process a whole update sequence; returns all result deltas."""
+        outputs: List[OutputDelta] = []
+        for update in updates:
+            outputs.extend(self.process(update))
+        return outputs
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def ctx(self):
+        """The execution context (clock, cost model, metrics)."""
+        return self.executor.ctx
+
+    def throughput(self) -> float:
+        """Updates per second of (virtual) time, all overheads included."""
+        ctx = self.executor.ctx
+        return ctx.metrics.throughput(ctx.clock.now_seconds)
+
+    def used_caches(self) -> List[str]:
+        """Candidate ids of the caches currently probed by pipelines."""
+        return [
+            c.candidate_id for c in self.reoptimizer.wiring.used_candidates()
+        ]
+
+    def candidate_states(self) -> Dict[str, str]:
+        """Candidate id -> used/profiled/unused (Section 4.5 states)."""
+        return {
+            cid: state.value for cid, state in self.reoptimizer.states.items()
+        }
+
+    def memory_in_use(self) -> int:
+        """Bytes held by all wired cache stores (shared counted once)."""
+        return self.reoptimizer.wiring.memory_bytes()

@@ -1,0 +1,365 @@
+"""Candidate-cache enumeration (Sections 4.2, 4.4, and 6).
+
+Given the current pipeline orderings, the candidate caches are:
+
+* every contiguous pipeline segment of ≥ 2 relations whose relation set
+  satisfies the **prefix invariant** (Definition 3.2) — these are the
+  Section 4 candidates, maintained for free by regular join processing;
+* when a quota remains (Section 6, parameter ``m``), globally-consistent
+  candidates ``X ⋉ Y``: a contiguous segment ``X`` that does *not* satisfy
+  the invariant, anchored by the smallest relation set ``Y`` from the same
+  pipeline such that ``X ∪ Y`` does satisfy it. Larger ``X`` first, per
+  the paper's enumeration order.
+
+The module also derives the structures the selection algorithms need:
+shared-cache groups (Definition 4.1) and the per-pipeline containment
+forests of Theorem 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.caching.key import CacheKey
+from repro.errors import PlanError
+from repro.relations.predicates import JoinGraph
+
+Orders = Mapping[str, Sequence[str]]
+
+
+@dataclass(frozen=True)
+class CandidateCache:
+    """One candidate: a (pipeline, segment) pair plus derived structure."""
+
+    candidate_id: str
+    owner: str                      # pipeline the lookup would live in
+    start: int                      # first covered operator slot
+    end: int                        # last covered operator slot (inclusive)
+    segment: Tuple[str, ...]        # relations at slots start..end, in order
+    prefix: Tuple[str, ...]         # owner + relations before the segment
+    anchor: Tuple[str, ...] = ()    # Y relations (empty → prefix-invariant)
+    key_signature: Tuple = ()
+
+    @property
+    def is_global(self) -> bool:
+        """True for globally-consistent (anchored) candidates (Section 6)."""
+        return bool(self.anchor)
+
+    @property
+    def member_set(self) -> FrozenSet[str]:
+        """The segment's relation set."""
+        return frozenset(self.segment)
+
+    @property
+    def maintenance_set(self) -> FrozenSet[str]:
+        """The prefix-valid relation set ``X ∪ Y`` the cache rides on."""
+        return frozenset(self.segment) | frozenset(self.anchor)
+
+    @property
+    def tap_relations(self) -> FrozenSet[str]:
+        """Relations whose pipelines actually carry maintenance taps.
+
+        The owner's own tap is skipped when it anchors its cache: its
+        witnesses are fully key-determined (its predicates to the segment
+        are all key components) and its deletes are handled by the
+        lookup-side consume rule, so its pipeline's full-join deltas carry
+        no information the cache needs — and charging them is what would
+        make owner-anchored caches drown in maintenance under bursts.
+        Candidates with ``owner ∈ anchor`` can never be shared with a
+        different owner (equal share tokens force equal anchors), so the
+        skip is safe for shared groups too.
+        """
+        relations = self.maintenance_set
+        if self.owner in self.anchor:
+            relations = relations - {self.owner}
+        return relations
+
+    @property
+    def covered_slots(self) -> Tuple[Tuple[str, int], ...]:
+        """The (pipeline, operator-slot) pairs this cache bypasses."""
+        return tuple((self.owner, slot) for slot in range(self.start, self.end + 1))
+
+    @property
+    def share_token(self) -> Tuple:
+        """Caches with equal tokens are shared (Definition 4.1).
+
+        The anchor participates: a globally-consistent cache stores a
+        semijoin-filtered subset and cannot back a prefix-invariant
+        cache's exact-consistency store.
+        """
+        return (
+            frozenset(self.segment),
+            self.key_signature,
+            frozenset(self.anchor),
+        )
+
+    def overlaps(self, other: "CandidateCache") -> bool:
+        """True if the two candidates have join operators in common."""
+        if self.owner != other.owner:
+            return False
+        return not (self.end < other.start or self.start > other.end)
+
+    @property
+    def tap_slot(self) -> int:
+        """Pipeline slot of this cache's maintenance taps (input to the
+        ``|maintained set|``-th operator of each member pipeline)."""
+        return len(self.maintenance_set) - 1
+
+    def _bypasses_tap_of(self, other: "CandidateCache") -> bool:
+        """True if this cache's hit bypass would starve ``other``'s
+        maintenance tap in this owner's pipeline."""
+        if self.owner not in other.tap_relations:
+            return False
+        return self.start < other.tap_slot <= self.end
+
+    def conflicts_with(self, other: "CandidateCache") -> bool:
+        """Candidates that cannot be used together.
+
+        Prefix-invariant candidates only conflict by operator overlap
+        (Section 4.2's nonoverlap rule); globally-consistent candidates add
+        tap-bypass conflicts, which is why selection over them is as hard
+        as independent set (Section 6).
+        """
+        return (
+            self.overlaps(other)
+            or self._bypasses_tap_of(other)
+            or other._bypasses_tap_of(self)
+        )
+
+    def contains(self, other: "CandidateCache") -> bool:
+        """Strict containment of ``other``'s operator range (same pipeline)."""
+        return (
+            self.owner == other.owner
+            and self.start <= other.start
+            and other.end <= self.end
+            and (self.start, self.end) != (other.start, other.end)
+        )
+
+    def __repr__(self) -> str:
+        seg = "⋈".join(self.segment)
+        tail = f"⋉{'⋈'.join(self.anchor)}" if self.anchor else ""
+        return f"Candidate[{self.candidate_id}: ({seg}){tail}]"
+
+
+def satisfies_prefix_invariant(
+    member_set: FrozenSet[str], orders: Orders
+) -> bool:
+    """Definition 3.2 for a relation set: every member's pipeline joins the
+    other members first, in some order."""
+    width = len(member_set) - 1
+    for member in member_set:
+        order = orders[member]
+        if set(order[:width]) != member_set - {member}:
+            return False
+    return True
+
+
+def prefix_valid_sets(orders: Orders) -> Set[FrozenSet[str]]:
+    """All relation sets (size ≥ 2) satisfying the prefix invariant."""
+    valid: Set[FrozenSet[str]] = set()
+    for owner, order in orders.items():
+        for width in range(1, len(order) + 1):
+            candidate = frozenset(order[:width]) | {owner}
+            if candidate in valid:
+                continue
+            if satisfies_prefix_invariant(candidate, orders):
+                valid.add(candidate)
+    return valid
+
+
+def _build_candidate(
+    graph: JoinGraph,
+    owner: str,
+    order: Sequence[str],
+    start: int,
+    end: int,
+    anchor: Tuple[str, ...] = (),
+) -> Optional[CandidateCache]:
+    segment = tuple(order[start : end + 1])
+    prefix = (owner,) + tuple(order[:start])
+    try:
+        key = CacheKey(graph, prefix, segment)
+    except PlanError:
+        return None  # keyless segment (cross product): not cacheable
+    suffix = "g" if anchor else "p"
+    candidate_id = f"{owner}:{start}-{end}{suffix}"
+    return CandidateCache(
+        candidate_id=candidate_id,
+        owner=owner,
+        start=start,
+        end=end,
+        segment=segment,
+        prefix=prefix,
+        anchor=anchor,
+        key_signature=key.signature(),
+    )
+
+
+def enumerate_prefix_candidates(
+    graph: JoinGraph, orders: Orders
+) -> List[CandidateCache]:
+    """All Section 4 candidates under the current orderings."""
+    candidates: List[CandidateCache] = []
+    for owner, order in orders.items():
+        for start in range(len(order)):
+            for end in range(start + 1, len(order)):
+                member_set = frozenset(order[start : end + 1])
+                if not satisfies_prefix_invariant(member_set, orders):
+                    continue
+                candidate = _build_candidate(graph, owner, order, start, end)
+                if candidate is not None:
+                    candidates.append(candidate)
+    return candidates
+
+
+def enumerate_global_candidates(
+    graph: JoinGraph,
+    orders: Orders,
+    quota: int,
+    existing: Sequence[CandidateCache] = (),
+) -> List[CandidateCache]:
+    """Section 6's quota-bounded globally-consistent candidates.
+
+    For each pipeline segment ``X`` that fails the prefix invariant, the
+    anchor ``Y`` is the smallest prefix-valid superset's complement taken
+    from the *same pipeline* (owner excluded — anchoring on the probing
+    relation itself would let live composites be dropped; see DESIGN.md).
+    Enumeration proceeds from the largest segments down, as the paper
+    fills its quota with "X is all but one relation" first.
+    """
+    if quota <= 0:
+        return []
+    valid_sets = prefix_valid_sets(orders)
+    existing_slots = {
+        (c.owner, c.start, c.end) for c in existing
+    }
+    collected: List[CandidateCache] = []
+    max_len = max((len(order) for order in orders.values()), default=0)
+    for segment_len in range(max_len, 1, -1):
+        for owner, order in orders.items():
+            for start in range(0, len(order) - segment_len + 1):
+                end = start + segment_len - 1
+                if (owner, start, end) in existing_slots:
+                    continue
+                member_set = frozenset(order[start : end + 1])
+                if satisfies_prefix_invariant(member_set, orders):
+                    continue  # already a prefix candidate
+                anchor = _smallest_anchor(
+                    member_set, owner, order, valid_sets
+                )
+                if anchor is None:
+                    continue
+                candidate = _build_candidate(
+                    graph, owner, order, start, end, anchor=anchor
+                )
+                if candidate is not None:
+                    collected.append(candidate)
+                    if len(collected) >= quota:
+                        return collected
+    return collected
+
+
+def _smallest_anchor(
+    member_set: FrozenSet[str],
+    owner: str,
+    order: Sequence[str],
+    valid_sets: Set[FrozenSet[str]],
+) -> Optional[Tuple[str, ...]]:
+    """The smallest prefix-valid superset's complement.
+
+    The anchor may include the pipeline's own relation (the full relation
+    set is always prefix-valid, which is the paper's fallback: any segment
+    ``X`` can be cached as ``X ⋉ (everything else)``); the entry-
+    invalidation maintenance of :class:`GlobalCache` keeps that sound.
+    """
+    allowed = frozenset(order) | {owner}
+    best: Optional[FrozenSet[str]] = None
+    for valid in valid_sets:
+        if not (member_set < valid and valid <= allowed):
+            continue
+        if best is None or len(valid) < len(best):
+            best = valid
+    if best is None:
+        return None
+    anchor = best - member_set
+    return tuple(sorted(anchor))
+
+
+def enumerate_candidates(
+    graph: JoinGraph, orders: Orders, global_quota: int = 0
+) -> List[CandidateCache]:
+    """Prefix candidates, topped up to ``global_quota`` with global ones.
+
+    Matches Section 6: with ``p`` prefix candidates and quota ``m``, global
+    candidates are only considered when ``p < m``.
+    """
+    prefix = enumerate_prefix_candidates(graph, orders)
+    if global_quota <= len(prefix):
+        return prefix
+    extras = enumerate_global_candidates(
+        graph, orders, global_quota - len(prefix), existing=prefix
+    )
+    return prefix + extras
+
+
+def shared_groups(
+    candidates: Sequence[CandidateCache],
+) -> Dict[Tuple, List[CandidateCache]]:
+    """Group candidates by share token (Definition 4.1)."""
+    groups: Dict[Tuple, List[CandidateCache]] = {}
+    for candidate in candidates:
+        groups.setdefault(candidate.share_token, []).append(candidate)
+    return groups
+
+
+@dataclass
+class ContainmentNode:
+    """A node of the per-pipeline containment forest (Theorem 4.1)."""
+
+    candidate: CandidateCache
+    children: List["ContainmentNode"] = field(default_factory=list)
+
+
+def containment_forest(
+    candidates: Sequence[CandidateCache],
+) -> Dict[str, List[ContainmentNode]]:
+    """Build, per pipeline, the forest where a cache's parent is the
+    smallest candidate strictly containing it.
+
+    Overlapping prefix-invariant candidates in one pipeline are always
+    nested (Section 4.4), so this is well defined; a genuine partial
+    overlap would indicate an enumeration bug and raises.
+    """
+    by_owner: Dict[str, List[CandidateCache]] = {}
+    for candidate in candidates:
+        by_owner.setdefault(candidate.owner, []).append(candidate)
+    forests: Dict[str, List[ContainmentNode]] = {}
+    for owner, group in by_owner.items():
+        for a in group:
+            for b in group:
+                if a is not b and a.overlaps(b):
+                    if not (a.contains(b) or b.contains(a) or a.covered_slots == b.covered_slots):
+                        raise PlanError(
+                            f"overlapping non-nested candidates: {a} / {b}"
+                        )
+        # Sort by width ascending; attach each to the smallest container.
+        ordered = sorted(group, key=lambda c: c.end - c.start)
+        nodes = {c.candidate_id: ContainmentNode(c) for c in ordered}
+        roots: List[ContainmentNode] = []
+        for candidate in ordered:
+            parent = None
+            for other in ordered:
+                if other.contains(candidate):
+                    if parent is None or (other.end - other.start) < (
+                        parent.end - parent.start
+                    ):
+                        parent = other
+            if parent is None:
+                roots.append(nodes[candidate.candidate_id])
+            else:
+                nodes[parent.candidate_id].children.append(
+                    nodes[candidate.candidate_id]
+                )
+        forests[owner] = roots
+    return forests

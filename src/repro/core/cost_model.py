@@ -1,0 +1,139 @@
+"""The cache cost model of Section 4.1 under the unit-time metric.
+
+For a cache ``Cijk`` over the segment ``./ij … ./ik`` of ``∆Ri``'s
+pipeline, with ``dil`` tuples/unit-time entering segment operator ``l`` at
+``cil`` cost each, ``d_out`` tuples/unit-time leaving the segment, and
+``d_probe = dij``:
+
+    benefit(C) = Σ dil·cil − d_probe·probe_cost
+                 − miss_prob·(Σ dil·cil + d_out·update_cost)
+    cost(C)    = update_cost · maintenance_rate
+    proc(C)    = d_probe·probe_cost
+                 + miss_prob·(Σ dil·cil + d_out·update_cost)
+
+where ``maintenance_rate = Σ_{l∈segment} d_{l,k−j+1}`` — the rate of
+segment-join deltas arriving through the member pipelines, available for
+free thanks to the prefix invariant. ``probe_cost`` and ``update_cost``
+derive from the engine cost model, the constant key width, and the average
+number of tuples per cached entry ``d_out / d_probe`` (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.clock import CostModel
+
+
+@dataclass(frozen=True)
+class CacheStatistics:
+    """Everything the cost model needs about one candidate cache."""
+
+    segment_d: Sequence[float]   # dil for each segment operator, tuples/sec
+    segment_c: Sequence[float]   # cil, microseconds per tuple
+    d_out: float                 # tuples/sec leaving the segment
+    miss_prob: float             # estimated or observed miss probability
+    maintenance_rate: float      # segment-join deltas/sec via member pipelines
+    key_width: int = 1
+    anchor_size: int = 0         # |Y| for globally-consistent caches
+
+    def __post_init__(self) -> None:
+        if len(self.segment_d) != len(self.segment_c):
+            raise ValueError("segment_d and segment_c must align")
+        if not self.segment_d:
+            raise ValueError("a cache segment spans at least one operator")
+        if not 0.0 <= self.miss_prob <= 1.0:
+            raise ValueError("miss_prob must be a probability")
+
+    @property
+    def d_probe(self) -> float:
+        """Probe rate: tuples/sec reaching the segment's first operator."""
+        return self.segment_d[0]
+
+    @property
+    def segment_work(self) -> float:
+        """Σ dil·cil — µs/sec spent in the segment without the cache."""
+        return sum(d * c for d, c in zip(self.segment_d, self.segment_c))
+
+    @property
+    def tuples_per_entry(self) -> float:
+        """Average cached-value size, ``d_out / d_probe`` (Appendix A)."""
+        if self.d_probe <= 0:
+            return 0.0
+        return self.d_out / self.d_probe
+
+
+def probe_cost(stats: CacheStatistics, cm: CostModel) -> float:
+    """µs per probe: key hash + emitting the average hit's composites."""
+    hit_prob = 1.0 - stats.miss_prob
+    return (
+        cm.cache_probe
+        + hit_prob * stats.tuples_per_entry * cm.cache_hit_tuple
+    )
+
+
+def update_cost(stats: CacheStatistics, cm: CostModel) -> float:
+    """µs per cache update call (maintenance or miss-path store).
+
+    Identical for prefix-invariant and globally-consistent caches: the
+    entry-invalidation maintenance of :class:`GlobalCache` costs the same
+    per call, and its effect on hit rates surfaces through the observed
+    ``miss_prob`` rather than through a direct surcharge.
+
+    A maintenance call whose key is absent is just a hash check (ignored
+    per Section 3.2); a delta is applied roughly when the key is cached,
+    which happens with probability ≈ ``1 − miss_prob``.
+    """
+    present_prob = 1.0 - stats.miss_prob
+    return cm.cache_maintain_check + present_prob * (
+        cm.cache_maintain + cm.cache_store_tuple
+    )
+
+
+def proc(stats: CacheStatistics, cm: CostModel) -> float:
+    """Average µs/sec of using the cache in its owner pipeline (§4.4)."""
+    return stats.d_probe * probe_cost(stats, cm) + stats.miss_prob * (
+        stats.segment_work + stats.d_out * update_cost(stats, cm)
+    )
+
+
+def cost(stats: CacheStatistics, cm: CostModel) -> float:
+    """Average µs/sec of maintaining the cache (Section 4.1)."""
+    return update_cost(stats, cm) * stats.maintenance_rate
+
+
+def benefit(stats: CacheStatistics, cm: CostModel) -> float:
+    """Average µs/sec saved by the cache in its owner pipeline."""
+    return stats.segment_work - proc(stats, cm)
+
+
+def net_benefit(stats: CacheStatistics, cm: CostModel) -> float:
+    """benefit − cost: the quantity A-Caching maximizes per cache."""
+    return benefit(stats, cm) - cost(stats, cm)
+
+
+def expected_memory_bytes(
+    stats: CacheStatistics,
+    cm: CostModel,
+    expected_entries: float,
+    segment_size: int,
+) -> float:
+    """Expected footprint: entries × (overhead + refs per composite).
+
+    ``expected_entries`` comes from the profiler's distinct-key estimate
+    (Appendix A: the Bloom filter's distinct count also yields the memory
+    requirement).
+    """
+    from repro.caching.store import (
+        ENTRY_OVERHEAD_BYTES,
+        KEY_COMPONENT_BYTES,
+        REFERENCE_BYTES,
+    )
+
+    per_entry = (
+        ENTRY_OVERHEAD_BYTES
+        + stats.key_width * KEY_COMPONENT_BYTES
+        + stats.tuples_per_entry * REFERENCE_BYTES * segment_size
+    )
+    return max(0.0, expected_entries) * per_entry

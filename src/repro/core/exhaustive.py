@@ -1,0 +1,80 @@
+"""Exact selection by branch-and-bound over candidate subsets.
+
+Section 4.4 notes that exhaustively searching the 2^m combinations is
+"typically negligible for n ≤ 6, even in an adaptive setting"; Section 6
+reuses the same search for globally-consistent caches with m capped. This
+implementation explores candidates in a fixed order, skipping overlaps,
+and prunes with an optimistic bound (every remaining candidate's benefit,
+all group costs already paid).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.selection import SelectionProblem
+from repro.errors import PlanError
+
+MAX_EXHAUSTIVE_CANDIDATES = 24
+
+
+def select_exhaustive(problem: SelectionProblem) -> List:
+    """Optimal nonoverlapping subset by pruned subset search."""
+    candidates = sorted(
+        problem.candidates,
+        key=lambda c: problem.benefit[c.candidate_id],
+        reverse=True,
+    )
+    if len(candidates) > MAX_EXHAUSTIVE_CANDIDATES:
+        raise PlanError(
+            f"{len(candidates)} candidates is past the exhaustive-search "
+            f"cutoff ({MAX_EXHAUSTIVE_CANDIDATES}); use the greedy solver"
+        )
+    benefits = [problem.benefit[c.candidate_id] for c in candidates]
+    # Optimistic tail bound: the sum of remaining positive benefits.
+    tail = [0.0] * (len(candidates) + 1)
+    for i in range(len(candidates) - 1, -1, -1):
+        tail[i] = tail[i + 1] + max(0.0, benefits[i])
+
+    best_value = 0.0
+    best_picks: List = []
+
+    def recurse(
+        index: int,
+        picks: List,
+        value: float,
+        paid_tokens: Set[Tuple],
+    ) -> None:
+        nonlocal best_value, best_picks
+        if value > best_value:
+            best_value = value
+            best_picks = list(picks)
+        if index >= len(candidates):
+            return
+        if value + tail[index] <= best_value:
+            return  # cannot beat the incumbent
+        candidate = candidates[index]
+        # Branch 1: take it (if compatible).
+        if not any(candidate.conflicts_with(chosen) for chosen in picks):
+            token = candidate.share_token
+            extra_cost = (
+                0.0 if token in paid_tokens else problem.group_cost[token]
+            )
+            picks.append(candidate)
+            added = token not in paid_tokens
+            if added:
+                paid_tokens.add(token)
+            recurse(
+                index + 1,
+                picks,
+                value + benefits[index] - extra_cost,
+                paid_tokens,
+            )
+            picks.pop()
+            if added:
+                paid_tokens.discard(token)
+        # Branch 2: skip it.
+        recurse(index + 1, picks, value, paid_tokens)
+
+    recurse(0, [], 0.0, set())
+    return best_picks

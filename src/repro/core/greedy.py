@@ -1,0 +1,101 @@
+"""The greedy O(log n) approximation of Theorem 4.3 / Appendix B.
+
+Minimizes total cost ``Σ proc + Σ group costs`` over a cover of all join
+operators, where every operator is also available as a zero-length cache
+of cost ``d·c``. Per iteration, each shared group ``Gr`` is scored by its
+best cost-rate
+
+    Dr = min over prefixes S of Gr (sorted by Bc/nc) of
+         (Lr + Σ_{c∈S} Bc) / (Σ_{c∈S} nc)
+
+(Appendix B proves a sorted prefix is optimal), the cheapest group's
+prefix is chosen, its operators are deleted, and coverage counts ``nc``
+shrink accordingly. Overlapping picks are resolved afterwards by keeping
+the widest cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.selection import (
+    OperatorSlot,
+    SelectionProblem,
+    prune_negative_groups,
+    resolve_overlaps,
+)
+
+
+def _best_prefix(
+    members: List,
+    problem: SelectionProblem,
+    uncovered: Set[OperatorSlot],
+    group_cost: float,
+) -> Optional[Tuple[float, List]]:
+    """The optimal (rate, subset) for one group given current coverage."""
+    scored = []
+    for candidate in members:
+        covered = [s for s in candidate.covered_slots if s in uncovered]
+        if covered:
+            scored.append(
+                (problem.proc[candidate.candidate_id], len(covered), candidate)
+            )
+    if not scored:
+        return None
+    scored.sort(key=lambda item: item[0] / item[1])
+    best_rate, best_subset = None, None
+    total_b, total_n = group_cost, 0
+    subset: List = []
+    for b, n, candidate in scored:
+        total_b += b
+        total_n += n
+        subset.append(candidate)
+        rate = total_b / total_n
+        if best_rate is None or rate < best_rate:
+            best_rate = rate
+            best_subset = list(subset)
+    return best_rate, best_subset
+
+
+def select_greedy(problem: SelectionProblem) -> List:
+    """Greedy set-cover-style selection; logarithmic approximation."""
+    uncovered: Set[OperatorSlot] = set(problem.operator_cost)
+    groups = problem.groups()
+    chosen: List = []
+    while uncovered:
+        best_rate: Optional[float] = None
+        best_subset: Optional[List] = None
+        best_is_real = False
+        for token, members in groups.items():
+            live = [
+                c
+                for c in members
+                if c not in chosen
+                and any(s in uncovered for s in c.covered_slots)
+            ]
+            result = _best_prefix(
+                live, problem, uncovered, problem.group_cost[token]
+            )
+            if result is None:
+                continue
+            rate, subset = result
+            if best_rate is None or rate < best_rate:
+                best_rate, best_subset, best_is_real = rate, subset, True
+        # Zero-length operator caches: singleton groups of cost d·c.
+        cheapest_op: Optional[OperatorSlot] = None
+        for slot in uncovered:
+            rate = problem.operator_cost[slot]
+            if best_rate is None or rate < best_rate:
+                best_rate = rate
+                cheapest_op = slot
+                best_is_real = False
+        if best_is_real and best_subset is not None:
+            chosen.extend(best_subset)
+            for candidate in best_subset:
+                uncovered.difference_update(candidate.covered_slots)
+        elif cheapest_op is not None:
+            uncovered.discard(cheapest_op)
+        else:  # pragma: no cover - uncovered implies one branch fires
+            break
+    kept = resolve_overlaps(chosen)
+    return prune_negative_groups(problem, kept)

@@ -1,0 +1,107 @@
+"""Randomized LP-rounding selection (Theorem B.1).
+
+Solves the linear relaxation of the covering integer program — variables
+``xc`` per cache (operators included as zero-length caches), ``zr`` per
+shared group, coverage equality per operator, ``xc ≤ zr`` — then rounds:
+per group draw ``αr`` uniform in [0,1] and keep every member with
+``xc ≥ αr``; repeat ``3·log2(m)`` times and take the union, resolving
+overlaps by keeping the widest cache. Expected cost is within O(log n) of
+the optimum.
+
+Requires scipy for the LP solve; falls back to the greedy algorithm when
+scipy is unavailable so the adaptive engine never hard-depends on it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Tuple
+
+from repro.core.selection import (
+    SelectionProblem,
+    prune_negative_groups,
+    resolve_overlaps,
+)
+
+
+def solve_relaxation(problem: SelectionProblem) -> Dict[str, float]:
+    """The LP-relaxation values ``xc`` for every real candidate."""
+    import numpy as np
+    from scipy.optimize import linprog
+
+    candidates = problem.candidates
+    tokens = sorted({c.share_token for c in candidates}, key=repr)
+    token_index = {token: i for i, token in enumerate(tokens)}
+    slots = sorted(problem.operator_cost)
+    slot_index = {slot: i for i, slot in enumerate(slots)}
+
+    n_x = len(candidates)           # real cache variables
+    n_pseudo = len(slots)           # zero-length operator caches
+    n_z = len(tokens)
+    n_vars = n_x + n_pseudo + n_z
+
+    objective = np.zeros(n_vars)
+    for i, candidate in enumerate(candidates):
+        objective[i] = problem.proc[candidate.candidate_id]
+    for j, slot in enumerate(slots):
+        objective[n_x + j] = problem.operator_cost[slot]
+    for token, k in token_index.items():
+        objective[n_x + n_pseudo + k] = problem.group_cost[token]
+
+    # Coverage: every operator covered exactly once.
+    a_eq = np.zeros((len(slots), n_vars))
+    for i, candidate in enumerate(candidates):
+        for slot in candidate.covered_slots:
+            a_eq[slot_index[slot], i] = 1.0
+    for j in range(n_pseudo):
+        a_eq[j, n_x + j] = 1.0
+    b_eq = np.ones(len(slots))
+
+    # Linking: xc − zr ≤ 0.
+    a_ub = np.zeros((n_x, n_vars))
+    for i, candidate in enumerate(candidates):
+        a_ub[i, i] = 1.0
+        a_ub[i, n_x + n_pseudo + token_index[candidate.share_token]] = -1.0
+    b_ub = np.zeros(n_x)
+
+    result = linprog(
+        objective,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(0.0, 1.0)] * n_vars,
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - LP is always feasible
+        raise RuntimeError(f"LP relaxation failed: {result.message}")
+    return {
+        candidates[i].candidate_id: float(result.x[i]) for i in range(n_x)
+    }
+
+
+def select_lp_rounding(problem: SelectionProblem, seed: int = 0) -> List:
+    """Round the LP relaxation; O(log n)-approximate in expectation."""
+    try:
+        fractional = solve_relaxation(problem)
+    except ImportError:  # pragma: no cover - scipy present in CI
+        from repro.core.greedy import select_greedy
+
+        return select_greedy(problem)
+
+    rng = random.Random(seed)
+    groups = problem.groups()
+    operator_count = max(2, len(problem.operator_cost))
+    rounds = max(1, int(math.ceil(3 * math.log2(operator_count))))
+    picked_ids = set()
+    for _ in range(rounds):
+        for members in groups.values():
+            alpha = rng.random()
+            for candidate in members:
+                if fractional[candidate.candidate_id] >= alpha:
+                    picked_ids.add(candidate.candidate_id)
+    by_id = problem.by_id
+    picked = [by_id[cid] for cid in sorted(picked_ids)]
+    kept = resolve_overlaps(picked)
+    return prune_negative_groups(problem, kept)

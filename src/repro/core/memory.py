@@ -1,0 +1,106 @@
+"""Adaptive memory allocation to caches (Section 5).
+
+Memory in a DSMS is partitioned across all active queries, so the caches
+chosen by selection may not all fit. Following the paper's modular scheme
+we select assuming infinite memory, then admit caches greedily by
+**priority** — net benefit per expected byte — until the page budget is
+spent. At run time the same priority order decides which caches to drop
+if actual usage grows past the budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.candidates import CandidateCache
+
+PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class CacheDemand:
+    """One selected cache's claim on memory."""
+
+    candidate: CandidateCache
+    net_benefit: float       # µs/sec saved (benefit − cost)
+    expected_bytes: float    # profiler estimate of the store footprint
+
+    @property
+    def priority(self) -> float:
+        """Net benefit per byte (Section 5)."""
+        if self.expected_bytes <= 0:
+            return math.inf if self.net_benefit > 0 else 0.0
+        return self.net_benefit / self.expected_bytes
+
+    @property
+    def expected_pages(self) -> int:
+        """The demand rounded up to whole pages."""
+        return max(1, math.ceil(self.expected_bytes / PAGE_BYTES))
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of one admission round: admitted/rejected caches and pages."""
+    admitted: List[CandidateCache] = field(default_factory=list)
+    rejected: List[CandidateCache] = field(default_factory=list)
+    pages_used: int = 0
+
+
+class MemoryAllocator:
+    """Greedy page allocation by cache priority."""
+
+    def __init__(self, budget_bytes: Optional[int] = None):
+        self.budget_bytes = budget_bytes
+
+    @property
+    def budget_pages(self) -> Optional[int]:
+        """The byte budget in whole pages (None = unbounded)."""
+        if self.budget_bytes is None:
+            return None
+        return self.budget_bytes // PAGE_BYTES
+
+    def admit(self, demands: Sequence[CacheDemand]) -> AllocationResult:
+        """Admit selected caches in priority order until pages run out.
+
+        Shared caches appear once per physical store: callers pass one
+        demand per share group (the group's summed net benefit, one
+        store's footprint).
+        """
+        result = AllocationResult()
+        budget = self.budget_pages
+        ordered = sorted(demands, key=lambda d: d.priority, reverse=True)
+        for demand in ordered:
+            if budget is None:
+                result.admitted.append(demand.candidate)
+                result.pages_used += demand.expected_pages
+                continue
+            if result.pages_used + demand.expected_pages <= budget:
+                result.admitted.append(demand.candidate)
+                result.pages_used += demand.expected_pages
+            else:
+                result.rejected.append(demand.candidate)
+        return result
+
+    def over_budget(self, used_bytes: int) -> bool:
+        """True if actual usage exceeds the configured budget."""
+        return self.budget_bytes is not None and used_bytes > self.budget_bytes
+
+    def victims(
+        self,
+        priorities: Dict[str, float],
+        usage: Dict[str, int],
+        used_bytes: int,
+    ) -> List[str]:
+        """Lowest-priority caches to drop until usage fits the budget."""
+        if not self.over_budget(used_bytes):
+            return []
+        excess = used_bytes - (self.budget_bytes or 0)
+        chosen: List[str] = []
+        for candidate_id in sorted(priorities, key=priorities.__getitem__):
+            if excess <= 0:
+                break
+            chosen.append(candidate_id)
+            excess -= usage.get(candidate_id, 0)
+        return chosen

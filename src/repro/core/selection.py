@@ -1,0 +1,159 @@
+"""Offline cache selection (Section 4.4): problem container + dispatch.
+
+The objective is to pick the nonoverlapping subset ``X`` of candidate
+caches maximizing ``Σ benefit(C) − Σ cost(group)``, where the maintenance
+cost of a shared group (Definition 4.1) is paid once however many of its
+members are used. Equivalently (Section 4.4), minimize
+``Σ_{uncovered ops} d·c + Σ proc(C) + Σ cost(group)`` with each operator
+treated as a zero-length cache.
+
+Solvers:
+
+* :func:`repro.core.tree_dp.select_tree_optimal` — exact, linear, when no
+  sharing exists (Theorems 4.1 / 4.2);
+* :func:`repro.core.exhaustive.select_exhaustive` — exact branch-and-bound
+  over ≤ ``exhaustive_limit`` candidates (the paper notes 2^m search is
+  negligible for n ≤ 6);
+* :func:`repro.core.greedy.select_greedy` — the O(log n)-approximate
+  greedy of Theorem 4.3 / Appendix B;
+* :func:`repro.core.lp_rounding.select_lp_rounding` — the randomized
+  LP-rounding algorithm of Theorem B.1 (uses scipy when available).
+
+``select`` picks per the paper: exact where exact is cheap, greedy beyond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.candidates import CandidateCache, shared_groups
+from repro.errors import PlanError
+
+OperatorSlot = Tuple[str, int]  # (pipeline owner, operator position)
+
+
+@dataclass
+class SelectionProblem:
+    """Candidates plus the cost-model numbers selection needs."""
+
+    candidates: List[CandidateCache]
+    benefit: Dict[str, float]          # candidate_id -> benefit (µs/sec)
+    proc: Dict[str, float]             # candidate_id -> proc (µs/sec)
+    group_cost: Dict[Tuple, float]     # share token -> maintenance cost
+    operator_cost: Dict[OperatorSlot, float]  # (owner, slot) -> d·c
+
+    def __post_init__(self) -> None:
+        for candidate in self.candidates:
+            if candidate.candidate_id not in self.benefit:
+                raise PlanError(
+                    f"no benefit estimate for {candidate.candidate_id}"
+                )
+            if candidate.share_token not in self.group_cost:
+                raise PlanError(
+                    f"no group cost for {candidate.candidate_id}"
+                )
+
+    @property
+    def by_id(self) -> Dict[str, CandidateCache]:
+        """Candidate id -> candidate, for solvers that work on ids."""
+        return {c.candidate_id: c for c in self.candidates}
+
+    def groups(self) -> Dict[Tuple, List[CandidateCache]]:
+        """Share token -> candidates (Definition 4.1 groups)."""
+        return shared_groups(self.candidates)
+
+    def has_sharing(self) -> bool:
+        """True if any group has more than one member."""
+        return any(len(members) > 1 for members in self.groups().values())
+
+    def subset_value(self, selected: Sequence[CandidateCache]) -> float:
+        """Σ benefit − Σ group costs for a candidate subset."""
+        value = sum(self.benefit[c.candidate_id] for c in selected)
+        tokens = {c.share_token for c in selected}
+        value -= sum(self.group_cost[token] for token in tokens)
+        return value
+
+    def validate_compatible(
+        self, selected: Sequence[CandidateCache]
+    ) -> None:
+        """Raise PlanError if any two selected caches conflict."""
+        for i, a in enumerate(selected):
+            for b in selected[i + 1 :]:
+                if a.conflicts_with(b):
+                    raise PlanError(f"selected caches conflict: {a} / {b}")
+
+
+def resolve_overlaps(
+    selected: Sequence[CandidateCache],
+) -> List[CandidateCache]:
+    """Appendix B: among conflicting picks keep the widest, drop the rest."""
+    kept: List[CandidateCache] = []
+    for candidate in sorted(
+        selected, key=lambda c: (c.end - c.start), reverse=True
+    ):
+        if not any(candidate.conflicts_with(existing) for existing in kept):
+            kept.append(candidate)
+    return kept
+
+
+def prune_negative_groups(
+    problem: SelectionProblem, selected: Sequence[CandidateCache]
+) -> List[CandidateCache]:
+    """Drop whole groups whose summed benefit no longer covers their cost.
+
+    Approximate solvers can leave such groups behind after overlap
+    resolution; removing one never hurts the objective.
+    """
+    kept = list(selected)
+    changed = True
+    while changed:
+        changed = False
+        by_token: Dict[Tuple, List[CandidateCache]] = {}
+        for candidate in kept:
+            by_token.setdefault(candidate.share_token, []).append(candidate)
+        for token, members in by_token.items():
+            total_benefit = sum(
+                problem.benefit[c.candidate_id] for c in members
+            )
+            if total_benefit < problem.group_cost[token]:
+                kept = [c for c in kept if c.share_token != token]
+                changed = True
+                break
+    return kept
+
+
+def select(
+    problem: SelectionProblem,
+    method: str = "auto",
+    exhaustive_limit: int = 16,
+    seed: int = 0,
+) -> List[CandidateCache]:
+    """Run offline cache selection and return the chosen candidates."""
+    from repro.core.exhaustive import select_exhaustive
+    from repro.core.greedy import select_greedy
+    from repro.core.lp_rounding import select_lp_rounding
+    from repro.core.tree_dp import select_tree_optimal
+
+    if not problem.candidates:
+        return []
+    if method == "auto":
+        pure_prefix = all(not c.is_global for c in problem.candidates)
+        if pure_prefix and not problem.has_sharing():
+            method = "tree"
+        elif len(problem.candidates) <= exhaustive_limit:
+            method = "exhaustive"
+        else:
+            method = "greedy"
+    if method == "tree":
+        selected = select_tree_optimal(problem)
+    elif method == "exhaustive":
+        selected = select_exhaustive(problem)
+    elif method == "greedy":
+        selected = select_greedy(problem)
+    elif method == "lp":
+        selected = select_lp_rounding(problem, seed=seed)
+    else:
+        raise PlanError(f"unknown selection method {method!r}")
+    problem.validate_compatible(selected)
+    return selected

@@ -1,0 +1,55 @@
+"""Exact selection without sharing (Theorems 4.1 and 4.2).
+
+Overlapping candidates in one pipeline are nested under the prefix
+invariant, so per pipeline they form a containment forest. With no shared
+caches the objective decomposes per tree: the best choice for a subtree
+rooted at cache ``C`` is either ``C`` itself (worth ``benefit − cost`` if
+positive) or the union of the best choices of its children. One bottom-up
+pass per tree — O(m) overall.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.candidates import ContainmentNode, containment_forest
+from repro.core.selection import SelectionProblem
+from repro.errors import PlanError
+
+
+def select_tree_optimal(problem: SelectionProblem) -> List:
+    """Optimal nonoverlapping subset when no candidates share."""
+    if problem.has_sharing():
+        raise PlanError(
+            "tree DP is only optimal without shared caches; use the "
+            "greedy or exhaustive solver"
+        )
+    selected: List = []
+    forests = containment_forest(problem.candidates)
+    for roots in forests.values():
+        for root in roots:
+            _value, picks = _best(root, problem)
+            selected.extend(picks)
+    return selected
+
+
+def _best(node: ContainmentNode, problem: SelectionProblem):
+    """Return (value, picks) for the subtree rooted at ``node``."""
+    candidate = node.candidate
+    own_value = (
+        problem.benefit[candidate.candidate_id]
+        - problem.group_cost[candidate.share_token]
+    )
+    child_value = 0.0
+    child_picks: List = []
+    for child in node.children:
+        value, picks = _best(child, problem)
+        child_value += value
+        child_picks.extend(picks)
+    # Choosing nothing is always allowed, hence the 0 floor.
+    best_value = max(0.0, own_value, child_value)
+    if best_value == 0.0:
+        return 0.0, []
+    if own_value >= child_value:
+        return own_value, [candidate]
+    return child_value, child_picks

@@ -1,0 +1,232 @@
+"""Physical wiring of candidate caches into executor pipelines.
+
+Shared between the adaptive re-optimizer and the static plan runner: given
+a :class:`CandidateCache`, build (or reuse, for shared groups) the physical
+cache, attach the CacheLookup in the owner pipeline and one CacheUpdate tap
+per maintained relation, and undo all of it on removal. Dropping a cache is
+always consistent — caches make no completeness promise — so plan switching
+costs stay negligible (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.caching.cache import Cache
+from repro.caching.global_cache import GlobalCache
+from repro.caching.key import CacheKey
+from repro.core.candidates import CandidateCache
+from repro.errors import PlanError
+from repro.mjoin.executor import MJoinExecutor
+from repro.operators.cache_ops import CacheLookup, CacheUpdate
+
+
+@dataclass
+class WiredCache:
+    """A live cache: the physical store plus its attachment points."""
+
+    candidate: CandidateCache
+    cache: Cache
+    lookup: CacheLookup
+    tap_pipelines: Tuple[str, ...]
+    lookup_attached: bool = True
+
+
+class CacheWiring:
+    """Creates, shares, attaches, and detaches physical caches."""
+
+    def __init__(self, executor: MJoinExecutor):
+        self.executor = executor
+        # Physical stores shared across pipelines, keyed by share token.
+        self._instances: Dict[Tuple, Cache] = {}
+        self._instance_users: Dict[Tuple, int] = {}
+        self.wired: Dict[str, WiredCache] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _make_key(self, candidate: CandidateCache) -> CacheKey:
+        return CacheKey(
+            self.executor.graph, candidate.prefix, candidate.segment
+        )
+
+    def _physical_cache(
+        self, candidate: CandidateCache, buckets: int
+    ) -> Cache:
+        token = candidate.share_token
+        if token in self._instances:
+            return self._instances[token]
+        key = self._make_key(candidate)
+        if candidate.is_global:
+            cache = GlobalCache(
+                name=candidate.candidate_id,
+                owner_pipeline=candidate.owner,
+                segment=candidate.segment,
+                key=key,
+                anchor=candidate.anchor,
+                buckets=buckets,
+            )
+        else:
+            cache = Cache(
+                name=candidate.candidate_id,
+                owner_pipeline=candidate.owner,
+                segment=candidate.segment,
+                key=key,
+                buckets=buckets,
+            )
+        self._instances[token] = cache
+        return cache
+
+    def _owner_witness_counter(self, candidate: CandidateCache, key: CacheKey):
+        """Build the last-owner-witness check for owner-anchored globals.
+
+        Counts live owner rows whose key-linked attributes match a probe
+        key; a delete consumes its entry only when this drops to the dying
+        row itself. None for prefix caches and globals not anchored on
+        their probing relation.
+        """
+        if not candidate.is_global or candidate.owner not in candidate.anchor:
+            return None
+        owner = candidate.owner
+        relation = self.executor.relations[owner]
+        owner_slots = [
+            (index, position)
+            for index, (rel, position) in enumerate(key.prefix_slots)
+            if rel == owner
+        ]
+        if not owner_slots:
+            # No direct owner↔segment predicate: every owner row witnesses
+            # every composite, so consume only when the window is emptying.
+            return lambda probe_key: len(relation)
+        first_index, first_position = owner_slots[0]
+        first_attr = relation.schema.attributes[first_position]
+        rest = owner_slots[1:]
+
+        def count(probe_key: tuple) -> int:
+            rows = relation.matching(first_attr, probe_key[first_index])
+            if not rest:
+                return len(rows)
+            return sum(
+                1
+                for row in rows
+                if all(
+                    row.values[position] == probe_key[index]
+                    for index, position in rest
+                )
+            )
+
+        return count
+
+    # ------------------------------------------------------------------
+    # attach / detach
+    # ------------------------------------------------------------------
+    def attach(
+        self, candidate: CandidateCache, buckets: int = 256
+    ) -> WiredCache:
+        """Wire a candidate in: lookup + maintenance taps.
+
+        A second candidate of the same share group reuses the physical
+        store and its existing taps (maintenance is paid once per group,
+        which is the whole point of sharing).
+        """
+        if candidate.candidate_id in self.wired:
+            return self.wired[candidate.candidate_id]
+        cache = self._physical_cache(candidate, buckets)
+        token = candidate.share_token
+        first_user = self._instance_users.get(token, 0) == 0
+        maintained = sorted(candidate.tap_relations)
+        tap_slot = len(candidate.maintenance_set) - 1
+        if first_user:
+            for member in maintained:
+                pipeline = self.executor.pipelines[member]
+                pipeline.attach_update(CacheUpdate(cache, tap_slot, member))
+        lookup_key = self._make_key(candidate)
+        lookup = CacheLookup(
+            cache,
+            candidate.start,
+            candidate.end,
+            key=lookup_key,
+            owner_witness_count=self._owner_witness_counter(
+                candidate, lookup_key
+            ),
+        )
+        self.executor.pipelines[candidate.owner].attach_lookup(lookup)
+        self._instance_users[token] = self._instance_users.get(token, 0) + 1
+        wired = WiredCache(
+            candidate=candidate,
+            cache=cache,
+            lookup=lookup,
+            tap_pipelines=tuple(maintained),
+        )
+        self.wired[candidate.candidate_id] = wired
+        self.executor.ctx.metrics.caches_added += 1
+        return wired
+
+    def suspend_lookup(self, candidate_id: str) -> None:
+        """Stop probing but keep maintaining (the 'profiled' used cache of
+        Section 4.5 improvement b: the store stays warm and consistent)."""
+        wired = self.wired[candidate_id]
+        if wired.lookup_attached:
+            self.executor.pipelines[wired.candidate.owner].detach_lookup(
+                wired.cache.name
+            )
+            wired.lookup_attached = False
+
+    def resume_lookup(self, candidate_id: str) -> None:
+        """Re-attach a suspended lookup (the store stayed consistent)."""
+        wired = self.wired[candidate_id]
+        if not wired.lookup_attached:
+            self.executor.pipelines[wired.candidate.owner].attach_lookup(
+                wired.lookup
+            )
+            wired.lookup_attached = True
+
+    def detach(self, candidate_id: str) -> None:
+        """Fully unwire a candidate; drops the store once unshared."""
+        wired = self.wired.pop(candidate_id, None)
+        if wired is None:
+            return
+        if wired.lookup_attached:
+            self.executor.pipelines[wired.candidate.owner].detach_lookup(
+                wired.cache.name
+            )
+        token = wired.candidate.share_token
+        self._instance_users[token] -= 1
+        if self._instance_users[token] == 0:
+            for member in wired.tap_pipelines:
+                pipeline = self.executor.pipelines.get(member)
+                if pipeline is not None:
+                    pipeline.detach_updates(wired.cache.name)
+            wired.cache.drop_all()
+            del self._instances[token]
+            del self._instance_users[token]
+        self.executor.ctx.metrics.caches_dropped += 1
+
+    def detach_all(self) -> None:
+        """Unwire every cache (full plan teardown)."""
+        for candidate_id in list(self.wired):
+            self.detach(candidate_id)
+
+    def drop_touching(self, relation: str) -> List[str]:
+        """Detach every cache probed in or maintained through ``relation``'s
+        pipeline (Section 4.5 step 5: its ordering changed)."""
+        dropped = []
+        for candidate_id, wired in list(self.wired.items()):
+            if (
+                wired.candidate.owner == relation
+                or relation in wired.candidate.maintenance_set
+            ):
+                self.detach(candidate_id)
+                dropped.append(candidate_id)
+        return dropped
+
+    def memory_bytes(self) -> int:
+        """Bytes across all distinct physical stores (shared counted once)."""
+        return sum(cache.memory_bytes for cache in self._instances.values())
+
+    def used_candidates(self) -> List[CandidateCache]:
+        """Candidates whose lookups are currently attached."""
+        return [
+            w.candidate for w in self.wired.values() if w.lookup_attached
+        ]

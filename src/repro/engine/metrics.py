@@ -1,0 +1,58 @@
+"""Execution counters and throughput reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Metrics:
+    """Counters accumulated by one engine run.
+
+    ``throughput`` follows the paper's headline metric: updates processed
+    per second of (virtual) time, inclusive of every overhead charged to
+    the clock.
+    """
+
+    updates_processed: int = 0
+    outputs_emitted: int = 0
+    cache_probes: int = 0
+    cache_hits: int = 0
+    cache_creates: int = 0
+    cache_maintenance_calls: int = 0
+    profiled_tuples: int = 0
+    reoptimizations: int = 0
+    caches_added: int = 0
+    caches_dropped: int = 0
+    per_cache_hits: Dict[str, int] = field(default_factory=dict)
+
+    def record_probe(self, cache_name: str, hit: bool) -> None:
+        """Count one cache probe and, on a hit, credit the cache."""
+        self.cache_probes += 1
+        if hit:
+            self.cache_hits += 1
+            self.per_cache_hits[cache_name] = (
+                self.per_cache_hits.get(cache_name, 0) + 1
+            )
+
+    @property
+    def hit_rate(self) -> float:
+        """Observed cache hit probability across all probes."""
+        if self.cache_probes == 0:
+            return 0.0
+        return self.cache_hits / self.cache_probes
+
+    def throughput(self, elapsed_seconds: float) -> float:
+        """Updates processed per second over ``elapsed_seconds``."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.updates_processed / elapsed_seconds
+
+    def snapshot(self) -> "Metrics":
+        """A copy safe to keep while the engine keeps running."""
+        copy = Metrics(**{
+            k: v for k, v in self.__dict__.items() if k != "per_cache_hits"
+        })
+        copy.per_cache_hits = dict(self.per_cache_hits)
+        return copy

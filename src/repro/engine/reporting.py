@@ -1,0 +1,91 @@
+"""Export experiment results for plotting and archival.
+
+The benchmark harness prints paper-style tables; this module turns the
+same data into machine-readable CSV/JSON so results can be plotted or
+diffed across runs (the EXPERIMENTS.md workflow).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.bench.harness import ExperimentRow
+from repro.engine.runtime import SeriesPoint
+
+
+def rows_to_dicts(rows: Sequence[ExperimentRow]) -> List[Dict]:
+    """Flatten experiment rows (x, rates, ratio, extras) to plain dicts."""
+    flattened = []
+    for row in rows:
+        record = {
+            "x": row.x,
+            "caching_rate": row.caching_rate,
+            "mjoin_rate": row.mjoin_rate,
+            "ratio": row.ratio,
+        }
+        for key, value in row.extra.items():
+            record[f"extra_{key}"] = value
+        flattened.append(record)
+    return flattened
+
+
+def rows_to_csv(rows: Sequence[ExperimentRow]) -> str:
+    """Render experiment rows as CSV text (header included)."""
+    records = rows_to_dicts(rows)
+    if not records:
+        return ""
+    fieldnames: List[str] = []
+    for record in records:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record)
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Sequence[ExperimentRow], indent: int = 2) -> str:
+    """Render experiment rows as a JSON array."""
+    return json.dumps(rows_to_dicts(rows), indent=indent, default=str)
+
+
+def series_to_dicts(series: Sequence[SeriesPoint]) -> List[Dict]:
+    """Flatten a throughput time series (Figures 12/13 style)."""
+    return [
+        {
+            "x": point.x,
+            "updates": point.updates,
+            "window_throughput": point.window_throughput,
+            "cumulative_throughput": point.cumulative_throughput,
+            "used_caches": list(point.used_caches),
+            "memory_bytes": point.memory_bytes,
+        }
+        for point in series
+    ]
+
+
+def series_to_csv(series: Sequence[SeriesPoint]) -> str:
+    """Render a throughput time series as CSV text."""
+    records = series_to_dicts(series)
+    if not records:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0]))
+    writer.writeheader()
+    for record in records:
+        record = dict(record)
+        record["used_caches"] = ";".join(record["used_caches"])
+        writer.writerow(record)
+    return buffer.getvalue()
+
+
+def write_text(path: str, text: str) -> None:
+    """Write an export to disk (tiny helper so callers stay one-liners)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,155 @@
+"""Run helpers: static cached plans and time-series measurement.
+
+The adaptivity experiments (Figures 12 and 13) need two things beyond the
+plan runners in :mod:`repro.planner.enumeration`: fixed plans with a
+hand-picked cache set (the static comparison curves), and periodic
+throughput sampling along a run (the time axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.candidates import enumerate_candidates
+from repro.core.wiring import CacheWiring
+from repro.errors import PlanError
+from repro.mjoin.executor import MJoinExecutor
+from repro.streams.events import Sign, Update
+from repro.streams.workloads import Workload
+
+
+@dataclass
+class StaticPlan:
+    """A fixed MJoin-with-caches plan (no adaptivity at all)."""
+
+    executor: MJoinExecutor
+    wiring: CacheWiring
+    used: Tuple[str, ...]
+
+    def process(self, update: Update):
+        """Process one update through the fixed plan."""
+        return self.executor.process(update)
+
+    def run(self, updates: Iterable[Update]):
+        """Process a whole update sequence."""
+        return self.executor.run(updates)
+
+    @property
+    def ctx(self):
+        """The execution context (clock, cost model, metrics)."""
+        return self.executor.ctx
+
+
+def static_plan(
+    workload: Workload,
+    orders: Optional[Dict[str, Sequence[str]]] = None,
+    candidate_ids: Sequence[str] = (),
+    global_quota: int = 8,
+    buckets: int = 512,
+) -> StaticPlan:
+    """Build an executor with exactly the named candidate caches wired in.
+
+    Candidate ids follow :mod:`repro.core.candidates` (``"T:0-1p"``,
+    ``"R:0-1g"``, …); list them via :func:`available_candidates`.
+    """
+    executor = MJoinExecutor(
+        workload.graph,
+        orders=orders,
+        indexed_attributes=workload.indexed_attributes,
+    )
+    candidates = {
+        c.candidate_id: c
+        for c in enumerate_candidates(
+            workload.graph, executor.orders(), global_quota=global_quota
+        )
+    }
+    wiring = CacheWiring(executor)
+    chosen = []
+    for candidate_id in candidate_ids:
+        if candidate_id not in candidates:
+            raise PlanError(
+                f"unknown candidate {candidate_id!r}; available: "
+                f"{sorted(candidates)}"
+            )
+        candidate = candidates[candidate_id]
+        for other in chosen:
+            if candidate.conflicts_with(other):
+                raise PlanError(
+                    f"candidates conflict: {candidate} / {other}"
+                )
+        chosen.append(candidate)
+        wiring.attach(candidate, buckets=buckets)
+    return StaticPlan(
+        executor=executor, wiring=wiring, used=tuple(candidate_ids)
+    )
+
+
+def available_candidates(
+    workload: Workload,
+    orders: Optional[Dict[str, Sequence[str]]] = None,
+    global_quota: int = 8,
+) -> List[str]:
+    """The candidate-cache ids available under the given orderings."""
+    executor = MJoinExecutor(workload.graph, orders=orders)
+    return [
+        c.candidate_id
+        for c in enumerate_candidates(
+            workload.graph, executor.orders(), global_quota=global_quota
+        )
+    ]
+
+
+@dataclass
+class SeriesPoint:
+    """One throughput sample along a run."""
+
+    x: int                       # domain-specific progress (e.g. ∆S tuples)
+    updates: int                 # total updates processed so far
+    window_throughput: float     # updates/sec over the last sample window
+    cumulative_throughput: float
+    used_caches: Tuple[str, ...] = ()
+    memory_bytes: int = 0
+
+
+def run_with_series(
+    plan,
+    updates: Iterable[Update],
+    sample_every_updates: int = 2000,
+    x_of: Optional[Callable[[Update], bool]] = None,
+    used_caches: Optional[Callable[[], Sequence[str]]] = None,
+    memory: Optional[Callable[[], int]] = None,
+) -> List[SeriesPoint]:
+    """Drive ``plan.process`` over ``updates``, sampling throughput.
+
+    ``x_of`` marks which updates advance the x-axis (Figure 12 counts
+    arriving ∆S insertions); by default every update counts.
+    """
+    series: List[SeriesPoint] = []
+    ctx = plan.ctx
+    x = 0
+    window_start_updates = ctx.metrics.updates_processed
+    window_start_time = ctx.clock.now_seconds
+    for update in updates:
+        plan.process(update)
+        if x_of is None or x_of(update):
+            x += 1
+        processed = ctx.metrics.updates_processed
+        if processed - window_start_updates >= sample_every_updates:
+            now = ctx.clock.now_seconds
+            span = max(1e-12, now - window_start_time)
+            series.append(
+                SeriesPoint(
+                    x=x,
+                    updates=processed,
+                    window_throughput=(
+                        (processed - window_start_updates) / span
+                    ),
+                    cumulative_throughput=ctx.metrics.throughput(now),
+                    used_caches=tuple(used_caches()) if used_caches else (),
+                    memory_bytes=memory() if memory else 0,
+                )
+            )
+            window_start_updates = processed
+            window_start_time = now
+    return series

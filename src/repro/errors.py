@@ -1,0 +1,35 @@
+"""Exception hierarchy for the A-Caching reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema was malformed or an attribute reference did not resolve."""
+
+
+class PlanError(ReproError):
+    """A join plan (ordering, tree, or cache placement) was invalid."""
+
+
+class PrefixInvariantError(PlanError):
+    """A cache was placed on a segment that violates the prefix invariant."""
+
+
+class CacheConsistencyError(ReproError):
+    """A cache operation would have violated its consistency invariant."""
+
+
+class MemoryBudgetError(ReproError):
+    """A memory allocation request could not be satisfied."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload specification was inconsistent."""

@@ -1,0 +1,237 @@
+"""The MJoin executor (Section 3.1 + Figure 4's Executor component).
+
+Owns the relation states and one :class:`Pipeline` per update stream, and
+processes the globally ordered update sequence one update at a time: the
+join computation through the updated relation's pipeline, followed by the
+window update itself.
+
+The executor is deliberately policy-free: join orderings come from an
+ordering algorithm, cache plumbing from the re-optimizer. It exposes the
+plumbing hooks both need, plus the witness-counting mini-join used by
+globally-consistent caches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.operators.base import ExecContext
+from repro.operators.join_op import JoinOperator
+from repro.operators.pipeline import Pipeline, ProfileSample
+from repro.relations.predicates import JoinGraph
+from repro.relations.relation import Relation
+from repro.streams.events import OutputDelta, Sign, Update
+from repro.streams.tuples import CompositeTuple
+
+ProfileGate = Callable[[str], bool]
+SampleSink = Callable[[str, ProfileSample], None]
+
+
+def default_orders(graph: JoinGraph) -> Dict[str, Tuple[str, ...]]:
+    """A connected left-to-right default ordering for every pipeline."""
+    orders = {}
+    relations = list(graph.relations)
+    for owner in relations:
+        rest = [r for r in relations if r != owner]
+        order: List[str] = []
+        remaining = list(rest)
+        current = [owner]
+        while remaining:
+            # Prefer a relation connected to what is already joined.
+            chosen = next(
+                (r for r in remaining if graph.predicates_between(current, r)),
+                remaining[0],
+            )
+            order.append(chosen)
+            current.append(chosen)
+            remaining.remove(chosen)
+        orders[owner] = tuple(order)
+    return orders
+
+
+class MJoinExecutor:
+    """Executes an n-way stream join as n cache-augmentable pipelines."""
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        orders: Optional[Dict[str, Sequence[str]]] = None,
+        indexed_attributes: Optional[Dict[str, Iterable[str]]] = None,
+        ctx: Optional[ExecContext] = None,
+    ):
+        self.graph = graph
+        self.ctx = ctx if ctx is not None else ExecContext()
+        self.relations: Dict[str, Relation] = {}
+        for name, schema in graph.schemas.items():
+            attrs = self._default_indexed(name)
+            if indexed_attributes and name in indexed_attributes:
+                attrs = tuple(indexed_attributes[name])
+            self.relations[name] = Relation(schema, attrs)
+        self.pipelines: Dict[str, Pipeline] = {}
+        resolved = dict(default_orders(graph))
+        if orders:
+            resolved.update({k: tuple(v) for k, v in orders.items()})
+        for owner, order in resolved.items():
+            self._build_pipeline(owner, order)
+        self.profile_gate: Optional[ProfileGate] = None
+        self.sample_sink: Optional[SampleSink] = None
+
+    def _default_indexed(self, relation: str) -> Tuple[str, ...]:
+        """Index every attribute that participates in a join predicate."""
+        attrs = set()
+        for pred in self.graph.predicates:
+            for ref in (pred.left, pred.right):
+                if ref.relation == relation:
+                    attrs.add(ref.attribute)
+        return tuple(sorted(attrs))
+
+    # ------------------------------------------------------------------
+    # plan management
+    # ------------------------------------------------------------------
+    def _build_pipeline(self, owner: str, order: Sequence[str]) -> Pipeline:
+        expected = set(self.graph.relations) - {owner}
+        if set(order) != expected:
+            raise PlanError(
+                f"∆{owner} pipeline must join exactly {sorted(expected)}, "
+                f"got {list(order)}"
+            )
+        operators = []
+        prior: List[str] = [owner]
+        for target in order:
+            op = JoinOperator(self.graph, prior, target)
+            op.bind(self.relations[target])
+            operators.append(op)
+            prior.append(target)
+        pipeline = Pipeline(owner, operators)
+        self.pipelines[owner] = pipeline
+        return pipeline
+
+    def reorder_pipeline(self, owner: str, order: Sequence[str]) -> Pipeline:
+        """Install a new join order for ``∆owner`` (drops its plumbing).
+
+        Mirrors Section 4.5 step 5: changing an ordering removes the caches
+        used in that pipeline; the re-optimizer recomputes candidates.
+        """
+        return self._build_pipeline(owner, order)
+
+    def order_of(self, owner: str) -> Tuple[str, ...]:
+        """The current join order of ``∆owner``'s pipeline."""
+        return self.pipelines[owner].order
+
+    def orders(self) -> Dict[str, Tuple[str, ...]]:
+        """Owner -> current join order, for every pipeline."""
+        return {owner: p.order for owner, p in self.pipelines.items()}
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def process(self, update: Update) -> List[OutputDelta]:
+        """Process one update to completion; returns the result deltas."""
+        pipeline = self.pipelines[update.relation]
+        profile = False
+        if self.profile_gate is not None:
+            profile = self.profile_gate(update.relation)
+        composites, sample = pipeline.process(
+            update.row, update.sign, self.ctx, profile=profile
+        )
+        if sample is not None and self.sample_sink is not None:
+            self.ctx.metrics.profiled_tuples += 1
+            self.sample_sink(update.relation, sample)
+        self._apply_window_update(update)
+        cm = self.ctx.cost_model
+        self.ctx.clock.charge(cm.output_emit * len(composites))
+        self.ctx.metrics.updates_processed += 1
+        self.ctx.metrics.outputs_emitted += len(composites)
+        return [OutputDelta(c, update.sign) for c in composites]
+
+    def run(self, updates: Iterable[Update]) -> List[OutputDelta]:
+        """Process a whole update sequence; returns all result deltas."""
+        outputs: List[OutputDelta] = []
+        for update in updates:
+            outputs.extend(self.process(update))
+        return outputs
+
+    def _apply_window_update(self, update: Update) -> None:
+        relation = self.relations[update.relation]
+        cm = self.ctx.cost_model
+        index_count = sum(
+            1
+            for attr in relation.schema.attributes
+            if relation.has_index(attr)
+        )
+        self.ctx.clock.charge(
+            cm.relation_update + cm.index_update * index_count
+        )
+        if update.sign is Sign.INSERT:
+            relation.insert(update.row)
+        else:
+            relation.delete(update.row)
+
+    # ------------------------------------------------------------------
+    # support for globally-consistent caches
+    # ------------------------------------------------------------------
+    def witness_counter(
+        self, segment: Sequence[str], anchor: Sequence[str]
+    ) -> Callable[[CompositeTuple], int]:
+        """Build the Y-combination counter for an ``X ⋉ Y`` cache.
+
+        Counts, for a given X-composite, the number of Y-row combinations
+        joining it, via an index-driven mini-join over the anchor
+        relations. Charges ``witness_count_probe`` per index access.
+        """
+        anchor = tuple(anchor)
+        segment = tuple(segment)
+        # Order anchors so each connects to segment ∪ earlier anchors.
+        ordered: List[str] = []
+        known = list(segment)
+        remaining = list(anchor)
+        while remaining:
+            chosen = next(
+                (
+                    r
+                    for r in remaining
+                    if self.graph.predicates_between(known, r)
+                ),
+                remaining[0],
+            )
+            ordered.append(chosen)
+            known.append(chosen)
+            remaining.remove(chosen)
+        operators = []
+        prior = list(segment)
+        for target in ordered:
+            op = JoinOperator(self.graph, prior, target)
+            op.bind(self.relations[target])
+            operators.append(op)
+            prior.append(target)
+
+        def count(composite: CompositeTuple) -> int:
+            self.ctx.clock.charge(
+                self.ctx.cost_model.witness_count_probe * len(operators)
+            )
+            frontier = [composite]
+            for position, op in enumerate(operators):
+                is_last = position == len(operators) - 1
+                if is_last:
+                    return sum(
+                        len(op.match_rows(c, self.ctx)) for c in frontier
+                    )
+                frontier = op.apply(frontier, self.ctx)
+                if not frontier:
+                    return 0
+            return len(frontier)
+
+        return count
+
+    def memory_in_use(self) -> int:
+        """Bytes held by all caches attached to the pipelines."""
+        total = 0
+        for pipeline in self.pipelines.values():
+            for lookup in pipeline.active_lookups():
+                total += lookup.cache.memory_bytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        plans = "; ".join(repr(p) for p in self.pipelines.values())
+        return f"MJoinExecutor({plans})"

@@ -1,0 +1,23 @@
+"""Shared execution context threaded through operators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.engine.clock import CostModel, VirtualClock, WallClock
+from repro.engine.metrics import Metrics
+
+
+@dataclass
+class ExecContext:
+    """Everything an operator needs besides its inputs.
+
+    Operators charge all work to ``clock`` using the unit costs in
+    ``cost_model`` and bump counters on ``metrics``; they otherwise touch
+    no global state, which keeps them unit-testable in isolation.
+    """
+
+    clock: Union[VirtualClock, WallClock] = field(default_factory=VirtualClock)
+    cost_model: CostModel = field(default_factory=CostModel)
+    metrics: Metrics = field(default_factory=Metrics)

@@ -1,0 +1,153 @@
+"""CacheLookup and CacheUpdate operators (Section 3.2).
+
+``CacheLookup`` is placed just before the first operator of a cached
+segment; on a hit it bypasses the segment's join operators. ``CacheUpdate``
+appears in two roles:
+
+* just after the segment in the *owner* pipeline, creating entries for
+  missed keys (handled inline by the pipeline's miss path);
+* just before the ``(k-j+1)``-st operator of every *segment member's*
+  pipeline, applying maintenance inserts/deletes — modeled here as a
+  :class:`CacheUpdate` tap pinned to that position.
+
+``BloomLookup`` is the profile-mode CacheLookup of Appendix A: it observes
+the full probe stream of a candidate cache that is not in use and feeds a
+windowed Bloom filter to estimate ``miss_prob``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.caching.bloom import MissProbEstimator
+from repro.caching.cache import Cache
+from repro.caching.global_cache import GlobalCache
+from repro.operators.base import ExecContext
+from repro.streams.events import Sign
+from repro.streams.tuples import CompositeTuple
+
+
+class CacheLookup:
+    """Binds a cache to the segment ``[start..end]`` of one pipeline.
+
+    ``key`` is this pipeline's probe-key extractor; for a shared cache it
+    differs from ``cache.key`` (whose prefix slots belong to the pipeline
+    the cache object was first built for) while agreeing on entry keys.
+
+    ``owner_witness_count`` is set for globally-consistent caches whose
+    anchor contains this pipeline's relation: given a probe key, it
+    returns how many live owner rows match the key's owner components. A
+    deletion consumes the probed entry only when the dying row is the last
+    such witness — otherwise the entry's maintenance guarantee still holds
+    (see the GlobalCache module docstring).
+    """
+
+    __slots__ = ("cache", "start", "end", "key", "owner_witness_count")
+
+    def __init__(
+        self, cache: Cache, start: int, end: int, key=None,
+        owner_witness_count=None,
+    ):
+        if end < start:
+            raise ValueError("cache segment must cover at least one operator")
+        self.cache = cache
+        self.start = start
+        self.end = end
+        self.key = key if key is not None else cache.key
+        self.owner_witness_count = owner_witness_count
+
+    @property
+    def width(self) -> int:
+        """Number of join operators the cache bypasses on a hit."""
+        return self.end - self.start + 1
+
+    def __repr__(self) -> str:
+        return f"CacheLookup({self.cache.name}@[{self.start}..{self.end}])"
+
+
+class CacheUpdate:
+    """A maintenance tap: updates a cache with segment-join deltas.
+
+    ``position`` is the pipeline slot whose *input* composites are exactly
+    the updates to the cache's maintained join (guaranteed by the prefix
+    invariant of the maintained relation set).
+    """
+
+    __slots__ = ("cache", "position", "owner")
+
+    def __init__(self, cache: Cache, position: int, owner: str):
+        self.cache = cache
+        self.position = position
+        self.owner = owner  # the updated relation whose pipeline we sit in
+
+    def apply(
+        self,
+        composites: Sequence[CompositeTuple],
+        sign: Sign,
+        ctx: ExecContext,
+    ) -> None:
+        """Run the maintenance calls for a batch of delta composites."""
+        clock, cm = ctx.clock, ctx.cost_model
+        is_global = isinstance(self.cache, GlobalCache)
+        for composite in composites:
+            # A call on an absent key is only a hash + bucket check
+            # (ignored per Section 3.2); applying a delta costs more.
+            clock.charge(cm.cache_maintain_check)
+            ctx.metrics.cache_maintenance_calls += 1
+            if is_global:
+                if sign is Sign.INSERT:
+                    applied = self.cache.maintain_insert(composite, self.owner)
+                else:
+                    applied = self.cache.maintain_delete(composite, self.owner)
+            else:
+                if sign is Sign.INSERT:
+                    applied = self.cache.maintain_insert(composite)
+                else:
+                    applied = self.cache.maintain_delete(composite)
+            if applied:
+                clock.charge(cm.cache_maintain)
+
+    def __repr__(self) -> str:
+        return f"CacheUpdate({self.cache.name}@{self.position} in ∆{self.owner})"
+
+
+class BloomLookup:
+    """Profile-mode lookup estimating ``miss_prob`` of an unused candidate."""
+
+    __slots__ = ("candidate_id", "key", "position", "estimator")
+
+    def __init__(
+        self,
+        candidate_id: str,
+        key,
+        position: int,
+        estimator: MissProbEstimator,
+    ):
+        self.candidate_id = candidate_id
+        self.key = key
+        self.position = position
+        self.estimator = estimator
+
+    def apply(
+        self,
+        composites: Sequence[CompositeTuple],
+        ctx: ExecContext,
+        sign: Sign = Sign.INSERT,
+    ) -> List[float]:
+        """Feed probe keys; return any completed window observations."""
+        if self.estimator.paused:
+            return []
+        clock, cm = ctx.clock, ctx.cost_model
+        observations = []
+        is_insert = sign is Sign.INSERT
+        for composite in composites:
+            clock.charge(cm.bloom_hash)
+            observation = self.estimator.observe(
+                self.key.probe_value(composite), is_insert
+            )
+            if observation is not None:
+                observations.append(observation)
+        return observations
+
+    def __repr__(self) -> str:
+        return f"BloomLookup({self.candidate_id}@{self.position})"

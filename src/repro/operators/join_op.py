@@ -1,0 +1,173 @@
+"""The pipeline join operator ``./ij`` (Section 3.1).
+
+Each operator joins incoming (possibly composite) tuples with one target
+relation, enforcing every predicate between the target and the relations
+already present in the composite. It uses a hash index on the target side
+of one such predicate when available and verifies the rest as residuals;
+with no usable index it degrades to a nested-loop scan, which is the
+configuration Figure 10 studies.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+from repro.errors import PlanError
+from repro.operators.base import ExecContext
+from repro.relations.predicates import EquiPredicate, JoinGraph
+from repro.relations.relation import Relation
+from repro.streams.tuples import CompositeTuple
+
+
+class _BoundPredicate(NamedTuple):
+    """A predicate with attribute positions resolved at plan-build time."""
+
+    prior_relation: str
+    prior_position: int
+    target_attribute: str
+    target_position: int
+
+
+class JoinOperator:
+    """Joins composites with ``target`` using predicates to prior relations."""
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        prior: Sequence[str],
+        target: str,
+        relation: Optional[Relation] = None,
+    ):
+        self.target = target
+        self.prior = tuple(prior)
+        predicates = graph.predicates_between(prior, target)
+        self._bound: List[_BoundPredicate] = []
+        for pred in predicates:
+            target_ref = pred.side_for(target)
+            prior_ref = pred.other_side(target)
+            self._bound.append(
+                _BoundPredicate(
+                    prior_relation=prior_ref.relation,
+                    prior_position=graph.attr_position(prior_ref),
+                    target_attribute=target_ref.attribute,
+                    target_position=graph.attr_position(target_ref),
+                )
+            )
+        self.relation = relation
+
+    def bind(self, relation: Relation) -> "JoinOperator":
+        """Attach the live relation state this operator joins against."""
+        if relation.schema.relation != self.target:
+            raise PlanError(
+                f"operator targets {self.target!r} but was bound to "
+                f"{relation.schema.relation!r}"
+            )
+        self.relation = relation
+        return self
+
+    @property
+    def predicate_count(self) -> int:
+        """Number of predicates this operator enforces."""
+        return len(self._bound)
+
+    def is_cross_product(self) -> bool:
+        """True when no predicate links the target to the prefix."""
+        return not self._bound
+
+    def apply(
+        self, composites: Sequence[CompositeTuple], ctx: ExecContext
+    ) -> List[CompositeTuple]:
+        """Join every input composite with the target relation."""
+        if self.relation is None:
+            raise PlanError(f"operator for {self.target!r} is unbound")
+        relation = self.relation
+        clock, cm = ctx.clock, ctx.cost_model
+        outputs: List[CompositeTuple] = []
+        for composite in composites:
+            index_pred = self._pick_index_predicate(relation)
+            if index_pred is not None:
+                matches = self._indexed_matches(composite, index_pred, ctx)
+            else:
+                matches = self._scan_matches(composite, ctx)
+            clock.charge(cm.per_match * len(matches))
+            for row in matches:
+                outputs.append(composite.extended(self.target, row))
+        return outputs
+
+    def match_rows(
+        self, composite: CompositeTuple, ctx: ExecContext
+    ) -> List:
+        """Rows of the target joining ``composite`` (no extension).
+
+        Used by witness counting for globally-consistent caches.
+        """
+        index_pred = self._pick_index_predicate(self.relation)
+        if index_pred is not None:
+            return self._indexed_matches(composite, index_pred, ctx)
+        return self._scan_matches(composite, ctx)
+
+    # ------------------------------------------------------------------
+    # matching strategies
+    # ------------------------------------------------------------------
+    def _pick_index_predicate(
+        self, relation: Relation
+    ) -> Optional[_BoundPredicate]:
+        for bound in self._bound:
+            if relation.has_index(bound.target_attribute):
+                return bound
+        return None
+
+    def _indexed_matches(
+        self,
+        composite: CompositeTuple,
+        index_pred: _BoundPredicate,
+        ctx: ExecContext,
+    ) -> List:
+        clock, cm = ctx.clock, ctx.cost_model
+        probe_value = composite.value(
+            index_pred.prior_relation, index_pred.prior_position
+        )
+        clock.charge(cm.index_probe)
+        candidates = self.relation.matching(
+            index_pred.target_attribute, probe_value
+        )
+        residuals = [b for b in self._bound if b is not index_pred]
+        if not residuals:
+            return candidates
+        clock.charge(cm.predicate_eval * len(candidates) * len(residuals))
+        matches = []
+        for row in candidates:
+            if all(
+                row.values[b.target_position]
+                == composite.value(b.prior_relation, b.prior_position)
+                for b in residuals
+            ):
+                matches.append(row)
+        return matches
+
+    def _scan_matches(
+        self, composite: CompositeTuple, ctx: ExecContext
+    ) -> List:
+        clock, cm = ctx.clock, ctx.cost_model
+        size = len(self.relation)
+        clock.charge(cm.scan_tuple * size)
+        if not self._bound:
+            return list(self.relation.rows())
+        clock.charge(cm.predicate_eval * size * len(self._bound))
+        matches = []
+        for row in self.relation.rows():
+            if all(
+                row.values[b.target_position]
+                == composite.value(b.prior_relation, b.prior_position)
+                for b in self._bound
+            ):
+                matches.append(row)
+        return matches
+
+    def __repr__(self) -> str:
+        preds = ", ".join(
+            f"{b.prior_relation}[{b.prior_position}]="
+            f"{self.target}.{b.target_attribute}"
+            for b in self._bound
+        )
+        return f"Join({self.target}; {preds or 'cross'})"

@@ -1,0 +1,306 @@
+"""An MJoin pipeline: the plan for one update stream ``∆Ri``.
+
+The pipeline is a sequence of join operators (Section 3.1) plus three kinds
+of cache plumbing wired in by the re-optimizer:
+
+* active :class:`CacheLookup` bindings that bypass operator segments,
+* :class:`CacheUpdate` maintenance taps keeping caches consistent,
+* :class:`BloomLookup` profile taps estimating ``miss_prob`` of candidates.
+
+Tap positions are indexed by pipeline *slot*: slot ``p`` sees the
+composites that are the input of operator ``p``; slot ``nops`` sees the
+pipeline's final outputs. By the prefix invariant a maintenance tap's slot
+can never fall strictly inside an active lookup's bypassed range (see
+``tests/test_pipeline.py::test_tap_inside_bypass_impossible``), so hits
+never starve maintenance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.operators.base import ExecContext
+from repro.operators.cache_ops import BloomLookup, CacheLookup, CacheUpdate
+from repro.operators.join_op import JoinOperator
+from repro.streams.events import Sign
+from repro.streams.tuples import CompositeTuple, Row
+
+ObservationSink = Callable[[str, float], None]
+
+
+@dataclass
+class ProfileSample:
+    """Measurements from one fully profiled tuple (Appendix A).
+
+    ``deltas[p]`` is the number of composites entering slot ``p`` (so
+    ``deltas[nops]`` counts final outputs) and ``taus[p]`` the virtual time
+    spent in operator ``p`` while processing this tuple.
+    """
+
+    deltas: List[int] = field(default_factory=list)
+    taus: List[float] = field(default_factory=list)
+
+
+class Pipeline:
+    """Join plan and cache plumbing for one update stream."""
+
+    def __init__(self, owner: str, operators: Sequence[JoinOperator]):
+        self.owner = owner
+        self.operators: List[JoinOperator] = list(operators)
+        self._lookups: Dict[int, CacheLookup] = {}
+        self._updates: Dict[int, List[CacheUpdate]] = defaultdict(list)
+        self._blooms: Dict[int, List[BloomLookup]] = defaultdict(list)
+        self.observation_sink: Optional[ObservationSink] = None
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> Tuple[str, ...]:
+        """Relation names in join order (excluding the owner)."""
+        return tuple(op.target for op in self.operators)
+
+    @property
+    def slots(self) -> int:
+        """Number of join operators (tap slots run 0..slots)."""
+        return len(self.operators)
+
+    def position_of(self, relation: str) -> int:
+        """Operator slot of ``relation`` in this pipeline."""
+        for position, op in enumerate(self.operators):
+            if op.target == relation:
+                return position
+        raise PlanError(f"{relation!r} not in ∆{self.owner}'s pipeline")
+
+    # ------------------------------------------------------------------
+    # cache plumbing management (driven by the re-optimizer)
+    # ------------------------------------------------------------------
+    def attach_lookup(self, lookup: CacheLookup) -> None:
+        """Install a CacheLookup over its operator segment."""
+        if lookup.end >= len(self.operators):
+            raise PlanError("cache segment extends past the pipeline")
+        for existing in self._lookups.values():
+            if not (
+                lookup.end < existing.start or lookup.start > existing.end
+            ):
+                raise PlanError(
+                    f"cache segments overlap: {lookup} vs {existing}"
+                )
+        for position in self._updates:
+            if lookup.start < position <= lookup.end:
+                raise PlanError(
+                    f"lookup {lookup} would bypass maintenance tap at slot "
+                    f"{position}; this violates the prefix invariant"
+                )
+        self._lookups[lookup.start] = lookup
+
+    def detach_lookup(self, cache_name: str) -> bool:
+        """Remove the lookup for ``cache_name``; True if found."""
+        for start, lookup in list(self._lookups.items()):
+            if lookup.cache.name == cache_name:
+                del self._lookups[start]
+                return True
+        return False
+
+    def active_lookups(self) -> List[CacheLookup]:
+        """The attached lookups, ordered by start slot."""
+        return [self._lookups[s] for s in sorted(self._lookups)]
+
+    def attach_update(self, tap: CacheUpdate) -> None:
+        """Install a maintenance tap at its slot."""
+        if tap.position > len(self.operators):
+            raise PlanError("maintenance tap position past the pipeline end")
+        for lookup in self._lookups.values():
+            if lookup.start < tap.position <= lookup.end:
+                raise PlanError(
+                    f"maintenance tap {tap} falls inside the bypassed range "
+                    f"of {lookup}; this violates the prefix invariant"
+                )
+        self._updates[tap.position].append(tap)
+
+    def detach_updates(self, cache_name: str) -> int:
+        """Remove every tap of ``cache_name``; returns the count."""
+        removed = 0
+        for position in list(self._updates):
+            taps = self._updates[position]
+            keep = [t for t in taps if t.cache.name != cache_name]
+            removed += len(taps) - len(keep)
+            if keep:
+                self._updates[position] = keep
+            else:
+                del self._updates[position]
+        return removed
+
+    def attach_bloom(self, bloom: BloomLookup) -> None:
+        """Install a profile-mode (miss-probability) lookup."""
+        if bloom.position >= len(self.operators):
+            raise PlanError("bloom tap must precede a join operator")
+        self._blooms[bloom.position].append(bloom)
+
+    def detach_bloom(self, candidate_id: str) -> int:
+        """Remove a candidate's profile-mode lookups; returns the count."""
+        removed = 0
+        for position in list(self._blooms):
+            taps = self._blooms[position]
+            keep = [t for t in taps if t.candidate_id != candidate_id]
+            removed += len(taps) - len(keep)
+            if keep:
+                self._blooms[position] = keep
+            else:
+                del self._blooms[position]
+        return removed
+
+    def clear_plumbing(self) -> None:
+        """Remove all lookups, taps, and profilers (plan switch)."""
+        self._lookups.clear()
+        self._updates.clear()
+        self._blooms.clear()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        row: Row,
+        sign: Sign,
+        ctx: ExecContext,
+        profile: bool = False,
+    ) -> Tuple[List[CompositeTuple], Optional[ProfileSample]]:
+        """Run one update through the pipeline.
+
+        With ``profile=True`` the tuple's processing bypasses every active
+        CacheLookup (Appendix A: profiled tuples measure the cache-free
+        path) and per-operator ``δ``/``τ`` measurements are returned.
+        Maintenance taps always run — they keep *other* pipelines' caches
+        consistent and are not "using" a cache.
+        """
+        nops = len(self.operators)
+        sample = ProfileSample() if profile else None
+        composites: List[CompositeTuple] = [CompositeTuple.of(self.owner, row)]
+        position = 0
+        while position <= nops:
+            self._run_taps(position, composites, sign, ctx)
+            if profile:
+                sample.deltas.append(len(composites))
+            if position == nops or not composites:
+                if profile:
+                    # Pad measurements for slots never reached.
+                    while len(sample.deltas) <= nops:
+                        sample.deltas.append(0)
+                    while len(sample.taus) < nops:
+                        sample.taus.append(0.0)
+                break
+            lookup = None if profile else self._lookups.get(position)
+            if lookup is not None:
+                composites = self._through_cache(
+                    lookup, composites, sign, ctx
+                )
+                position = lookup.end + 1
+            else:
+                started = ctx.clock.now_us
+                if profile:
+                    ctx.clock.charge(ctx.cost_model.profile_tuple)
+                composites = self.operators[position].apply(composites, ctx)
+                if profile:
+                    sample.taus.append(ctx.clock.now_us - started)
+                position += 1
+        return composites, sample
+
+    def _run_taps(
+        self,
+        position: int,
+        composites: List[CompositeTuple],
+        sign: Sign,
+        ctx: ExecContext,
+    ) -> None:
+        if not composites:
+            return
+        for tap in self._updates.get(position, ()):
+            tap.apply(composites, sign, ctx)
+        for bloom in self._blooms.get(position, ()):
+            for observation in bloom.apply(composites, ctx, sign):
+                if self.observation_sink is not None:
+                    self.observation_sink(bloom.candidate_id, observation)
+
+    def _through_cache(
+        self,
+        lookup: CacheLookup,
+        composites: List[CompositeTuple],
+        sign: Sign,
+        ctx: ExecContext,
+    ) -> List[CompositeTuple]:
+        """Probe the cache for each composite; compute misses per key."""
+        clock, cm = ctx.clock, ctx.cost_model
+        cache = lookup.cache
+        # Globally-consistent caches anchored on this pipeline's relation:
+        # a deletion that is the last owner-side witness of its key must
+        # consume the probed entry (and not create one on a miss), or
+        # later segment inserts for that key go unmaintained. Deletions
+        # with surviving witnesses are handled like ordinary probes. See
+        # the GlobalCache module docstring.
+        check_witnesses = (
+            lookup.owner_witness_count if sign is Sign.DELETE else None
+        )
+        consumed_keys: set = set()
+        checked_keys: set = set()
+        results: List[CompositeTuple] = []
+        miss_groups: Dict[tuple, List[CompositeTuple]] = {}
+        for composite in composites:
+            clock.charge(cm.cache_probe)
+            probe_key, values = cache.probe(composite, lookup.key)
+            ctx.metrics.record_probe(cache.name, hit=values is not None)
+            if check_witnesses is not None and probe_key not in checked_keys:
+                checked_keys.add(probe_key)
+                clock.charge(cm.index_probe)
+                if check_witnesses(probe_key) <= 1:
+                    consumed_keys.add(probe_key)
+                    cache.invalidate(probe_key)
+            if values is None:
+                miss_groups.setdefault(probe_key, []).append(composite)
+                continue
+            clock.charge(cm.cache_hit_tuple * len(values))
+            for segment_composite in values:
+                results.append(composite.merge(segment_composite))
+        for probe_key, group in miss_groups.items():
+            if probe_key in consumed_keys:
+                # Compute through the operators without creating an entry:
+                # the key is losing its last owner-side witness.
+                segment_results = group
+                for op_position in range(lookup.start, lookup.end + 1):
+                    segment_results = self.operators[op_position].apply(
+                        segment_results, ctx
+                    )
+                results.extend(segment_results)
+                continue
+            # One representative recomputes the segment join for this key;
+            # all cross (prefix↔segment) predicates are key components, so
+            # the segment result depends only on the key.
+            segment_results = [group[0]]
+            for op_position in range(lookup.start, lookup.end + 1):
+                # No taps here: slot ``start`` already ran in the caller and
+                # slots strictly inside the bypass cannot host taps (see
+                # attach-time validation).
+                segment_results = self.operators[op_position].apply(
+                    segment_results, ctx
+                )
+            segment_parts = [
+                c.project(cache.segment) for c in segment_results
+            ]
+            clock.charge(
+                cm.cache_create + cm.cache_store_tuple * len(segment_parts)
+            )
+            ctx.metrics.cache_creates += 1
+            cache.create(probe_key, segment_parts)
+            for i, member in enumerate(group):
+                if i > 0:
+                    clock.charge(cm.cache_hit_tuple * len(segment_parts))
+                for part in segment_parts:
+                    results.append(member.merge(part))
+        return results
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(self.order)
+        return f"Pipeline(∆{self.owner}: {chain})"

@@ -1,0 +1,72 @@
+"""Hash indexes over windowed relations.
+
+Each join operator uses an index on the joined attribute whenever one
+exists (Section 3.1); Figure 10's experiment removes an index to force a
+nested-loop join, so indexes are optional per attribute.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List
+
+from repro.streams.tuples import Row
+
+
+class HashIndex:
+    """An equality index on one attribute position of a relation.
+
+    Maps an attribute value to the set of live rows carrying that value.
+    Rows are keyed by rid inside each bucket so that deletes remove the
+    exact window entry even under duplicate values.
+    """
+
+    __slots__ = ("position", "_buckets")
+
+    def __init__(self, position: int):
+        self.position = position
+        self._buckets: Dict[Any, Dict[int, Row]] = defaultdict(dict)
+
+    def add(self, row: Row) -> None:
+        """Index one live row."""
+        self._buckets[row.values[self.position]][row.rid] = row
+
+    def remove(self, row: Row) -> None:
+        """Unindex one row by identity; absent rows are ignored."""
+        value = row.values[self.position]
+        bucket = self._buckets.get(value)
+        if bucket is None:
+            return
+        bucket.pop(row.rid, None)
+        if not bucket:
+            del self._buckets[value]
+
+    def lookup(self, value: Any) -> List[Row]:
+        """All live rows whose indexed attribute equals ``value``."""
+        bucket = self._buckets.get(value)
+        if not bucket:
+            return []
+        return list(bucket.values())
+
+    def count(self, value: Any) -> int:
+        """Number of live rows matching ``value`` (no materialization)."""
+        bucket = self._buckets.get(value)
+        return len(bucket) if bucket else 0
+
+    def distinct_values(self) -> int:
+        """Number of distinct indexed attribute values."""
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashIndex(pos={self.position}, values={len(self._buckets)})"
+
+
+def bulk_build(position: int, rows: Iterable[Row]) -> HashIndex:
+    """Build an index over an existing row collection."""
+    index = HashIndex(position)
+    for row in rows:
+        index.add(row)
+    return index

@@ -1,0 +1,50 @@
+"""Update-stream events.
+
+An update stream ``∆Ri`` (Section 3.1) is a totally ordered sequence of
+insertions and deletions to relation ``Ri``. The engine processes each
+update to completion before the next one, matching the paper's global
+ordering assumption.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import NamedTuple
+
+from repro.streams.tuples import Row
+
+# Size of one input tuple in bytes, as fixed by the paper's experimental
+# setup ("All input tuples are 32 bytes long", Section 7.1). Used by the
+# memory accounting in Section 5 / Figure 13.
+TUPLE_BYTES = 32
+
+
+class Sign(IntEnum):
+    """Polarity of an update: +1 insertion, -1 deletion."""
+
+    INSERT = 1
+    DELETE = -1
+
+    def flipped(self) -> "Sign":
+        """The opposite polarity."""
+        return Sign.DELETE if self is Sign.INSERT else Sign.INSERT
+
+
+class Update(NamedTuple):
+    """One element of an update stream ``∆R``."""
+
+    relation: str
+    row: Row
+    sign: Sign
+    seq: int  # position in the global update ordering
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        symbol = "+" if self.sign is Sign.INSERT else "-"
+        return f"{symbol}{self.relation}{self.row.values}@{self.seq}"
+
+
+class OutputDelta(NamedTuple):
+    """One element of the result stream: a signed n-way join tuple."""
+
+    composite: "object"  # CompositeTuple; typed loosely to avoid cycle
+    sign: Sign

@@ -1,0 +1,204 @@
+"""Synthetic append-only stream generators (Section 7.1).
+
+The paper uses "a synthetic data generator to produce multiple append-only
+streams with specified data characteristics and relative arrival rates".
+Two value models cover all the experiments:
+
+* :class:`SequentialValues` — values from a shared ordered domain, each
+  repeated ``multiplicity`` times (the Figure 6-10 model: "join attributes
+  draw values from the same domain in the same order; the multiplicity of
+  these values is 1 in R and S and r in T").
+* :class:`UniformValues` — values drawn uniformly from ``[offset,
+  offset + domain)`` with a seeded PRNG (the Table 2 / Figure 11-13 model,
+  where per-relation domain sizes realize target pairwise selectivities;
+  see :func:`fit_domain_sizes`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+
+
+class SequentialValues:
+    """Shared-domain sequential values with per-stream multiplicity.
+
+    With integer ``multiplicity`` m, each domain value is emitted m times
+    in a row. Fractional multiplicity < 1 *skips* domain values (e.g.
+    0.25 emits 0, 4, 8, …), which realizes average join selectivities
+    below one against a multiplicity-1 partner stream. ``offset`` shifts
+    the emitted domain, so disjoint offsets give selectivity zero.
+    """
+
+    def __init__(self, multiplicity: float = 1.0, offset: int = 0):
+        if multiplicity <= 0:
+            raise WorkloadError("multiplicity must be > 0")
+        self.multiplicity = float(multiplicity)
+        self.offset = offset
+        self._counter = itertools.count()
+
+    def next_value(self) -> int:
+        """Produce the next attribute value."""
+        return self.offset + int(next(self._counter) / self.multiplicity)
+
+
+class UniformValues:
+    """Uniform draws over ``[offset, offset + domain)``."""
+
+    def __init__(self, domain: int, seed: int = 0, offset: int = 0):
+        if domain < 1:
+            raise WorkloadError("domain size must be >= 1")
+        self.domain = domain
+        self.offset = offset
+        self._rng = random.Random(seed)
+
+    def next_value(self) -> int:
+        """Produce the next attribute value."""
+        return self.offset + self._rng.randrange(self.domain)
+
+
+class ZipfValues:
+    """Zipf-skewed draws over ``[offset, offset + domain)``.
+
+    Rank ``r`` (1-based) is drawn with probability proportional to
+    ``r**-exponent``; real streams are rarely uniform, and skew is what
+    makes caches shine (hot keys hit constantly). Sampling uses a
+    precomputed cumulative table — exact, O(log domain) per draw.
+    """
+
+    def __init__(
+        self,
+        domain: int,
+        exponent: float = 1.1,
+        seed: int = 0,
+        offset: int = 0,
+    ):
+        if domain < 1:
+            raise WorkloadError("domain size must be >= 1")
+        if exponent <= 0:
+            raise WorkloadError("zipf exponent must be positive")
+        self.domain = domain
+        self.exponent = exponent
+        self.offset = offset
+        self._rng = random.Random(seed)
+        weights = [rank ** -exponent for rank in range(1, domain + 1)]
+        total = sum(weights)
+        cumulative, running = [], 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+
+    def next_value(self) -> int:
+        """Produce the next attribute value."""
+        import bisect
+
+        draw = self._rng.random()
+        rank = bisect.bisect_left(self._cumulative, draw)
+        return self.offset + rank
+
+
+class StreamSpec:
+    """How to produce the tuples of one append-only stream.
+
+    ``value_models`` maps attribute name -> value model; unmapped
+    attributes get a per-stream serial number (payload columns).
+    """
+
+    def __init__(
+        self,
+        relation: str,
+        attributes: Sequence[str],
+        value_models: Mapping[str, object],
+    ):
+        self.relation = relation
+        self.attributes = tuple(attributes)
+        self.value_models = dict(value_models)
+        for attr in self.value_models:
+            if attr not in self.attributes:
+                raise WorkloadError(
+                    f"value model for unknown attribute {relation}.{attr}"
+                )
+        self._serial = itertools.count()
+
+    def next_tuple(self) -> tuple:
+        """Produce the next full tuple for this stream."""
+        values = []
+        for attr in self.attributes:
+            model = self.value_models.get(attr)
+            if model is None:
+                values.append(next(self._serial))
+            else:
+                values.append(model.next_value())
+        return tuple(values)
+
+
+def fit_domain_sizes(
+    relations: Sequence[str],
+    selectivities: Mapping[frozenset, float],
+    minimum: int = 2,
+    maximum: int = 100_000,
+) -> Dict[str, int]:
+    """Fit per-relation uniform-domain sizes to target pairwise selectivities.
+
+    For a star equijoin where ``Ri.A`` is uniform over a nested domain of
+    size ``Di``, the pairwise selectivity is ``sel(i,j) = 1/max(Di, Dj)``.
+    Independent targets for every pair are over-constrained (the paper's
+    generator has the same limitation for transitively equated attributes),
+    so we minimize squared log error by coordinate descent. All-zero
+    targets mean disjoint domains (no results); handled by the caller via
+    offsets.
+    """
+    import math
+
+    targets = {
+        pair: sel for pair, sel in selectivities.items() if sel > 0
+    }
+    if not targets:
+        return {name: minimum for name in relations}
+    # Initialize each Di from the average of its target selectivities.
+    sizes: Dict[str, float] = {}
+    for name in relations:
+        involved = [
+            sel for pair, sel in targets.items() if name in pair
+        ]
+        if involved:
+            mean_sel = sum(involved) / len(involved)
+            sizes[name] = min(maximum, max(minimum, 1.0 / mean_sel))
+        else:
+            sizes[name] = float(minimum)
+
+    def error(candidate: Mapping[str, float]) -> float:
+        total = 0.0
+        for pair, sel in targets.items():
+            a, b = tuple(pair)
+            predicted = 1.0 / max(candidate[a], candidate[b])
+            total += (math.log(predicted) - math.log(sel)) ** 2
+        return total
+
+    for _sweep in range(40):
+        improved = False
+        for name in relations:
+            best_size, best_err = sizes[name], error(sizes)
+            for factor in (0.8, 0.9, 0.95, 1.05, 1.1, 1.25):
+                trial = dict(sizes)
+                trial[name] = min(maximum, max(minimum, sizes[name] * factor))
+                trial_err = error(trial)
+                if trial_err < best_err - 1e-12:
+                    best_size, best_err = trial[name], trial_err
+                    improved = True
+            sizes[name] = best_size
+        if not improved:
+            break
+    return {name: max(minimum, int(round(size))) for name, size in sizes.items()}
+
+
+def predicted_pairwise_selectivity(
+    sizes: Mapping[str, int], a: str, b: str
+) -> float:
+    """The selectivity the fitted nested-uniform model realizes for (a, b)."""
+    return 1.0 / max(sizes[a], sizes[b])

@@ -1,0 +1,113 @@
+"""Sliding-window operators.
+
+Section 7.1: every relation in the experiments is a sliding window over an
+append-only stream; the update stream ``∆Ri`` is the stream of insertions
+and deletions to the window produced by a window operator. With a
+count-based window of size ``N``, each arrival emits one insertion, plus
+one deletion of the oldest row once the window is full — which is why the
+paper observes a cache-hit opportunity even at multiplicity 1 (every value
+is seen again when its tuple expires).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.streams.events import Sign, Update
+from repro.streams.tuples import Row, RowFactory
+
+
+class CountWindow:
+    """A count-based sliding window producing an update stream."""
+
+    def __init__(
+        self,
+        relation: str,
+        size: int,
+        rows: Optional[RowFactory] = None,
+    ):
+        if size < 1:
+            raise ValueError("window size must be >= 1")
+        self.relation = relation
+        self.size = size
+        self._rows = rows if rows is not None else RowFactory()
+        self._window: Deque[Row] = deque()
+
+    def feed(self, values: tuple, seq_start: int) -> List[Update]:
+        """Push one stream arrival; return the resulting updates in order.
+
+        The deletion of the expired row precedes the insertion so the
+        window never transiently exceeds its size.
+        """
+        updates: List[Update] = []
+        seq = seq_start
+        if len(self._window) >= self.size:
+            expired = self._window.popleft()
+            updates.append(Update(self.relation, expired, Sign.DELETE, seq))
+            seq += 1
+        row = self._rows.make(values)
+        self._window.append(row)
+        updates.append(Update(self.relation, row, Sign.INSERT, seq))
+        return updates
+
+    @property
+    def fill(self) -> int:
+        """Number of rows currently in the window."""
+        return len(self._window)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CountWindow({self.relation}, {len(self._window)}/{self.size})"
+
+
+class TimeWindow:
+    """A time-based sliding window producing an update stream.
+
+    Arrivals carry explicit timestamps; feeding one emits deletions for
+    every row older than ``span`` before the insertion. Timestamps must be
+    non-decreasing (a DSMS's global arrival order).
+    """
+
+    def __init__(
+        self,
+        relation: str,
+        span: float,
+        rows: Optional[RowFactory] = None,
+    ):
+        if span <= 0:
+            raise ValueError("window span must be positive")
+        self.relation = relation
+        self.span = span
+        self._rows = rows if rows is not None else RowFactory()
+        self._window: Deque[tuple] = deque()  # (timestamp, Row)
+        self._last_timestamp: Optional[float] = None
+
+    def feed(
+        self, values: tuple, timestamp: float, seq_start: int
+    ) -> List[Update]:
+        """Push one timestamped arrival; returns the resulting updates."""
+        if self._last_timestamp is not None and timestamp < self._last_timestamp:
+            raise ValueError(
+                f"timestamps must be non-decreasing: {timestamp} after "
+                f"{self._last_timestamp}"
+            )
+        self._last_timestamp = timestamp
+        updates: List[Update] = []
+        seq = seq_start
+        horizon = timestamp - self.span
+        while self._window and self._window[0][0] <= horizon:
+            _, expired = self._window.popleft()
+            updates.append(Update(self.relation, expired, Sign.DELETE, seq))
+            seq += 1
+        row = self._rows.make(values)
+        self._window.append((timestamp, row))
+        updates.append(Update(self.relation, row, Sign.INSERT, seq))
+        return updates
+
+    @property
+    def fill(self) -> int:
+        """Number of rows currently in the window."""
+        return len(self._window)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimeWindow({self.relation}, span={self.span}, n={self.fill})"

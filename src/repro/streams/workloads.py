@@ -1,0 +1,430 @@
+"""The paper's experimental workloads (Section 7.1).
+
+Two query templates cover every experiment:
+
+* the three-way chain ``R(A) ⋈A S(A,B) ⋈B T(B)`` (Figures 6-8, 10, 12);
+* the n-way star ``R1(A) ⋈A R2(A) ⋈A … ⋈A Rn(A)`` (Figure 9, Table 2 /
+  Figures 11 and 13).
+
+A :class:`Workload` bundles the join graph, per-stream tuple generators,
+window sizes, relative rates, and index configuration, and materializes
+the globally ordered update stream the executors consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.relations.predicates import JoinGraph
+from repro.streams.events import Update
+from repro.streams.generators import (
+    SequentialValues,
+    StreamSpec,
+    UniformValues,
+    fit_domain_sizes,
+)
+from repro.streams.sources import DeficitScheduler, RateFunction
+from repro.streams.tuples import RowFactory, Schema
+from repro.streams.windows import CountWindow
+
+
+@dataclass
+class Workload:
+    """A fully specified experiment input."""
+
+    name: str
+    graph: JoinGraph
+    specs: Dict[str, StreamSpec]
+    windows: Dict[str, int]
+    rates: Dict[str, float]
+    rate_function: Optional[RateFunction] = None
+    indexed_attributes: Optional[Dict[str, Tuple[str, ...]]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in self.graph.relations:
+            if name not in self.specs:
+                raise WorkloadError(f"no stream spec for relation {name!r}")
+            if name not in self.windows:
+                raise WorkloadError(f"no window size for relation {name!r}")
+            if name not in self.rates:
+                raise WorkloadError(f"no rate for relation {name!r}")
+
+    def updates(self, arrivals: int) -> Iterator[Update]:
+        """The globally ordered update stream for ``arrivals`` stream tuples.
+
+        Each arrival yields an insertion plus, once its window is full, the
+        deletion of the expired row; both carry consecutive global sequence
+        numbers.
+        """
+        rows = RowFactory()
+        scheduler = DeficitScheduler(self.rates, self.rate_function)
+        windows = {
+            name: CountWindow(name, size, rows)
+            for name, size in self.windows.items()
+        }
+        seq = 0
+        for _ in range(arrivals):
+            stream = scheduler.next_stream()
+            values = self.specs[stream].next_tuple()
+            for update in windows[stream].feed(values, seq):
+                seq += 1
+                yield update
+
+
+# ----------------------------------------------------------------------
+# Three-way chain workloads (Figures 6-8, 10, 12)
+# ----------------------------------------------------------------------
+
+def three_way_chain(
+    t_multiplicity: float = 5.0,
+    s_multiplicity: float = 1.0,
+    r_multiplicity: float = 1.0,
+    rate_r: float = 1.0,
+    rate_s: float = 1.0,
+    rate_t: Optional[float] = None,
+    window_r: int = 128,
+    window_s: int = 128,
+    window_t: Optional[int] = None,
+    s_b_offset: int = 0,
+    drop_s_b_index: bool = False,
+    rate_function: Optional[RateFunction] = None,
+    name: str = "three-way-chain",
+) -> Workload:
+    """The default Section 7.2 setup: ``R(A) ⋈A S(A,B) ⋈B T(B)``.
+
+    Join attributes draw values from the same ordered domain; multiplicity
+    is 1 in R and S and ``t_multiplicity`` in T, whose rate (and window)
+    scale with the multiplicity so the streams stay value-aligned, exactly
+    as described for Figure 6.
+    """
+    if rate_t is None:
+        rate_t = max(1.0, t_multiplicity) * rate_r
+    if window_t is None:
+        window_t = max(1, int(window_r * max(1.0, t_multiplicity)))
+    graph = JoinGraph.parse(
+        [Schema("R", ("A",)), Schema("S", ("A", "B")), Schema("T", ("B",))],
+        ["R.A = S.A", "S.B = T.B"],
+    )
+    specs = {
+        "R": StreamSpec("R", ("A",), {"A": SequentialValues(r_multiplicity)}),
+        "S": StreamSpec(
+            "S",
+            ("A", "B"),
+            {
+                "A": SequentialValues(s_multiplicity),
+                "B": SequentialValues(s_multiplicity, offset=s_b_offset),
+            },
+        ),
+        "T": StreamSpec(
+            "T", ("B",), {"B": SequentialValues(t_multiplicity)}
+        ),
+    }
+    indexed: Optional[Dict[str, Tuple[str, ...]]] = None
+    if drop_s_b_index:
+        indexed = {"R": ("A",), "S": ("A",), "T": ("B",)}
+    return Workload(
+        name=name,
+        graph=graph,
+        specs=specs,
+        windows={"R": window_r, "S": window_s, "T": window_t},
+        rates={"R": rate_r, "S": rate_s, "T": rate_t},
+        rate_function=rate_function,
+        indexed_attributes=indexed,
+        metadata={
+            "t_multiplicity": t_multiplicity,
+            "s_multiplicity": s_multiplicity,
+        },
+    )
+
+
+def fig6_workload(t_multiplicity: int, window: int = 128) -> Workload:
+    """Figure 6: the multiplicity of ``T.B`` controls cache hit probability."""
+    return three_way_chain(
+        t_multiplicity=float(t_multiplicity),
+        window_r=window,
+        window_s=window,
+        name=f"fig6-mult{t_multiplicity}",
+    )
+
+
+def fig7_workload(t_selectivity: float, window: int = 128) -> Workload:
+    """Figure 7: ``t_selectivity`` R⋈S tuples join each ∆T tuple.
+
+    Realized through the S-side multiplicity: with S multiplicity m, each
+    ``T.B`` value matches m S rows (m > 1), or is present only for a 1/m
+    fraction of values (m < 1, average selectivity m). Selectivity 0 uses
+    a disjoint ``S.B`` domain.
+    """
+    if t_selectivity < 0:
+        raise WorkloadError("selectivity cannot be negative")
+    if t_selectivity == 0:
+        return three_way_chain(
+            s_b_offset=10_000_000,
+            window_r=window,
+            window_s=window,
+            name="fig7-sel0",
+        )
+    return three_way_chain(
+        s_multiplicity=t_selectivity,
+        rate_s=t_selectivity,
+        window_s=max(1, int(window * max(1.0, t_selectivity))),
+        window_r=window,
+        name=f"fig7-sel{t_selectivity}",
+    )
+
+
+def fig8_workload(update_probe_ratio: float, window: int = 128) -> Workload:
+    """Figure 8: ``rate(R ⋈ S) / rate(T)`` is swept.
+
+    Each R or S arrival produces about one R⋈S update, so the ratio is
+    realized as ``(rate_R + rate_S) / rate_T`` with ``rate_T`` fixed.
+    """
+    if update_probe_ratio <= 0:
+        raise WorkloadError("update/probe ratio must be positive")
+    side_rate = update_probe_ratio / 2.0
+    return three_way_chain(
+        t_multiplicity=5.0,
+        rate_r=side_rate,
+        rate_s=side_rate,
+        rate_t=5.0,
+        window_r=window,
+        window_s=window,
+        window_t=window * 5,
+        name=f"fig8-ratio{update_probe_ratio}",
+    )
+
+
+def fig10_workload(s_window: int, base_window: int = 128) -> Workload:
+    """Figure 10: no index on ``S.B`` → nested-loop join; ``|S|`` swept."""
+    return three_way_chain(
+        drop_s_b_index=True,
+        window_s=max(1, s_window),
+        window_r=base_window,
+        name=f"fig10-swin{s_window}",
+    )
+
+
+def fig12_workload(
+    burst_after_arrivals: int,
+    burst_factor: float = 20.0,
+    window: int = 96,
+    domain_a: int = 64,
+    domain_b: int = 64,
+    seed: int = 11,
+) -> Workload:
+    """Figure 12: ∆R turns bursty at ``burst_factor`` × its normal rate.
+
+    Values are drawn uniformly (not sequentially): a rate burst must change
+    *rates only*, and aligned sequential counters would de-align under the
+    burst and silently collapse ∆R's join selectivity — the paper's burst
+    leaves data characteristics unchanged. The burst begins once
+    ``burst_after_arrivals`` total arrivals have been scheduled (the
+    figure's x-axis counts ∆S tuples; the driver converts).
+    """
+
+    def rates_at(emitted: int) -> Mapping[str, float]:
+        if emitted >= burst_after_arrivals:
+            return {"R": burst_factor}
+        return {"R": 1.0}
+
+    graph = JoinGraph.parse(
+        [Schema("R", ("A",)), Schema("S", ("A", "B")), Schema("T", ("B",))],
+        ["R.A = S.A", "S.B = T.B"],
+    )
+    specs = {
+        "R": StreamSpec("R", ("A",), {"A": UniformValues(domain_a, seed)}),
+        "S": StreamSpec(
+            "S",
+            ("A", "B"),
+            {
+                "A": UniformValues(domain_a, seed + 1),
+                "B": UniformValues(domain_b, seed + 2),
+            },
+        ),
+        "T": StreamSpec("T", ("B",), {"B": UniformValues(domain_b, seed + 3)}),
+    }
+    return Workload(
+        name="fig12-bursty",
+        graph=graph,
+        specs=specs,
+        windows={"R": window, "S": window, "T": window * 5},
+        rates={"R": 1.0, "S": 1.0, "T": 5.0},
+        rate_function=rates_at,
+        metadata={"burst_after": burst_after_arrivals, "factor": burst_factor},
+    )
+
+
+# ----------------------------------------------------------------------
+# n-way star workloads (Figure 9, Table 2 / Figures 11 and 13)
+# ----------------------------------------------------------------------
+
+def star_relation_names(n: int) -> Tuple[str, ...]:
+    """R1..Rn, the star query's relation names."""
+    return tuple(f"R{i}" for i in range(1, n + 1))
+
+
+def star_graph(n: int) -> JoinGraph:
+    """``R1(A) ⋈A R2(A) ⋈A … ⋈A Rn(A)`` as a chain of A-equalities."""
+    names = star_relation_names(n)
+    schemas = [Schema(name, ("A",)) for name in names]
+    predicates = [
+        f"{names[i]}.A = {names[i + 1]}.A" for i in range(n - 1)
+    ]
+    return JoinGraph.parse(schemas, predicates)
+
+
+def fig9_workload(n: int, window: int = 96) -> Workload:
+    """Figure 9: n-way star; multiplicity 1 for ⌊n/2⌋ streams, 5 for rest."""
+    if n < 2:
+        raise WorkloadError("need at least a two-way join")
+    names = star_relation_names(n)
+    low_count = n // 2
+    specs, rates, windows = {}, {}, {}
+    for i, name in enumerate(names):
+        multiplicity = 1.0 if i < low_count else 5.0
+        specs[name] = StreamSpec(
+            name, ("A",), {"A": SequentialValues(multiplicity)}
+        )
+        rates[name] = multiplicity
+        windows[name] = max(1, int(window * multiplicity))
+    return Workload(
+        name=f"fig9-{n}way",
+        graph=star_graph(n),
+        specs=specs,
+        windows=windows,
+        rates=rates,
+        metadata={"n": n},
+    )
+
+
+# Table 2: relative stream arrival rates and pairwise join selectivities
+# for sample points D1-D8 (rates relative to stream T's; the four streams
+# are called R, S, T, U in the table and map to R1..R4 here).
+TABLE2_POINTS: Dict[str, Dict[str, object]] = {
+    "D1": {
+        "rates": (10, 1, 1, 1),
+        "selectivities": {
+            ("R1", "R2"): 0.004, ("R1", "R3"): 0.005, ("R1", "R4"): 0.005,
+            ("R2", "R3"): 0.007, ("R2", "R4"): 0.0045, ("R3", "R4"): 0.005,
+        },
+    },
+    "D2": {
+        "rates": (8, 1, 1, 8),
+        "selectivities": {
+            ("R1", "R2"): 0.004, ("R1", "R3"): 0.005, ("R1", "R4"): 0.005,
+            ("R2", "R3"): 0.007, ("R2", "R4"): 0.0045, ("R3", "R4"): 0.005,
+        },
+    },
+    "D3": {
+        "rates": (10, 15, 1, 5),
+        "selectivities": {
+            ("R1", "R2"): 0.003, ("R1", "R3"): 0.005, ("R1", "R4"): 0.007,
+            ("R2", "R3"): 0.0045, ("R2", "R4"): 0.006, ("R3", "R4"): 0.008,
+        },
+    },
+    "D4": {
+        "rates": (1, 1, 1, 1),
+        "selectivities": {
+            ("R1", "R2"): 0.003, ("R1", "R3"): 0.004, ("R1", "R4"): 0.0067,
+            ("R2", "R3"): 0.002, ("R2", "R4"): 0.0023, ("R3", "R4"): 0.0027,
+        },
+    },
+    "D5": {
+        "rates": (4, 1, 1, 4),
+        "selectivities": {
+            ("R1", "R2"): 0.005, ("R1", "R3"): 0.007, ("R1", "R4"): 0.005,
+            ("R2", "R3"): 0.006, ("R2", "R4"): 0.005, ("R3", "R4"): 0.002,
+        },
+    },
+    "D6": {
+        "rates": (1, 1, 1, 1),
+        "selectivities": {
+            ("R1", "R2"): 0.005, ("R1", "R3"): 0.0033, ("R1", "R4"): 0.0025,
+            ("R2", "R3"): 0.0067, ("R2", "R4"): 0.005, ("R3", "R4"): 0.0075,
+        },
+    },
+    "D7": {
+        "rates": (1, 1, 1, 1),
+        "selectivities": {
+            ("R1", "R2"): 0.0, ("R1", "R3"): 0.0, ("R1", "R4"): 0.0,
+            ("R2", "R3"): 0.0, ("R2", "R4"): 0.0, ("R3", "R4"): 0.0,
+        },
+    },
+    "D8": {
+        "rates": (1, 1, 1, 1),
+        "selectivities": {
+            ("R1", "R2"): 0.001, ("R1", "R3"): 0.001, ("R1", "R4"): 0.001,
+            ("R2", "R3"): 0.001, ("R2", "R4"): 0.001, ("R3", "R4"): 0.001,
+        },
+    },
+}
+
+
+def table2_workload(
+    point: str, window_base: Optional[int] = None, seed: int = 7
+) -> Workload:
+    """One of the eight Table 2 sample points as a 4-way star workload.
+
+    Pairwise selectivities are realized by fitting nested uniform domain
+    sizes (``sel(i,j) ≈ 1/max(Di, Dj)``, see DESIGN.md); D7's all-zero row
+    becomes pairwise-disjoint domains. Window sizes follow the paper's
+    "set appropriately to get the desired join selectivity": by default
+    each window holds about ``0.8 / mean-selectivity`` tuples (scaled by
+    its stream's relative rate so windows span equal time), which yields
+    roughly one match per index probe, as in the paper's setup.
+    """
+    if point not in TABLE2_POINTS:
+        raise WorkloadError(
+            f"unknown Table 2 point {point!r}; choose from "
+            f"{sorted(TABLE2_POINTS)}"
+        )
+    config = TABLE2_POINTS[point]
+    names = star_relation_names(4)
+    rates = {
+        name: float(rate) for name, rate in zip(names, config["rates"])
+    }
+    selectivities = {
+        frozenset(pair): sel
+        for pair, sel in config["selectivities"].items()
+    }
+    all_zero = all(sel == 0 for sel in selectivities.values())
+    specs: Dict[str, StreamSpec] = {}
+    if all_zero:
+        domains = {name: 1000 for name in names}
+        for i, name in enumerate(names):
+            specs[name] = StreamSpec(
+                name,
+                ("A",),
+                {"A": UniformValues(1000, seed=seed + i, offset=i * 10_000_000)},
+            )
+    else:
+        domains = fit_domain_sizes(names, selectivities)
+        for i, name in enumerate(names):
+            specs[name] = StreamSpec(
+                name, ("A",), {"A": UniformValues(domains[name], seed=seed + i)}
+            )
+    if window_base is None:
+        positive = [s for s in selectivities.values() if s > 0]
+        if positive:
+            mean_sel = sum(positive) / len(positive)
+            window_base = int(min(1200.0, max(100.0, 0.8 / mean_sel)))
+        else:
+            window_base = 300
+    windows = {
+        name: max(8, int(window_base * rates[name])) for name in names
+    }
+    return Workload(
+        name=f"table2-{point}",
+        graph=star_graph(4),
+        specs=specs,
+        windows=windows,
+        rates=rates,
+        metadata={
+            "point": point,
+            "domains": domains,
+            "selectivities": config["selectivities"],
+        },
+    )

@@ -1,0 +1,125 @@
+"""Binary join trees for XJoin plans (Urhan & Franklin [28]).
+
+An XJoin executes the n-way stream join as a tree of two-way joins and
+materializes the subresult of every inner node. This module models tree
+shapes and enumerates all connected ones, which is how the paper picks its
+best XJoin ``X`` ("chosen by exhaustive search", Section 7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Sequence, Tuple, Union
+
+from repro.errors import PlanError
+from repro.relations.predicates import JoinGraph
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A base relation at the bottom of the tree."""
+
+    relation: str
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        """The relation set this subtree covers."""
+        return frozenset((self.relation,))
+
+    def __repr__(self) -> str:
+        return self.relation
+
+
+@dataclass(frozen=True)
+class Inner:
+    """A two-way join node with a materialized subresult."""
+
+    left: "JoinTree"
+    right: "JoinTree"
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        """The relation set this subtree covers."""
+        return self.left.relations | self.right.relations
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⋈ {self.right!r})"
+
+
+JoinTree = Union[Leaf, Inner]
+
+
+def inner_nodes(tree: JoinTree) -> List[Inner]:
+    """All inner nodes, children before parents (evaluation order)."""
+    if isinstance(tree, Leaf):
+        return []
+    return inner_nodes(tree.left) + inner_nodes(tree.right) + [tree]
+
+
+def leaves(tree: JoinTree) -> List[Leaf]:
+    """All leaves, left to right."""
+    if isinstance(tree, Leaf):
+        return [tree]
+    return leaves(tree.left) + leaves(tree.right)
+
+
+def left_deep(relations: Sequence[str]) -> JoinTree:
+    """The left-deep tree joining ``relations`` in the given order."""
+    if not relations:
+        raise PlanError("a join tree needs at least one relation")
+    tree: JoinTree = Leaf(relations[0])
+    for name in relations[1:]:
+        tree = Inner(tree, Leaf(name))
+    return tree
+
+
+def canonical(tree: JoinTree) -> tuple:
+    """Shape identity ignoring left/right child order."""
+    if isinstance(tree, Leaf):
+        return (tree.relation,)
+    a, b = canonical(tree.left), canonical(tree.right)
+    return ("⋈",) + tuple(sorted((a, b)))
+
+
+def enumerate_trees(
+    graph: JoinGraph, relations: Sequence[str] = ()
+) -> List[JoinTree]:
+    """All connected binary tree shapes over ``relations``.
+
+    Children are unordered (the executor treats a node symmetrically), so
+    mirror-image trees are deduplicated via :func:`canonical`. A tree is
+    connected when every inner node's two sides share a join predicate —
+    cross-product nodes are excluded, as in conventional plan enumeration.
+    """
+    names: Tuple[str, ...] = tuple(relations) or tuple(graph.relations)
+    seen = set()
+    results: List[JoinTree] = []
+
+    def build(subset: Tuple[str, ...]) -> Iterator[JoinTree]:
+        if len(subset) == 1:
+            yield Leaf(subset[0])
+            return
+        # Split into non-empty halves; fix the first element on the left
+        # to halve the symmetric work.
+        rest = subset[1:]
+        for mask in range(1 << len(rest)):
+            left_names = [subset[0]] + [
+                rest[i] for i in range(len(rest)) if mask & (1 << i)
+            ]
+            right_names = [
+                rest[i] for i in range(len(rest)) if not mask & (1 << i)
+            ]
+            if not right_names:
+                continue
+            if not graph.are_connected(left_names, right_names):
+                continue
+            for left_tree in build(tuple(left_names)):
+                for right_tree in build(tuple(right_names)):
+                    yield Inner(left_tree, right_tree)
+
+    for tree in build(names):
+        token = canonical(tree)
+        if token not in seen:
+            seen.add(token)
+            results.append(tree)
+    return results

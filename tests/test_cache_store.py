@@ -1,0 +1,149 @@
+"""Tests for the direct-mapped / LRU stores and the Bloom estimator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching.bloom import BloomFilter, MissProbEstimator
+from repro.caching.store import DirectMappedStore, LRUStore
+
+
+class TestDirectMappedStore:
+    def test_put_get_remove(self):
+        store = DirectMappedStore(buckets=8)
+        store.put(("k",), {"v": 1})
+        assert store.get(("k",)) == {"v": 1}
+        assert store.remove(("k",))
+        assert store.get(("k",)) is None
+        assert not store.remove(("k",))
+
+    def test_same_key_overwrite_returns_displaced(self):
+        store = DirectMappedStore(buckets=8)
+        store.put((1,), "old")
+        displaced = store.put((1,), "new")
+        assert displaced == ((1,), "old")
+        assert store.replacements == 0  # same key is not a collision
+
+    def test_collision_replaces(self):
+        store = DirectMappedStore(buckets=1)
+        store.put((1,), "a")
+        displaced = store.put((2,), "b")
+        assert displaced == ((1,), "a")
+        assert store.replacements == 1
+        assert store.get((1,)) is None
+        assert store.get((2,)) == "b"
+
+    def test_get_other_key_same_bucket_misses(self):
+        store = DirectMappedStore(buckets=1)
+        store.put((1,), "a")
+        assert store.get((2,)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DirectMappedStore(0)
+
+    def test_clear_and_entries(self):
+        store = DirectMappedStore(buckets=64)
+        for i in range(5):
+            store.put((i,), i)
+        assert len(store) == len(list(store.entries()))
+        store.clear()
+        assert len(store) == 0
+
+
+class TestLRUStore:
+    def test_evicts_least_recently_used(self):
+        store = LRUStore(capacity=2)
+        store.put((1,), "a")
+        store.put((2,), "b")
+        store.get((1,))  # refresh 1
+        evicted = store.put((3,), "c")
+        assert evicted == ((2,), "b")
+        assert store.get((1,)) == "a"
+
+    def test_same_key_reput(self):
+        store = LRUStore(capacity=1)
+        store.put((1,), "a")
+        displaced = store.put((1,), "b")
+        assert displaced == ((1,), "a")
+        assert store.get((1,)) == "b"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRUStore(0)
+
+
+class TestBloomFilter:
+    def test_membership_no_false_negatives(self):
+        bloom = BloomFilter(bits=256, hashes=2)
+        keys = [(i,) for i in range(20)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_distinct_estimate_tracks_truth(self):
+        bloom = BloomFilter(bits=4096, hashes=2)
+        for i in range(100):
+            bloom.add((i,))
+            bloom.add((i,))  # duplicates must not inflate
+        estimate = bloom.distinct_estimate()
+        assert 70 <= estimate <= 130
+
+    def test_reset(self):
+        bloom = BloomFilter(bits=64)
+        bloom.add((1,))
+        bloom.reset()
+        assert bloom.set_bits == 0
+        assert (1,) not in bloom
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bits=0)
+        with pytest.raises(ValueError):
+            BloomFilter(bits=8, hashes=0)
+
+
+class TestMissProbEstimator:
+    def test_all_distinct_keys_give_high_miss_prob(self):
+        estimator = MissProbEstimator(window_tuples=32, alpha=8.0)
+        observation = None
+        for i in range(32):
+            observation = estimator.observe((i,)) or observation
+        assert observation is not None
+        assert observation > 0.7
+
+    def test_repeated_key_gives_low_miss_prob(self):
+        estimator = MissProbEstimator(window_tuples=32, alpha=8.0)
+        observation = None
+        for _ in range(32):
+            observation = estimator.observe(("same",)) or observation
+        assert observation is not None
+        assert observation < 0.2
+
+    def test_window_boundary_only(self):
+        estimator = MissProbEstimator(window_tuples=4)
+        assert estimator.observe((1,)) is None
+        assert estimator.observe((2,)) is None
+        assert estimator.observe((3,)) is None
+        assert estimator.observe((4,)) is not None
+        assert estimator.last_observation is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MissProbEstimator(window_tuples=0)
+        with pytest.raises(ValueError):
+            MissProbEstimator(window_tuples=8, alpha=0.5)
+
+
+@settings(max_examples=40)
+@given(keys=st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+def test_store_behaves_like_bounded_map(keys):
+    """Property: a present key always returns the latest value put for it."""
+    store = DirectMappedStore(buckets=16)
+    latest = {}
+    for i, key in enumerate(keys):
+        store.put((key,), i)
+        latest[key] = i
+    for key, value in latest.items():
+        found = store.get((key,))
+        assert found is None or found == value

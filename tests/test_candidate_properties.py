@@ -1,0 +1,80 @@
+"""Property tests for the candidate/conflict layer under random orders."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import (
+    containment_forest,
+    enumerate_candidates,
+    satisfies_prefix_invariant,
+)
+from repro.streams.workloads import star_graph
+
+
+def random_orders(n, seed):
+    rng = random.Random(seed)
+    names = [f"R{i}" for i in range(1, n + 1)]
+    orders = {}
+    for owner in names:
+        rest = [r for r in names if r != owner]
+        rng.shuffle(rest)
+        orders[owner] = tuple(rest)
+    return orders
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(3, 7), seed=st.integers(0, 10_000))
+def test_candidate_structure_invariants(n, seed):
+    graph = star_graph(n)
+    orders = random_orders(n, seed)
+    candidates = enumerate_candidates(graph, orders, global_quota=6)
+
+    for candidate in candidates:
+        # Segments are contiguous slices of the owner's pipeline.
+        order = orders[candidate.owner]
+        assert candidate.segment == tuple(
+            order[candidate.start : candidate.end + 1]
+        )
+        assert len(candidate.segment) >= 2
+        if candidate.is_global:
+            # The maintained set satisfies the invariant; the bare
+            # segment does not (else it would be a prefix candidate).
+            assert satisfies_prefix_invariant(
+                candidate.maintenance_set, orders
+            )
+            assert not satisfies_prefix_invariant(
+                candidate.member_set, orders
+            )
+        else:
+            assert satisfies_prefix_invariant(candidate.member_set, orders)
+        # Maintenance taps never sit inside the candidate's own bypass.
+        if candidate.owner in candidate.tap_relations:
+            assert not (
+                candidate.start < candidate.tap_slot <= candidate.end
+            )
+
+    # Conflicts are symmetric and overlap implies conflict.
+    for a in candidates:
+        for b in candidates:
+            assert a.conflicts_with(b) == b.conflicts_with(a)
+            if a.overlaps(b):
+                assert a.conflicts_with(b)
+
+    # Prefix candidates in one pipeline nest: the forest always builds.
+    prefix_only = [c for c in candidates if not c.is_global]
+    forests = containment_forest(prefix_only)
+    counted = 0
+
+    def walk(node):
+        nonlocal counted
+        counted += 1
+        for child in node.children:
+            assert node.candidate.contains(child.candidate)
+            walk(child)
+
+    for roots in forests.values():
+        for root in roots:
+            walk(root)
+    assert counted == len(prefix_only)

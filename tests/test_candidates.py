@@ -1,0 +1,189 @@
+"""Tests for candidate enumeration, sharing, containment, and conflicts."""
+
+import pytest
+
+from repro.core.candidates import (
+    containment_forest,
+    enumerate_candidates,
+    enumerate_global_candidates,
+    enumerate_prefix_candidates,
+    prefix_valid_sets,
+    satisfies_prefix_invariant,
+    shared_groups,
+)
+from repro.relations.predicates import JoinGraph
+from repro.streams.tuples import Schema
+from repro.streams.workloads import star_graph
+
+
+def chain_graph():
+    return JoinGraph.parse(
+        [Schema("R", ("A",)), Schema("S", ("A", "B")), Schema("T", ("B",))],
+        ["R.A = S.A", "S.B = T.B"],
+    )
+
+
+CHAIN_ORDERS = {"T": ("S", "R"), "R": ("S", "T"), "S": ("R", "T")}
+
+# Figure 5(a) of the paper: the six-way example pipelines.
+FIGURE5_ORDERS = {
+    "R1": ("R2", "R3", "R4", "R5", "R6"),
+    "R2": ("R1", "R3", "R5", "R4", "R6"),
+    "R3": ("R2", "R1", "R4", "R5", "R6"),
+    "R4": ("R5", "R1", "R2", "R3", "R6"),
+    "R5": ("R4", "R2", "R3", "R1", "R6"),
+    "R6": ("R2", "R1", "R4", "R5", "R3"),
+}
+
+
+class TestPrefixInvariant:
+    def test_figure3_configuration(self):
+        # Example 3.4: the R2,R3 segment of ∆R1 satisfies the invariant
+        # when ∆R2 joins R3 first and vice versa; here the R,S segment of
+        # ∆T does.
+        assert satisfies_prefix_invariant(frozenset({"R", "S"}), CHAIN_ORDERS)
+        assert not satisfies_prefix_invariant(
+            frozenset({"S", "T"}), CHAIN_ORDERS
+        )
+        # The full relation set always satisfies it.
+        assert satisfies_prefix_invariant(
+            frozenset({"R", "S", "T"}), CHAIN_ORDERS
+        )
+
+    def test_prefix_valid_sets(self):
+        valid = prefix_valid_sets(CHAIN_ORDERS)
+        assert frozenset({"R", "S"}) in valid
+        assert frozenset({"R", "S", "T"}) in valid
+        assert frozenset({"S", "T"}) not in valid
+
+
+class TestEnumeration:
+    def test_chain_prefix_candidates(self):
+        graph = chain_graph()
+        candidates = enumerate_prefix_candidates(graph, CHAIN_ORDERS)
+        ids = {c.candidate_id for c in candidates}
+        assert ids == {"T:0-1p"}
+        (candidate,) = candidates
+        assert candidate.segment == ("S", "R")
+        assert candidate.prefix == ("T",)
+        assert not candidate.is_global
+
+    def test_global_candidates_fill_quota(self):
+        graph = chain_graph()
+        extras = enumerate_global_candidates(
+            graph, CHAIN_ORDERS, quota=8,
+            existing=enumerate_prefix_candidates(graph, CHAIN_ORDERS),
+        )
+        assert extras, "expected global candidates for invalid segments"
+        for candidate in extras:
+            assert candidate.is_global
+            assert candidate.maintenance_set in prefix_valid_sets(
+                CHAIN_ORDERS
+            ) or satisfies_prefix_invariant(
+                candidate.maintenance_set, CHAIN_ORDERS
+            )
+
+    def test_quota_zero_yields_prefix_only(self):
+        graph = chain_graph()
+        candidates = enumerate_candidates(graph, CHAIN_ORDERS, global_quota=0)
+        assert all(not c.is_global for c in candidates)
+
+    def test_quota_not_exceeded(self):
+        graph = star_graph(5)
+        orders = {
+            f"R{i}": tuple(f"R{j}" for j in range(1, 6) if j != i)
+            for i in range(1, 6)
+        }
+        candidates = enumerate_candidates(graph, orders, global_quota=6)
+        assert len(candidates) <= max(
+            6, len(enumerate_prefix_candidates(graph, orders))
+        )
+
+    def test_example_4_1_six_way(self):
+        """The paper's Example 4.1: Figure 5(a) pipelines."""
+        graph = star_graph(6)
+        orders = FIGURE5_ORDERS
+        valid = prefix_valid_sets(orders)
+        # The paper: the prefix property holds for {R1,R2}, {R4,R5},
+        # {R1,R2,R3}, and {R1,R2,R3,R4,R5}.
+        assert frozenset({"R1", "R2"}) in valid
+        assert frozenset({"R4", "R5"}) in valid
+        assert frozenset({"R1", "R2", "R3"}) in valid
+        assert frozenset({"R1", "R2", "R3", "R4", "R5"}) in valid
+        candidates = enumerate_prefix_candidates(graph, orders)
+        by_owner = {}
+        for c in candidates:
+            by_owner.setdefault(c.owner, []).append(c)
+        # "there are two candidate caches in ∆R4's pipeline — one for the
+        # R1,R2 segment and the other for the overlapping R1,R2,R3
+        # segment" (order R5,R1,R2,R3,R6: slots 1-2 and 1-3).
+        r4_sets = {frozenset(c.segment) for c in by_owner["R4"]}
+        assert r4_sets == {
+            frozenset({"R1", "R2"}),
+            frozenset({"R1", "R2", "R3"}),
+        }
+        # "there are three candidate caches in ∆R6's pipeline" (order
+        # R2,R1,R4,R5,R3: segments {R1,R2}, {R4,R5}, {R1..R5}).
+        r6_sets = {frozenset(c.segment) for c in by_owner["R6"]}
+        assert r6_sets == {
+            frozenset({"R1", "R2"}),
+            frozenset({"R4", "R5"}),
+            frozenset({"R1", "R2", "R3", "R4", "R5"}),
+        }
+
+
+class TestSharing:
+    def test_example_4_2_shared_groups(self):
+        """Example 4.2: R1⋈R2 shared by ∆R3, ∆R4, ∆R6 pipelines."""
+        graph = star_graph(6)
+        candidates = enumerate_prefix_candidates(graph, FIGURE5_ORDERS)
+        groups = shared_groups(candidates)
+        r1r2_groups = [
+            members
+            for token, members in groups.items()
+            if token[0] == frozenset({"R1", "R2"})
+        ]
+        assert len(r1r2_groups) == 1
+        owners = {c.owner for c in r1r2_groups[0]}
+        assert owners == {"R3", "R4", "R6"}
+
+
+class TestContainmentAndConflicts:
+    def test_forest_structure(self):
+        graph = star_graph(6)
+        candidates = enumerate_prefix_candidates(graph, FIGURE5_ORDERS)
+        forests = containment_forest(candidates)
+        # ∆R6's three candidates form one tree: the 5-way segment contains
+        # both two-way ones (Figure 5(c)).
+        (root,) = forests["R6"]
+        assert len(root.candidate.segment) == 5
+        child_sets = {frozenset(c.candidate.segment) for c in root.children}
+        assert child_sets == {
+            frozenset({"R1", "R2"}),
+            frozenset({"R4", "R5"}),
+        }
+        # ∆R4's two candidates nest (Figure 5(b)).
+        (r4_root,) = forests["R4"]
+        assert len(r4_root.candidate.segment) == 3
+        (r4_child,) = r4_root.children
+        assert frozenset(r4_child.candidate.segment) == frozenset({"R1", "R2"})
+
+    def test_overlap_and_conflict(self):
+        graph = chain_graph()
+        orders = {"R": ("T", "S"), "S": ("R", "T"), "T": ("S", "R")}
+        candidates = enumerate_candidates(graph, orders, global_quota=8)
+        by_id = {c.candidate_id: c for c in candidates}
+        a = by_id["R:0-1g"]
+        assert a.conflicts_with(a)
+        for other in candidates:
+            if other.owner == a.owner and other is not a:
+                assert a.overlaps(other)
+
+    def test_tap_relations_skip_owner_anchor(self):
+        graph = chain_graph()
+        orders = {"R": ("T", "S"), "S": ("R", "T"), "T": ("S", "R")}
+        candidates = enumerate_candidates(graph, orders, global_quota=8)
+        global_r = next(c for c in candidates if c.candidate_id == "R:0-1g")
+        assert "R" in global_r.anchor
+        assert "R" in global_r.maintenance_set
+        assert "R" not in global_r.tap_relations

@@ -1,0 +1,79 @@
+"""Tests for bench harness helpers and small stream-event utilities."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentRow,
+    format_rows,
+    monotone_non_decreasing,
+    monotone_non_increasing,
+)
+from repro.streams.events import TUPLE_BYTES, Sign, Update
+from repro.streams.tuples import Row
+
+
+class TestSign:
+    def test_flipped(self):
+        assert Sign.INSERT.flipped() is Sign.DELETE
+        assert Sign.DELETE.flipped() is Sign.INSERT
+
+    def test_int_values_sum_deltas(self):
+        # Live result size = sum of signed deltas; the enum must be ±1.
+        assert int(Sign.INSERT) == 1
+        assert int(Sign.DELETE) == -1
+
+    def test_paper_tuple_size(self):
+        assert TUPLE_BYTES == 32  # "All input tuples are 32 bytes long"
+
+
+class TestExperimentRow:
+    def test_ratio_definition(self):
+        row = ExperimentRow(x=1, caching_rate=200.0, mjoin_rate=100.0)
+        # time ratio of caching to MJoin = rate(MJoin)/rate(caching)
+        assert row.ratio == 0.5
+
+    def test_zero_caching_rate(self):
+        row = ExperimentRow(x=1, caching_rate=0.0, mjoin_rate=100.0)
+        assert row.ratio == float("inf")
+
+
+class TestFormatRows:
+    def test_contains_all_columns(self):
+        rows = [
+            ExperimentRow(
+                x=5, caching_rate=1000.0, mjoin_rate=800.0,
+                extra={"hit_rate": 0.9},
+            )
+        ]
+        text = format_rows("Title", "x label", rows, ("hit_rate",))
+        assert "Title" in text
+        assert "x label" in text
+        assert "1,000" in text
+        assert "0.9" in text
+        assert "0.800" in text  # the ratio
+
+    def test_missing_extra_rendered_empty(self):
+        rows = [ExperimentRow(x=1, caching_rate=10.0, mjoin_rate=10.0)]
+        text = format_rows("T", "x", rows, ("absent",))
+        assert text  # renders without raising
+
+
+class TestMonotoneHelpers:
+    def test_non_increasing(self):
+        assert monotone_non_increasing([5.0, 4.0, 4.1, 3.0], tolerance=0.05)
+        assert not monotone_non_increasing([5.0, 6.0], tolerance=0.05)
+
+    def test_non_decreasing(self):
+        assert monotone_non_decreasing([1.0, 2.0, 1.95, 3.0], tolerance=0.05)
+        assert not monotone_non_decreasing([2.0, 1.0], tolerance=0.05)
+
+    def test_empty_and_single(self):
+        assert monotone_non_increasing([])
+        assert monotone_non_increasing([1.0])
+
+
+class TestUpdateRepr:
+    def test_compact_repr(self):
+        update = Update("R", Row(3, (7,)), Sign.INSERT, 12)
+        assert "R" in repr(update)
+        assert "+" in repr(update)

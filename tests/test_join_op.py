@@ -1,0 +1,125 @@
+"""Unit tests for the pipeline join operator ./ij."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.operators.base import ExecContext
+from repro.operators.join_op import JoinOperator
+from repro.relations.predicates import JoinGraph
+from repro.relations.relation import Relation
+from repro.streams.tuples import CompositeTuple, RowFactory, Schema
+from repro.streams.workloads import star_graph
+
+
+def chain_graph():
+    return JoinGraph.parse(
+        [Schema("R", ("A",)), Schema("S", ("A", "B")), Schema("T", ("B",))],
+        ["R.A = S.A", "S.B = T.B"],
+    )
+
+
+@pytest.fixture
+def ctx():
+    return ExecContext()
+
+
+@pytest.fixture
+def rows():
+    return RowFactory()
+
+
+class TestIndexedJoin:
+    def test_matches_by_index(self, ctx, rows):
+        graph = chain_graph()
+        relation = Relation(graph.schemas["S"], ("A",))
+        relation.insert(rows.make((1, 10)))
+        relation.insert(rows.make((1, 11)))
+        relation.insert(rows.make((2, 12)))
+        op = JoinOperator(graph, prior=["R"], target="S").bind(relation)
+        composite = CompositeTuple.of("R", rows.make((1,)))
+        out = op.apply([composite], ctx)
+        assert len(out) == 2
+        assert all(o.value("S", 0) == 1 for o in out)
+        assert ctx.clock.now_us > 0  # probes were charged
+
+    def test_unbound_operator_raises(self, ctx, rows):
+        graph = chain_graph()
+        op = JoinOperator(graph, prior=["R"], target="S")
+        with pytest.raises(PlanError, match="unbound"):
+            op.apply([CompositeTuple.of("R", rows.make((1,)))], ctx)
+
+    def test_bind_wrong_relation(self, rows):
+        graph = chain_graph()
+        op = JoinOperator(graph, prior=["R"], target="S")
+        with pytest.raises(PlanError, match="bound"):
+            op.bind(Relation(graph.schemas["T"], ()))
+
+    def test_residual_predicates_verified(self, ctx, rows):
+        # Star graph: joining R3 to prior {R1, R2} has two predicates;
+        # one is used via the index, the other verified as a residual.
+        graph = star_graph(3)
+        relation = Relation(graph.schemas["R3"], ("A",))
+        relation.insert(rows.make((5,)))
+        op = JoinOperator(graph, prior=["R1", "R2"], target="R3").bind(
+            relation
+        )
+        assert op.predicate_count == 2
+        matching = CompositeTuple.of("R1", rows.make((5,))).extended(
+            "R2", rows.make((5,))
+        )
+        assert len(op.apply([matching], ctx)) == 1
+        # Residual mismatch: R1.A=5 matches the index but R2.A=6 fails.
+        mismatched = CompositeTuple.of("R1", rows.make((5,))).extended(
+            "R2", rows.make((6,))
+        )
+        assert op.apply([mismatched], ctx) == []
+
+
+class TestScanJoin:
+    def test_scan_without_index(self, ctx, rows):
+        graph = chain_graph()
+        relation = Relation(graph.schemas["S"], ())  # no indexes at all
+        relation.insert(rows.make((1, 10)))
+        relation.insert(rows.make((2, 11)))
+        op = JoinOperator(graph, prior=["R"], target="S").bind(relation)
+        composite = CompositeTuple.of("R", rows.make((1,)))
+        out = op.apply([composite], ctx)
+        assert len(out) == 1
+
+    def test_scan_cost_scales_with_relation(self, rows):
+        graph = chain_graph()
+        small = Relation(graph.schemas["S"], ())
+        large = Relation(graph.schemas["S"], ())
+        for i in range(10):
+            small.insert(rows.make((99, i)))
+        for i in range(1000):
+            large.insert(rows.make((99, i)))
+        probe = CompositeTuple.of("R", rows.make((1,)))
+        ctx_small, ctx_large = ExecContext(), ExecContext()
+        JoinOperator(graph, ["R"], "S").bind(small).apply(
+            [probe], ctx_small
+        )
+        JoinOperator(graph, ["R"], "S").bind(large).apply(
+            [probe], ctx_large
+        )
+        assert ctx_large.clock.now_us > 10 * ctx_small.clock.now_us
+
+    def test_cross_product_when_unconnected(self, ctx, rows):
+        graph = chain_graph()
+        relation = Relation(graph.schemas["T"], ("B",))
+        relation.insert(rows.make((7,)))
+        relation.insert(rows.make((8,)))
+        # R and T share no predicate: the join degenerates to a product.
+        op = JoinOperator(graph, prior=["R"], target="T").bind(relation)
+        assert op.is_cross_product()
+        out = op.apply([CompositeTuple.of("R", rows.make((1,)))], ctx)
+        assert len(out) == 2
+
+    def test_match_rows_counts_without_extending(self, ctx, rows):
+        graph = chain_graph()
+        relation = Relation(graph.schemas["S"], ("A",))
+        relation.insert(rows.make((1, 10)))
+        op = JoinOperator(graph, prior=["R"], target="S").bind(relation)
+        matches = op.match_rows(CompositeTuple.of("R", rows.make((1,))), ctx)
+        assert len(matches) == 1
+        assert matches[0].values == (1, 10)

@@ -1,0 +1,101 @@
+"""Tests for the Section 5 memory allocator."""
+
+import math
+
+from repro.core.candidates import CandidateCache
+from repro.core.memory import (
+    AllocationResult,
+    CacheDemand,
+    MemoryAllocator,
+    PAGE_BYTES,
+)
+
+
+def candidate(cid, owner="R1", start=0, end=1):
+    return CandidateCache(
+        candidate_id=cid,
+        owner=owner,
+        start=start,
+        end=end,
+        segment=("R2", "R3"),
+        prefix=(owner,),
+    )
+
+
+class TestCacheDemand:
+    def test_priority_is_net_per_byte(self):
+        demand = CacheDemand(candidate("a"), net_benefit=100.0, expected_bytes=50.0)
+        assert demand.priority == 2.0
+
+    def test_zero_bytes_priority(self):
+        assert CacheDemand(candidate("a"), 10.0, 0.0).priority == math.inf
+        assert CacheDemand(candidate("a"), 0.0, 0.0).priority == 0.0
+
+    def test_pages_round_up(self):
+        assert CacheDemand(candidate("a"), 1.0, 1.0).expected_pages == 1
+        assert (
+            CacheDemand(candidate("a"), 1.0, PAGE_BYTES + 1).expected_pages
+            == 2
+        )
+
+
+class TestAdmission:
+    def test_unbounded_admits_everything(self):
+        allocator = MemoryAllocator(budget_bytes=None)
+        demands = [
+            CacheDemand(candidate(f"c{i}"), 10.0, 10_000.0) for i in range(5)
+        ]
+        result = allocator.admit(demands)
+        assert len(result.admitted) == 5
+        assert result.rejected == []
+
+    def test_priority_order_wins(self):
+        allocator = MemoryAllocator(budget_bytes=PAGE_BYTES)  # one page
+        low = CacheDemand(candidate("low"), 1.0, 100.0)
+        high = CacheDemand(candidate("high"), 100.0, 100.0)
+        result = allocator.admit([low, high])
+        assert [c.candidate_id for c in result.admitted] == ["high"]
+        assert [c.candidate_id for c in result.rejected] == ["low"]
+
+    def test_budget_exhaustion(self):
+        allocator = MemoryAllocator(budget_bytes=2 * PAGE_BYTES)
+        demands = [
+            CacheDemand(candidate(f"c{i}"), 10.0 - i, PAGE_BYTES)
+            for i in range(3)
+        ]
+        result = allocator.admit(demands)
+        assert len(result.admitted) == 2
+        assert result.pages_used == 2
+
+    def test_skips_large_but_can_take_smaller(self):
+        allocator = MemoryAllocator(budget_bytes=PAGE_BYTES)
+        huge = CacheDemand(candidate("huge"), 1000.0, 10 * PAGE_BYTES)
+        small = CacheDemand(candidate("small"), 1.0, 100.0)
+        result = allocator.admit([huge, small])
+        assert [c.candidate_id for c in result.admitted] == ["small"]
+
+
+class TestRuntimeEnforcement:
+    def test_over_budget(self):
+        allocator = MemoryAllocator(budget_bytes=1000)
+        assert allocator.over_budget(1001)
+        assert not allocator.over_budget(1000)
+        assert not MemoryAllocator(None).over_budget(10**9)
+
+    def test_victims_lowest_priority_first(self):
+        allocator = MemoryAllocator(budget_bytes=1000)
+        priorities = {"a": 5.0, "b": 1.0, "c": 3.0}
+        usage = {"a": 400, "b": 400, "c": 400}
+        victims = allocator.victims(priorities, usage, used_bytes=1200)
+        assert victims == ["b"]
+
+    def test_victims_until_fit(self):
+        allocator = MemoryAllocator(budget_bytes=100)
+        priorities = {"a": 2.0, "b": 1.0}
+        usage = {"a": 300, "b": 300}
+        victims = allocator.victims(priorities, usage, used_bytes=600)
+        assert victims == ["b", "a"]
+
+    def test_no_victims_within_budget(self):
+        allocator = MemoryAllocator(budget_bytes=1000)
+        assert allocator.victims({"a": 1.0}, {"a": 10}, 500) == []

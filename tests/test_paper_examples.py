@@ -1,0 +1,112 @@
+"""The paper's worked Examples 3.1-3.5, executed verbatim.
+
+Figure 2's sample data: ``R1 ⋈ R2 ⋈ R3`` with ``R1.A = R2.A`` and
+``R2.B = R3.B``; R2 = {⟨1,2⟩, ⟨1,3⟩, ⟨2,3⟩}, R3 = {⟨2⟩, ⟨4⟩, ⟨6⟩};
+Figure 2(a)'s pipelines (∆R1: R2,R3; ∆R2: R3,R1; ∆R3: R2,R1) make the
+R2,R3 segment of ∆R1 a valid cache (Figure 3 / Example 3.4).
+"""
+
+import pytest
+
+from repro.core.candidates import (
+    enumerate_prefix_candidates,
+    satisfies_prefix_invariant,
+)
+from repro.core.wiring import CacheWiring
+from repro.mjoin.executor import MJoinExecutor
+from repro.relations.predicates import JoinGraph
+from repro.streams.events import Sign, Update
+from repro.streams.tuples import RowFactory, Schema
+
+ORDERS = {"R1": ("R2", "R3"), "R2": ("R3", "R1"), "R3": ("R2", "R1")}
+
+
+def figure2_graph():
+    return JoinGraph.parse(
+        [
+            Schema("R1", ("A",)),
+            Schema("R2", ("A", "B")),
+            Schema("R3", ("B",)),
+        ],
+        ["R1.A = R2.A", "R2.B = R3.B"],
+    )
+
+
+@pytest.fixture
+def setup():
+    executor = MJoinExecutor(figure2_graph(), orders=ORDERS)
+    rows = RowFactory()
+    for values in ((1, 2), (1, 3), (2, 3)):
+        executor.relations["R2"].insert(rows.make(values))
+    for values in ((2,), (4,), (6,)):
+        executor.relations["R3"].insert(rows.make(values))
+    return executor, rows
+
+
+def values_of(delta):
+    return tuple(
+        delta.composite.row(rel).values
+        for rel in sorted(delta.composite.relations())
+    )
+
+
+class TestExample31:
+    def test_insertion_of_one_into_r1(self, setup):
+        """⟨1⟩ joins R2 giving ⟨1,1,2⟩ and ⟨1,1,3⟩; only B=2 joins R3."""
+        executor, rows = setup
+        outputs = executor.process(
+            Update("R1", rows.make((1,)), Sign.INSERT, 0)
+        )
+        assert [values_of(o) for o in outputs] == [((1,), (1, 2), (2,))]
+        # And ⟨1⟩ is inserted into R1 afterwards.
+        assert len(executor.relations["R1"]) == 1
+
+
+class TestExamples32to35:
+    def wire_cache(self, executor):
+        candidates = enumerate_prefix_candidates(
+            executor.graph, executor.orders()
+        )
+        (candidate,) = candidates  # exactly the R2,R3 segment in ∆R1
+        assert candidate.owner == "R1"
+        assert candidate.segment == ("R2", "R3")
+        wiring = CacheWiring(executor)
+        return wiring.attach(candidate)
+
+    def test_example_34_prefix_invariant(self):
+        """The R2,R3 segment of ∆R1 satisfies the invariant; the R2,R1
+        segment of ∆R3 would not."""
+        assert satisfies_prefix_invariant(frozenset({"R2", "R3"}), ORDERS)
+        assert not satisfies_prefix_invariant(frozenset({"R1", "R2"}), ORDERS)
+
+    def test_example_32_miss_then_hit(self, setup):
+        executor, rows = setup
+        wired = self.wire_cache(executor)
+        first = executor.process(Update("R1", rows.make((1,)), Sign.INSERT, 0))
+        assert [values_of(o) for o in first] == [((1,), (1, 2), (2,))]
+        assert wired.cache.probes == 1 and wired.cache.hits == 0
+        # The ⟨1,2,2⟩ segment tuple was cached; a second ⟨1⟩ hits.
+        second = executor.process(
+            Update("R1", rows.make((1,)), Sign.INSERT, 1)
+        )
+        assert [values_of(o) for o in second] == [((1,), (1, 2), (2,))]
+        assert wired.cache.hits == 1
+
+    def test_examples_33_and_35_maintenance(self, setup):
+        """Inserting ⟨3⟩ into R3 updates the cached entry for key ⟨1⟩ via
+        the intermediate tuple ⟨1,3,3⟩ and ignores ⟨2,3,3⟩ (key ⟨2⟩ not
+        present); a new ⟨1⟩ then produces both output tuples."""
+        executor, rows = setup
+        wired = self.wire_cache(executor)
+        executor.process(Update("R1", rows.make((1,)), Sign.INSERT, 0))
+        assert wired.cache.entry_count == 1
+        executor.process(Update("R3", rows.make((3,)), Sign.INSERT, 1))
+        assert wired.cache.entry_count == 1  # ⟨2,3,3⟩'s insert was ignored
+        outputs = executor.process(
+            Update("R1", rows.make((1,)), Sign.INSERT, 2)
+        )
+        assert sorted(values_of(o) for o in outputs) == [
+            ((1,), (1, 2), (2,)),
+            ((1,), (1, 3), (3,)),
+        ]
+        assert wired.cache.hits == 1  # served entirely from the cache

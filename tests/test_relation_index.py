@@ -1,0 +1,127 @@
+"""Unit and property tests for relation storage and hash indexes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relations.index import HashIndex, bulk_build
+from repro.relations.relation import Relation
+from repro.streams.events import TUPLE_BYTES
+from repro.streams.tuples import Row, RowFactory, Schema
+
+
+class TestHashIndex:
+    def test_add_lookup_remove(self):
+        index = HashIndex(0)
+        a, b = Row(1, (5,)), Row(2, (5,))
+        index.add(a)
+        index.add(b)
+        assert {r.rid for r in index.lookup(5)} == {1, 2}
+        assert index.count(5) == 2
+        index.remove(a)
+        assert [r.rid for r in index.lookup(5)] == [2]
+        assert index.lookup(99) == []
+
+    def test_remove_last_clears_bucket(self):
+        index = HashIndex(0)
+        row = Row(1, (5,))
+        index.add(row)
+        index.remove(row)
+        assert index.distinct_values() == 0
+        assert len(index) == 0
+
+    def test_remove_absent_is_noop(self):
+        index = HashIndex(0)
+        index.remove(Row(1, (5,)))
+        assert len(index) == 0
+
+    def test_bulk_build(self):
+        rows = [Row(i, (i % 3,)) for i in range(9)]
+        index = bulk_build(0, rows)
+        assert index.count(0) == 3
+        assert index.distinct_values() == 3
+
+
+class TestRelation:
+    def make(self, indexed=("A",)):
+        return Relation(Schema("R", ("A", "B")), indexed)
+
+    def test_insert_delete_roundtrip(self):
+        relation = self.make()
+        row = Row(0, (1, 2))
+        relation.insert(row)
+        assert row in relation
+        assert len(relation) == 1
+        relation.delete(row)
+        assert row not in relation
+        assert len(relation) == 0
+
+    def test_delete_absent_is_noop(self):
+        relation = self.make()
+        relation.delete(Row(0, (1, 2)))
+        assert len(relation) == 0
+
+    def test_matching_uses_index_or_scan_equally(self):
+        indexed = self.make(indexed=("A",))
+        scanned = self.make(indexed=())
+        for i in range(10):
+            row = Row(i, (i % 4, i))
+            indexed.insert(row)
+            scanned.insert(Row(i, (i % 4, i)))
+        assert sorted(r.rid for r in indexed.matching("A", 2)) == sorted(
+            r.rid for r in scanned.matching("A", 2)
+        )
+        assert indexed.match_count("A", 2) == scanned.match_count("A", 2)
+
+    def test_matching_on_unindexed_attribute_scans(self):
+        relation = self.make(indexed=("A",))
+        relation.insert(Row(0, (1, 7)))
+        relation.insert(Row(1, (2, 7)))
+        assert relation.match_count("B", 7) == 2
+
+    def test_add_index_backfills_existing_rows(self):
+        relation = self.make(indexed=())
+        relation.insert(Row(0, (3, 0)))
+        relation.add_index("A")
+        assert relation.has_index("A")
+        assert relation.index("A").count(3) == 1
+
+    def test_drop_index(self):
+        relation = self.make(indexed=("A",))
+        relation.drop_index("A")
+        assert not relation.has_index("A")
+
+    def test_memory_accounting(self):
+        relation = self.make()
+        for i in range(5):
+            relation.insert(Row(i, (i, i)))
+        assert relation.memory_bytes == 5 * TUPLE_BYTES
+
+
+@settings(max_examples=50)
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete"]), st.integers(0, 5)),
+        max_size=60,
+    )
+)
+def test_index_agrees_with_scan_under_random_churn(operations):
+    """Property: index lookups always equal a full scan filter."""
+    relation = Relation(Schema("R", ("A",)), ("A",))
+    factory = RowFactory()
+    live = {}
+    by_value = {}
+    for action, value in operations:
+        if action == "insert":
+            row = factory.make((value,))
+            relation.insert(row)
+            live[row.rid] = row
+            by_value.setdefault(value, set()).add(row.rid)
+        elif live:
+            rid = next(iter(live))
+            row = live.pop(rid)
+            relation.delete(row)
+            by_value[row.values[0]].discard(rid)
+    for value in range(6):
+        expected = by_value.get(value, set())
+        assert {r.rid for r in relation.matching("A", value)} == expected
+        assert relation.match_count("A", value) == len(expected)

@@ -1,0 +1,88 @@
+"""Tests for the CSV/JSON experiment exporters."""
+
+import csv
+import io
+import json
+
+from repro.bench.harness import ExperimentRow
+from repro.engine.reporting import (
+    rows_to_csv,
+    rows_to_dicts,
+    rows_to_json,
+    series_to_csv,
+    series_to_dicts,
+    write_text,
+)
+from repro.engine.runtime import SeriesPoint
+
+
+def sample_rows():
+    return [
+        ExperimentRow(x=1, caching_rate=100.0, mjoin_rate=80.0,
+                      extra={"hit_rate": 0.5}),
+        ExperimentRow(x=2, caching_rate=200.0, mjoin_rate=80.0),
+    ]
+
+
+def sample_series():
+    return [
+        SeriesPoint(
+            x=10, updates=100, window_throughput=5000.0,
+            cumulative_throughput=4800.0, used_caches=("a", "b"),
+            memory_bytes=1024,
+        )
+    ]
+
+
+class TestRowExports:
+    def test_dicts_include_ratio_and_extras(self):
+        records = rows_to_dicts(sample_rows())
+        assert records[0]["ratio"] == 0.8
+        assert records[0]["extra_hit_rate"] == 0.5
+        assert "extra_hit_rate" not in records[1]
+
+    def test_csv_roundtrip(self):
+        text = rows_to_csv(sample_rows())
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert float(parsed[1]["caching_rate"]) == 200.0
+        assert parsed[1]["extra_hit_rate"] == ""
+
+    def test_json_parses(self):
+        records = json.loads(rows_to_json(sample_rows()))
+        assert records[0]["x"] == 1
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+        assert json.loads(rows_to_json([])) == []
+
+
+class TestSeriesExports:
+    def test_series_dicts(self):
+        records = series_to_dicts(sample_series())
+        assert records[0]["used_caches"] == ["a", "b"]
+        assert records[0]["memory_bytes"] == 1024
+
+    def test_series_csv(self):
+        text = series_to_csv(sample_series())
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0]["used_caches"] == "a;b"
+
+    def test_empty_series(self):
+        assert series_to_csv([]) == ""
+
+
+def test_write_text(tmp_path):
+    path = tmp_path / "out.csv"
+    write_text(str(path), "a,b\n1,2\n")
+    assert path.read_text() == "a,b\n1,2\n"
+
+
+def test_real_experiment_exports(tmp_path):
+    """End to end: export a (tiny) real Figure 6 run."""
+    from repro.bench import figures
+
+    rows = figures.figure6(multiplicities=(1, 5), arrivals=1200)
+    csv_text = rows_to_csv(rows)
+    assert "caching_rate" in csv_text
+    assert len(csv_text.strip().splitlines()) == 3

@@ -1,0 +1,277 @@
+"""Tests for the offline cache-selection algorithms (Section 4.4 / App B)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import CandidateCache, enumerate_prefix_candidates
+from repro.core.exhaustive import select_exhaustive
+from repro.core.greedy import select_greedy
+from repro.core.lp_rounding import select_lp_rounding, solve_relaxation
+from repro.core.selection import SelectionProblem, select
+from repro.core.tree_dp import select_tree_optimal
+from repro.errors import PlanError
+from repro.streams.workloads import star_graph
+
+FIGURE5_ORDERS = {
+    "R1": ("R2", "R3", "R4", "R5", "R6"),
+    "R2": ("R1", "R3", "R5", "R4", "R6"),
+    "R3": ("R2", "R1", "R4", "R5", "R6"),
+    "R4": ("R5", "R1", "R2", "R3", "R6"),
+    "R5": ("R4", "R2", "R3", "R1", "R6"),
+    "R6": ("R2", "R1", "R4", "R5", "R3"),
+}
+
+
+def make_problem(seed=0, owners_orders=FIGURE5_ORDERS, n=6):
+    """A SelectionProblem over the Figure 5 candidates with seeded costs.
+
+    Instances respect the Section 4.4 identity tying the two objective
+    formulations together: ``benefit(C) = Σ covered op costs − proc(C)``,
+    so maximizing net benefit and minimizing total cost agree.
+    """
+    rng = random.Random(seed)
+    graph = star_graph(n)
+    candidates = enumerate_prefix_candidates(graph, owners_orders)
+    operator_cost = {}
+    for owner, order in owners_orders.items():
+        for slot in range(len(order)):
+            operator_cost[(owner, slot)] = rng.uniform(1, 30)
+    benefit, proc = {}, {}
+    for candidate in candidates:
+        segment_work = sum(
+            operator_cost[slot] for slot in candidate.covered_slots
+        )
+        cache_proc = rng.uniform(0.1, 1.5) * segment_work
+        proc[candidate.candidate_id] = cache_proc
+        benefit[candidate.candidate_id] = segment_work - cache_proc
+    group_cost = {}
+    for candidate in candidates:
+        group_cost.setdefault(candidate.share_token, rng.uniform(0, 40))
+    return SelectionProblem(
+        candidates=candidates,
+        benefit=benefit,
+        proc=proc,
+        group_cost=group_cost,
+        operator_cost=operator_cost,
+    )
+
+
+def total_cost(problem, selected):
+    """Σ uncovered op costs + Σ proc + Σ group costs (Section 4.4)."""
+    covered = set()
+    for candidate in selected:
+        covered.update(candidate.covered_slots)
+    value = sum(
+        cost
+        for slot, cost in problem.operator_cost.items()
+        if slot not in covered
+    )
+    value += sum(problem.proc[c.candidate_id] for c in selected)
+    value += sum(
+        problem.group_cost[token]
+        for token in {c.share_token for c in selected}
+    )
+    return value
+
+
+def brute_force_best(problem):
+    """Reference optimum by scanning all conflict-free subsets."""
+    best_value, best = 0.0, []
+    candidates = problem.candidates
+    for size in range(len(candidates) + 1):
+        for subset in itertools.combinations(candidates, size):
+            if any(
+                a.conflicts_with(b)
+                for i, a in enumerate(subset)
+                for b in subset[i + 1 :]
+            ):
+                continue
+            value = problem.subset_value(list(subset))
+            if value > best_value:
+                best_value, best = value, list(subset)
+    return best_value, best
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        problem = make_problem(seed)
+        selected = select_exhaustive(problem)
+        best_value, _ = brute_force_best(problem)
+        assert problem.subset_value(selected) == pytest.approx(best_value)
+
+    def test_empty_when_nothing_profitable(self):
+        problem = make_problem(3)
+        for cid in problem.benefit:
+            problem.benefit[cid] = 0.0
+        for token in problem.group_cost:
+            problem.group_cost[token] = 10.0
+        assert select_exhaustive(problem) == []
+
+    def test_sharing_pays_cost_once(self):
+        problem = make_problem(5)
+        # Give the shared {R1,R2} group members big benefits and a cost
+        # larger than any single benefit but smaller than their sum.
+        shared_members = [
+            c
+            for c in problem.candidates
+            if frozenset(c.segment) == frozenset({"R1", "R2"})
+        ]
+        assert len(shared_members) >= 2
+        token = shared_members[0].share_token
+        for c in problem.candidates:
+            problem.benefit[c.candidate_id] = 0.0
+        for t in problem.group_cost:
+            problem.group_cost[t] = 1000.0
+        for c in shared_members:
+            problem.benefit[c.candidate_id] = 40.0
+        problem.group_cost[token] = 60.0  # > 40, < sum of members
+        selected = select_exhaustive(problem)
+        assert {c.candidate_id for c in selected} == {
+            c.candidate_id for c in shared_members
+        }
+
+
+class TestTreeDP:
+    def test_requires_no_sharing(self):
+        problem = make_problem(0)
+        if problem.has_sharing():
+            with pytest.raises(PlanError):
+                select_tree_optimal(problem)
+
+    def test_optimal_on_single_pipeline(self):
+        # ∆R6 alone: nested candidates {R1,R2} ⊂ {R1..R5} ⊃ {R4,R5}.
+        problem = make_problem(1)
+        r6_only = [c for c in problem.candidates if c.owner == "R6"]
+        sub = SelectionProblem(
+            candidates=r6_only,
+            benefit=problem.benefit,
+            proc=problem.proc,
+            group_cost=problem.group_cost,
+            operator_cost=problem.operator_cost,
+        )
+        selected = select_tree_optimal(sub)
+        best_value, _ = brute_force_best(sub)
+        assert sub.subset_value(selected) == pytest.approx(best_value)
+
+    def test_prefers_children_when_they_sum_higher(self):
+        problem = make_problem(2)
+        r6 = [c for c in problem.candidates if c.owner == "R6"]
+        big = next(c for c in r6 if len(c.segment) == 5)
+        small = [c for c in r6 if len(c.segment) == 2]
+        for c in problem.candidates:
+            problem.benefit[c.candidate_id] = 0.0
+        for t in problem.group_cost:
+            problem.group_cost[t] = 0.0
+        problem.benefit[big.candidate_id] = 50.0
+        for c in small:
+            problem.benefit[c.candidate_id] = 30.0
+        sub = SelectionProblem(
+            candidates=r6,
+            benefit=problem.benefit,
+            proc=problem.proc,
+            group_cost=problem.group_cost,
+            operator_cost=problem.operator_cost,
+        )
+        selected = select_tree_optimal(sub)
+        assert {c.candidate_id for c in selected} == {
+            c.candidate_id for c in small
+        }
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_feasible_and_competitive(self, seed):
+        problem = make_problem(seed)
+        selected = select_greedy(problem)
+        problem.validate_compatible(selected)
+        assert problem.subset_value(selected) >= 0.0
+        # Theorem 4.3's guarantee is on total cost: O(log n) of optimal.
+        import math
+
+        _best_value, best = brute_force_best(problem)
+        optimum_cost = total_cost(problem, best)
+        bound = (1 + math.log2(len(problem.operator_cost))) * optimum_cost
+        assert total_cost(problem, selected) <= bound
+
+    def test_covers_with_operators_when_caches_bad(self):
+        problem = make_problem(4)
+        for cid in problem.proc:
+            problem.proc[cid] = 1e9  # caches are terrible
+        for cid in problem.benefit:
+            problem.benefit[cid] = -1e9
+        assert select_greedy(problem) == []
+
+
+class TestLPRounding:
+    def test_relaxation_covers_each_operator(self):
+        pytest.importorskip("scipy")
+        problem = make_problem(0)
+        fractional = solve_relaxation(problem)
+        assert all(0.0 <= x <= 1.0 + 1e-9 for x in fractional.values())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_feasible(self, seed):
+        pytest.importorskip("scipy")
+        problem = make_problem(seed)
+        selected = select_lp_rounding(problem, seed=seed)
+        problem.validate_compatible(selected)
+        assert problem.subset_value(selected) >= 0.0
+
+
+class TestDispatch:
+    def test_auto_uses_tree_without_sharing(self):
+        problem = make_problem(0)
+        no_sharing = [
+            c
+            for c in problem.candidates
+            if len(
+                [
+                    o
+                    for o in problem.candidates
+                    if o.share_token == c.share_token
+                ]
+            )
+            == 1
+        ]
+        sub = SelectionProblem(
+            candidates=no_sharing,
+            benefit=problem.benefit,
+            proc=problem.proc,
+            group_cost=problem.group_cost,
+            operator_cost=problem.operator_cost,
+        )
+        selected = select(sub, method="auto")
+        best_value, _ = brute_force_best(sub)
+        assert sub.subset_value(selected) == pytest.approx(best_value)
+
+    def test_unknown_method(self):
+        with pytest.raises(PlanError):
+            select(make_problem(0), method="quantum")
+
+    def test_empty_problem(self):
+        problem = make_problem(0)
+        problem.candidates = []
+        assert select(problem) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_exhaustive_is_always_optimal(seed):
+    """Property: branch-and-bound equals brute force on random costs."""
+    problem = make_problem(seed)
+    selected = select_exhaustive(problem)
+    best_value, _ = brute_force_best(problem)
+    assert problem.subset_value(selected) == pytest.approx(best_value)
+    problem.validate_compatible(selected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_greedy_never_selects_conflicts(seed):
+    problem = make_problem(seed)
+    problem.validate_compatible(select_greedy(problem))

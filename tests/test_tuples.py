@@ -1,0 +1,102 @@
+"""Unit tests for schemas, rows, and composite tuples."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.streams.tuples import CompositeTuple, Row, RowFactory, Schema
+
+
+class TestSchema:
+    def test_index_of(self):
+        schema = Schema("R", ("A", "B", "C"))
+        assert schema.index_of("A") == 0
+        assert schema.index_of("C") == 2
+
+    def test_unknown_attribute_raises(self):
+        schema = Schema("R", ("A",))
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema.index_of("Z")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema("R", ("A", "A"))
+
+    def test_contains_and_len(self):
+        schema = Schema("R", ("A", "B"))
+        assert "A" in schema
+        assert "Z" not in schema
+        assert len(schema) == 2
+
+    def test_equality_and_hash(self):
+        assert Schema("R", ("A",)) == Schema("R", ("A",))
+        assert Schema("R", ("A",)) != Schema("S", ("A",))
+        assert hash(Schema("R", ("A",))) == hash(Schema("R", ("A",)))
+
+
+class TestRow:
+    def test_identity_equality(self):
+        a = Row(1, (5,))
+        b = Row(1, (7,))  # same rid, different values: same window entry
+        c = Row(2, (5,))
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_getitem(self):
+        row = Row(0, (10, 20))
+        assert row[1] == 20
+
+
+class TestRowFactory:
+    def test_monotonic_rids(self):
+        factory = RowFactory()
+        rows = [factory.make((i,)) for i in range(5)]
+        assert [r.rid for r in rows] == [0, 1, 2, 3, 4]
+        assert factory.allocated == 5
+
+    def test_start_offset(self):
+        factory = RowFactory(start=100)
+        assert factory.make(()).rid == 100
+
+
+class TestCompositeTuple:
+    def test_of_and_extend(self):
+        r = Row(0, (1,))
+        s = Row(1, (1, 2))
+        composite = CompositeTuple.of("R", r).extended("S", s)
+        assert composite.row("R") is r
+        assert composite.value("S", 1) == 2
+        assert composite.relations() == {"R", "S"}
+
+    def test_extended_does_not_mutate_original(self):
+        base = CompositeTuple.of("R", Row(0, (1,)))
+        extended = base.extended("S", Row(1, (2,)))
+        assert "S" not in base
+        assert "S" in extended
+
+    def test_project(self):
+        composite = (
+            CompositeTuple.of("R", Row(0, (1,)))
+            .extended("S", Row(1, (2,)))
+            .extended("T", Row(2, (3,)))
+        )
+        projected = composite.project(["R", "T"])
+        assert projected.relations() == {"R", "T"}
+
+    def test_merge_disjoint(self):
+        a = CompositeTuple.of("R", Row(0, (1,)))
+        b = CompositeTuple.of("S", Row(1, (2,)))
+        merged = a.merge(b)
+        assert merged.relations() == {"R", "S"}
+
+    def test_identity_orders_by_given_sequence(self):
+        composite = CompositeTuple.of("R", Row(7, (1,))).extended(
+            "S", Row(3, (2,))
+        )
+        assert composite.identity(["S", "R"]) == (3, 7)
+
+    def test_equality_by_rid(self):
+        a = CompositeTuple.of("R", Row(0, (1,)))
+        b = CompositeTuple.of("R", Row(0, (999,)))
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,112 @@
+"""Validation and edge-case tests for workload construction."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.relations.predicates import JoinGraph
+from repro.streams.generators import StreamSpec, UniformValues
+from repro.streams.tuples import Schema
+from repro.streams.workloads import (
+    Workload,
+    fig7_workload,
+    fig8_workload,
+    fig9_workload,
+    fig12_workload,
+    three_way_chain,
+)
+
+
+def tiny_graph():
+    return JoinGraph.parse(
+        [Schema("A", ("k",)), Schema("B", ("k",))], ["A.k = B.k"]
+    )
+
+
+def spec(name):
+    return StreamSpec(name, ("k",), {"k": UniformValues(8, seed=1)})
+
+
+class TestWorkloadValidation:
+    def test_missing_spec(self):
+        with pytest.raises(WorkloadError, match="no stream spec"):
+            Workload(
+                name="w",
+                graph=tiny_graph(),
+                specs={"A": spec("A")},
+                windows={"A": 4, "B": 4},
+                rates={"A": 1.0, "B": 1.0},
+            )
+
+    def test_missing_window(self):
+        with pytest.raises(WorkloadError, match="no window size"):
+            Workload(
+                name="w",
+                graph=tiny_graph(),
+                specs={"A": spec("A"), "B": spec("B")},
+                windows={"A": 4},
+                rates={"A": 1.0, "B": 1.0},
+            )
+
+    def test_missing_rate(self):
+        with pytest.raises(WorkloadError, match="no rate"):
+            Workload(
+                name="w",
+                graph=tiny_graph(),
+                specs={"A": spec("A"), "B": spec("B")},
+                windows={"A": 4, "B": 4},
+                rates={"A": 1.0},
+            )
+
+    def test_updates_respect_window_bound(self):
+        workload = Workload(
+            name="w",
+            graph=tiny_graph(),
+            specs={"A": spec("A"), "B": spec("B")},
+            windows={"A": 3, "B": 3},
+            rates={"A": 1.0, "B": 1.0},
+        )
+        live = {"A": 0, "B": 0}
+        for update in workload.updates(100):
+            live[update.relation] += int(update.sign)
+            assert live[update.relation] <= 3
+
+
+class TestPaperWorkloadKnobs:
+    def test_fig7_negative_selectivity_rejected(self):
+        with pytest.raises(WorkloadError):
+            fig7_workload(-1.0)
+
+    def test_fig8_zero_ratio_rejected(self):
+        with pytest.raises(WorkloadError):
+            fig8_workload(0.0)
+
+    def test_fig9_two_way_minimum(self):
+        with pytest.raises(WorkloadError):
+            fig9_workload(1)
+
+    def test_fig9_multiplicity_split(self):
+        workload = fig9_workload(7)
+        low = sum(1 for rate in workload.rates.values() if rate == 1.0)
+        assert low == 3  # ⌊7/2⌋ streams at multiplicity (rate) 1
+
+    def test_three_way_t_window_scales(self):
+        workload = three_way_chain(t_multiplicity=4.0, window_r=50)
+        assert workload.windows["T"] == 200
+
+    def test_fig12_burst_kicks_in(self):
+        workload = fig12_workload(burst_after_arrivals=100)
+        before = [
+            u.relation
+            for u in workload.updates(90)
+            if int(u.sign) == 1
+        ]
+        assert before.count("R") < 30
+        later_workload = fig12_workload(burst_after_arrivals=100)
+        later = [
+            u.relation
+            for u in later_workload.updates(400)
+            if int(u.sign) == 1
+        ]
+        # Once bursting, ∆R dominates the tail.
+        tail = later[-200:]
+        assert tail.count("R") > 100
