@@ -93,3 +93,34 @@ def monotone_non_decreasing(
         later >= earlier * (1.0 - tolerance)
         for earlier, later in zip(values, values[1:])
     )
+
+
+def decision_markers(series) -> List[Dict[str, object]]:
+    """Plot annotations from a run's series: one marker per decision.
+
+    Each :class:`~repro.engine.runtime.SeriesPoint` carries the
+    adaptivity decisions that fired inside its sample window; this
+    flattens them into ``{x, action, candidate_id, net, label}`` dicts so
+    Figure 12/13-style plots can draw "cache X added here" markers at the
+    right x position.
+    """
+    markers: List[Dict[str, object]] = []
+    for point in series:
+        for decision in point.decisions:
+            verb = {
+                "attach": "added",
+                "detach": "dropped",
+                "monitor_drop": "dropped (monitor)",
+                "memory_reject": "rejected (memory)",
+                "memory_evict": "evicted (memory)",
+            }.get(decision.action, decision.action)
+            markers.append(
+                {
+                    "x": point.x,
+                    "action": decision.action,
+                    "candidate_id": decision.candidate_id,
+                    "net": decision.net,
+                    "label": f"cache {decision.candidate_id} {verb}",
+                }
+            )
+    return markers

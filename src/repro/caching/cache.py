@@ -53,6 +53,11 @@ class Cache:
         self.store = store if store is not None else DirectMappedStore(buckets)
         self.probes = 0
         self.hits = 0
+        # Lifetime totals: unlike probes/hits these survive the periodic
+        # reset_counters() of a profiler harvest, so exporters see the
+        # whole run's activity.
+        self.total_probes = 0
+        self.total_hits = 0
         self._memory_bytes = 0
         self._entry_base = (
             ENTRY_OVERHEAD_BYTES + key.width * KEY_COMPONENT_BYTES
@@ -77,11 +82,13 @@ class Cache:
         slots differ even though entry keys coincide.
         """
         self.probes += 1
+        self.total_probes += 1
         probe_key = (key or self.key).probe_value(composite)
         value = self.store.get(probe_key)
         if value is None:
             return probe_key, None
         self.hits += 1
+        self.total_hits += 1
         return probe_key, list(value.values())
 
     def create(self, probe_key: tuple, composites: List[CompositeTuple]) -> int:
@@ -168,9 +175,26 @@ class Cache:
         return 1.0 - self.hits / self.probes
 
     def reset_counters(self) -> None:
-        """Zero the probe/hit counters (after a profiler harvest)."""
+        """Zero the windowed probe/hit counters (after a profiler
+        harvest); the lifetime totals keep accumulating."""
         self.probes = 0
         self.hits = 0
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Point-in-time stats for exporters and the metrics registry."""
+        return {
+            "name": self.name,
+            "owner_pipeline": self.owner_pipeline,
+            "segment": list(self.segment),
+            "entries": self.entry_count,
+            "memory_bytes": self.memory_bytes,
+            "probes": self.total_probes,
+            "hits": self.total_hits,
+            "hit_rate": (
+                self.total_hits / self.total_probes
+                if self.total_probes else 0.0
+            ),
+        }
 
     def __repr__(self) -> str:
         seg = "⋈".join(self.segment)

@@ -5,9 +5,15 @@
     python -m repro spectrum D2 --arrivals 12000
     python -m repro table2
     python -m repro demo
+    python -m repro trace fig12 --jsonl fig12-trace.jsonl
 
 Arrival counts trade precision for time; the defaults match the
 benchmark suite's.
+
+Observability: ``trace`` runs one experiment with the structured tracer
+enabled and prints an event summary; ``--obs-jsonl PATH`` on ``figure``,
+``spectrum``, and ``demo`` writes the merged trace + decision chronology
+of the run as JSONL (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -16,8 +22,14 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.bench import figures
 from repro.bench.harness import ExperimentRow, format_rows
+from repro.obs.export import (
+    observability_to_jsonl,
+    registry_to_prometheus,
+    write_jsonl,
+)
 
 FIGURES: Dict[str, str] = {
     "fig6": "varying cache hit probability (T.B multiplicity 1-10)",
@@ -168,6 +180,67 @@ def cmd_demo(args: argparse.Namespace) -> str:
     )
 
 
+TRACEABLE = tuple(sorted(FIGURES)) + ("demo",)
+
+
+def _run_experiment(name: str, args: argparse.Namespace) -> str:
+    """Dispatch one traceable experiment by name (figure key or demo)."""
+    if name == "demo":
+        return cmd_demo(args)
+    if name == "fig12":
+        return _run_fig12(args.arrivals)
+    if name == "fig13":
+        return _run_fig13(args.arrivals)
+    return _run_row_figure(name, args.arrivals)
+
+
+def _trace_summary(active: "obs.Observability") -> str:
+    """Human-readable recap of what one traced run captured."""
+    lines = ["trace summary:"]
+    for kind in active.tracer.kinds():
+        count = len(active.tracer.events(kind))
+        dropped = active.tracer.dropped.get(kind, 0)
+        note = f" ({dropped} dropped)" if dropped else ""
+        lines.append(f"  {kind:<18} {count:>8} events{note}")
+    lines.append(f"  {'decisions':<18} {len(active.decisions):>8} records")
+    for record in active.decisions.entries()[-12:]:
+        net = f" net={record.net:,.0f}" if record.net is not None else ""
+        lines.append(
+            f"    t={record.t_us / 1e6:>9.3f}s {record.action:<13} "
+            f"{record.candidate_id:<8}{net}  {record.reason}"
+        )
+    return "\n".join(lines)
+
+
+def _ensure_writable(path: Optional[str]) -> None:
+    """Fail fast on an unwritable export path — before the experiment
+    runs, not after minutes of work produce a trace with nowhere to go."""
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8"):
+            pass
+    except OSError as error:
+        raise SystemExit(f"cannot write {path}: {error}")
+
+
+def cmd_trace(args: argparse.Namespace) -> str:
+    """``trace EXP``: run one experiment with structured tracing on."""
+    _ensure_writable(args.jsonl)
+    _ensure_writable(args.prometheus)
+    active = obs.Observability.tracing()
+    with obs.session(active):
+        body = _run_experiment(args.experiment, args)
+    lines = [body, "", _trace_summary(active)]
+    if args.jsonl:
+        write_jsonl(args.jsonl, observability_to_jsonl(active))
+        lines.append(f"wrote JSONL trace to {args.jsonl}")
+    if args.prometheus:
+        write_jsonl(args.prometheus, registry_to_prometheus(active.registry))
+        lines.append(f"wrote Prometheus metrics to {args.prometheus}")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (also used by the tests)."""
     parser = argparse.ArgumentParser(
@@ -183,6 +256,10 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate one figure's series")
     figure.add_argument("name", choices=sorted(FIGURES))
     figure.add_argument("--arrivals", type=int, default=None)
+    figure.add_argument(
+        "--obs-jsonl", metavar="PATH", default=None,
+        help="run with tracing enabled; write the JSONL chronology here",
+    )
     figure.set_defaults(handler=cmd_figure)
 
     spectrum = sub.add_parser(
@@ -192,6 +269,10 @@ def build_parser() -> argparse.ArgumentParser:
         "point", choices=[f"D{i}" for i in range(1, 9)]
     )
     spectrum.add_argument("--arrivals", type=int, default=None)
+    spectrum.add_argument(
+        "--obs-jsonl", metavar="PATH", default=None,
+        help="run with tracing enabled; write the JSONL chronology here",
+    )
     spectrum.set_defaults(handler=cmd_spectrum)
 
     sub.add_parser("table2", help="print Table 2").set_defaults(
@@ -200,7 +281,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="adaptive caching vs MJoin, quickly")
     demo.add_argument("--arrivals", type=int, default=None)
+    demo.add_argument(
+        "--obs-jsonl", metavar="PATH", default=None,
+        help="run with tracing enabled; write the JSONL chronology here",
+    )
     demo.set_defaults(handler=cmd_demo)
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment with structured tracing on"
+    )
+    trace.add_argument("experiment", choices=TRACEABLE)
+    trace.add_argument("--arrivals", type=int, default=None)
+    trace.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="write the merged trace + decision JSONL here",
+    )
+    trace.add_argument(
+        "--prometheus", metavar="PATH", default=None,
+        help="write a Prometheus-style metrics dump here",
+    )
+    trace.set_defaults(handler=cmd_trace)
     return parser
 
 
@@ -209,7 +309,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        print(args.handler(args))
+        obs_jsonl = getattr(args, "obs_jsonl", None)
+        if obs_jsonl:
+            _ensure_writable(obs_jsonl)
+            active = obs.Observability.tracing()
+            with obs.session(active):
+                output = args.handler(args)
+            write_jsonl(obs_jsonl, observability_to_jsonl(active))
+            output += f"\nwrote JSONL trace to {obs_jsonl}"
+        else:
+            output = args.handler(args)
+        print(output)
     except BrokenPipeError:  # e.g. `python -m repro table2 | head`
         try:
             sys.stdout.close()

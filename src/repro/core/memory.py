@@ -42,10 +42,32 @@ class CacheDemand:
 
 @dataclass
 class AllocationResult:
-    """Outcome of one admission round: admitted/rejected caches and pages."""
+    """Outcome of one admission round: admitted/rejected caches and pages.
+
+    ``audit`` records the round in admission order as
+    ``(verdict, demand)`` pairs (verdict ``"admit"`` or ``"reject"``), so
+    the adaptivity decision log can report *why* a selected cache never
+    went live — its priority, expected footprint, and the page budget it
+    collided with.
+    """
     admitted: List[CandidateCache] = field(default_factory=list)
     rejected: List[CandidateCache] = field(default_factory=list)
     pages_used: int = 0
+    audit: List[Tuple[str, CacheDemand]] = field(default_factory=list)
+
+    def explain(self) -> List[Dict[str, object]]:
+        """The admission round as plain dicts (exporter-friendly)."""
+        return [
+            {
+                "verdict": verdict,
+                "candidate_id": demand.candidate.candidate_id,
+                "net_benefit": demand.net_benefit,
+                "expected_bytes": demand.expected_bytes,
+                "expected_pages": demand.expected_pages,
+                "priority": demand.priority,
+            }
+            for verdict, demand in self.audit
+        ]
 
 
 class MemoryAllocator:
@@ -75,12 +97,15 @@ class MemoryAllocator:
             if budget is None:
                 result.admitted.append(demand.candidate)
                 result.pages_used += demand.expected_pages
+                result.audit.append(("admit", demand))
                 continue
             if result.pages_used + demand.expected_pages <= budget:
                 result.admitted.append(demand.candidate)
                 result.pages_used += demand.expected_pages
+                result.audit.append(("admit", demand))
             else:
                 result.rejected.append(demand.candidate)
+                result.audit.append(("reject", demand))
         return result
 
     def over_budget(self, used_bytes: int) -> bool:

@@ -145,6 +145,15 @@ class Profiler:
         profile = self.profiles.get(relation)
         if profile is not None:
             profile.record_sample(sample)
+        ctx = self.executor.ctx
+        if ctx.obs.enabled:
+            ctx.obs.tracer.emit(
+                "profile_sample",
+                ctx.clock.now_us,
+                pipeline=relation,
+                deltas=list(sample.deltas),
+                taus=[round(t, 3) for t in sample.taus],
+            )
 
     def _observe_miss(self, candidate_id: str, observation: float) -> None:
         window = self.miss_windows.setdefault(

@@ -31,6 +31,7 @@ from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import cost_model
+from repro.obs import decisions as decisions_log
 from repro.core.candidates import (
     CandidateCache,
     enumerate_candidates,
@@ -231,6 +232,7 @@ class Reoptimizer:
     # improvement (a): continuous monitoring of used caches
     # ------------------------------------------------------------------
     def _monitor_used(self) -> None:
+        ctx = self.executor.ctx
         for candidate_id, wired in list(self.wiring.wired.items()):
             if not wired.lookup_attached:
                 continue
@@ -238,10 +240,20 @@ class Reoptimizer:
             stats = self.profiler.statistics_for(wired.candidate)
             if stats is None:
                 continue
-            net = cost_model.net_benefit(
-                stats, self.executor.ctx.cost_model
-            )
+            net = cost_model.net_benefit(stats, ctx.cost_model)
             if net < 0:
+                ctx.obs.decisions.record(
+                    ctx.clock.now_us,
+                    decisions_log.MONITOR_DROP,
+                    candidate_id,
+                    reason="continuous monitor: benefit - cost went negative",
+                    reopt_seq=ctx.metrics.reoptimizations,
+                    stats=stats,
+                    benefit=cost_model.benefit(stats, ctx.cost_model),
+                    cost=cost_model.cost(stats, ctx.cost_model),
+                    memory_used_bytes=self.wiring.memory_bytes(),
+                    memory_budget_bytes=self.allocator.budget_bytes,
+                )
                 self.wiring.detach(candidate_id)
                 self.states[candidate_id] = CandidateState.UNUSED
 
@@ -250,8 +262,10 @@ class Reoptimizer:
     # ------------------------------------------------------------------
     def reoptimize(self, force: bool = False) -> List[CandidateCache]:
         """Run offline selection on current estimates and apply the diff."""
-        cm = self.executor.ctx.cost_model
-        metrics = self.executor.ctx.metrics
+        ctx = self.executor.ctx
+        cm = ctx.cost_model
+        metrics = ctx.metrics
+        obs = ctx.obs
         stats: Dict[str, cost_model.CacheStatistics] = {}
         for candidate_id, wired in self.wiring.wired.items():
             self.profiler.harvest_used_cache(candidate_id, wired.cache)
@@ -270,11 +284,23 @@ class Reoptimizer:
             for cid, s in stats.items()
         }
         if not force and not self._changed_significantly(signature):
+            if obs.enabled:
+                obs.tracer.emit(
+                    "reoptimize",
+                    ctx.clock.now_us,
+                    applied=False,
+                    reason="below change threshold",
+                    candidates_estimated=len(stats),
+                    used=sorted(
+                        c.candidate_id for c in self._currently_used()
+                    ),
+                )
             self._resume_all_suspended()
             return self._currently_used()
         self._last_signature = signature
         metrics.reoptimizations += 1
-        self.executor.ctx.clock.charge(
+        reopt_seq = metrics.reoptimizations
+        ctx.clock.charge(
             cm.reoptimize_base + cm.reoptimize_candidate * len(stats)
         )
         problem = self._build_problem(stats, cm)
@@ -283,9 +309,73 @@ class Reoptimizer:
             method=self.config.selection_method,
             exhaustive_limit=self.config.exhaustive_limit,
         )
-        admitted = self._allocate_memory(selected, stats, cm)
+        admitted = self._allocate_memory(selected, stats, cm, reopt_seq)
+        previously_used = {
+            c.candidate_id for c in self.wiring.used_candidates()
+        }
         self._apply(admitted)
+        self._record_selection(
+            stats, signature, admitted, previously_used, reopt_seq
+        )
         return admitted
+
+    def _record_selection(
+        self,
+        stats: Dict[str, cost_model.CacheStatistics],
+        signature: Dict[str, Tuple[float, float]],
+        admitted: List[CandidateCache],
+        previously_used: set,
+        reopt_seq: int,
+    ) -> None:
+        """Log one re-optimization's add/drop decisions and trace event."""
+        ctx = self.executor.ctx
+        now_us = ctx.clock.now_us
+        memory_used = self.wiring.memory_bytes()
+        budget = self.allocator.budget_bytes
+        target = {c.candidate_id for c in admitted}
+        added = sorted(target - previously_used)
+        dropped = sorted(previously_used - target)
+        for candidate_id in added:
+            benefit, cost = signature.get(candidate_id, (None, None))
+            ctx.obs.decisions.record(
+                now_us,
+                decisions_log.ATTACH,
+                candidate_id,
+                reason="selected by re-optimization",
+                reopt_seq=reopt_seq,
+                stats=stats.get(candidate_id),
+                benefit=benefit,
+                cost=cost,
+                memory_used_bytes=memory_used,
+                memory_budget_bytes=budget,
+            )
+        for candidate_id in dropped:
+            benefit, cost = signature.get(candidate_id, (None, None))
+            ctx.obs.decisions.record(
+                now_us,
+                decisions_log.DETACH,
+                candidate_id,
+                reason="deselected by re-optimization",
+                reopt_seq=reopt_seq,
+                stats=stats.get(candidate_id),
+                benefit=benefit,
+                cost=cost,
+                memory_used_bytes=memory_used,
+                memory_budget_bytes=budget,
+            )
+        if ctx.obs.enabled:
+            ctx.obs.tracer.emit(
+                "reoptimize",
+                now_us,
+                applied=True,
+                reopt_seq=reopt_seq,
+                candidates_estimated=len(stats),
+                used=sorted(target),
+                added=added,
+                dropped=dropped,
+                memory_used_bytes=memory_used,
+                memory_budget_bytes=budget,
+            )
 
     def _changed_significantly(
         self, signature: Dict[str, Tuple[float, float]]
@@ -343,6 +433,7 @@ class Reoptimizer:
         selected: List[CandidateCache],
         stats: Dict[str, cost_model.CacheStatistics],
         cm,
+        reopt_seq: int = 0,
     ) -> List[CandidateCache]:
         """Section 5: admit the selection greedily by net benefit per byte."""
         if self.allocator.budget_bytes is None:
@@ -365,6 +456,35 @@ class Reoptimizer:
             )
             members_of[token] = members
         result = self.allocator.admit(demands)
+        ctx = self.executor.ctx
+        for verdict, demand in result.audit:
+            if verdict != "reject":
+                continue
+            for member in members_of[demand.candidate.share_token]:
+                candidate_id = member.candidate_id
+                member_stats = stats.get(candidate_id)
+                ctx.obs.decisions.record(
+                    ctx.clock.now_us,
+                    decisions_log.MEMORY_REJECT,
+                    candidate_id,
+                    reason=(
+                        "selected but denied pages "
+                        f"({result.pages_used} pages already committed)"
+                    ),
+                    reopt_seq=reopt_seq,
+                    stats=member_stats,
+                    benefit=(
+                        cost_model.benefit(member_stats, cm)
+                        if member_stats is not None else None
+                    ),
+                    cost=(
+                        cost_model.cost(member_stats, cm)
+                        if member_stats is not None else None
+                    ),
+                    memory_used_bytes=self.wiring.memory_bytes(),
+                    memory_budget_bytes=self.allocator.budget_bytes,
+                    expected_bytes=demand.expected_bytes,
+                )
         admitted: List[CandidateCache] = []
         for representative in result.admitted:
             admitted.extend(members_of[representative.share_token])
@@ -424,11 +544,14 @@ class Reoptimizer:
         used_bytes = self.wiring.memory_bytes()
         if not self.allocator.over_budget(used_bytes):
             return []
-        cm = self.executor.ctx.cost_model
+        ctx = self.executor.ctx
+        cm = ctx.cost_model
         priorities: Dict[str, float] = {}
         usage: Dict[str, int] = {}
+        victim_stats: Dict[str, Optional[cost_model.CacheStatistics]] = {}
         for candidate_id, wired in self.wiring.wired.items():
             stats = self.profiler.statistics_for(wired.candidate)
+            victim_stats[candidate_id] = stats
             memory = max(1, wired.cache.memory_bytes)
             usage[candidate_id] = wired.cache.memory_bytes
             if stats is None:
@@ -438,7 +561,38 @@ class Reoptimizer:
                     cost_model.net_benefit(stats, cm) / memory
                 )
         victims = self.allocator.victims(priorities, usage, used_bytes)
+        if victims and ctx.obs.enabled:
+            ctx.obs.tracer.emit(
+                "memory_pressure",
+                ctx.clock.now_us,
+                used_bytes=used_bytes,
+                budget_bytes=self.allocator.budget_bytes,
+                victims=list(victims),
+            )
         for candidate_id in victims:
+            stats = victim_stats.get(candidate_id)
+            ctx.obs.decisions.record(
+                ctx.clock.now_us,
+                decisions_log.MEMORY_EVICT,
+                candidate_id,
+                reason=(
+                    f"memory pressure: {used_bytes} bytes in use over "
+                    f"budget {self.allocator.budget_bytes}"
+                ),
+                reopt_seq=ctx.metrics.reoptimizations,
+                stats=stats,
+                benefit=(
+                    cost_model.benefit(stats, cm)
+                    if stats is not None else None
+                ),
+                cost=(
+                    cost_model.cost(stats, cm)
+                    if stats is not None else None
+                ),
+                memory_used_bytes=used_bytes,
+                memory_budget_bytes=self.allocator.budget_bytes,
+                expected_bytes=float(usage.get(candidate_id, 0)),
+            )
             self.wiring.detach(candidate_id)
             self.states[candidate_id] = CandidateState.PROFILED
             candidate = self.candidates.get(candidate_id)

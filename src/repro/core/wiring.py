@@ -160,7 +160,19 @@ class CacheWiring:
             tap_pipelines=tuple(maintained),
         )
         self.wired[candidate.candidate_id] = wired
-        self.executor.ctx.metrics.caches_added += 1
+        ctx = self.executor.ctx
+        ctx.metrics.caches_added += 1
+        if ctx.obs.enabled:
+            ctx.obs.tracer.emit(
+                "cache_attach",
+                ctx.clock.now_us,
+                candidate_id=candidate.candidate_id,
+                owner=candidate.owner,
+                segment=list(candidate.segment),
+                is_global=candidate.is_global,
+                shared_store=not first_user,
+                taps=list(maintained),
+            )
         return wired
 
     def suspend_lookup(self, candidate_id: str) -> None:
@@ -201,7 +213,18 @@ class CacheWiring:
             wired.cache.drop_all()
             del self._instances[token]
             del self._instance_users[token]
-        self.executor.ctx.metrics.caches_dropped += 1
+        ctx = self.executor.ctx
+        ctx.metrics.caches_dropped += 1
+        if ctx.obs.enabled:
+            ctx.obs.tracer.emit(
+                "cache_detach",
+                ctx.clock.now_us,
+                candidate_id=candidate_id,
+                owner=wired.candidate.owner,
+                store_dropped=self._instance_users.get(
+                    wired.candidate.share_token, 0
+                ) == 0,
+            )
 
     def detach_all(self) -> None:
         """Unwire every cache (full plan teardown)."""

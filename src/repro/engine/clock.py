@@ -90,8 +90,13 @@ class WallClock:
         self._start = time.perf_counter()
 
     def charge(self, microseconds: float) -> None:
-        # Real time passes on its own.
-        """Advance virtual time by ``microseconds``."""
+        """Deliberately a no-op: real time passes on its own.
+
+        A wall clock's ``now_us`` advances with ``time.perf_counter``, so
+        charging modeled costs would double-count work; the shared
+        ``charge`` interface is kept only so operators can stay agnostic
+        of which clock they run under.
+        """
         return None
 
     @property

@@ -1,4 +1,13 @@
-"""Execution counters and throughput reporting."""
+"""Execution counters and throughput reporting.
+
+``Metrics`` is the engine's hot-path counter bag and remains the stable
+API for those totals; the richer observability layer lives in
+:mod:`repro.obs`. This module stays a thin façade over that layer: the
+:class:`repro.obs.registry.MetricsRegistry` subsumes every counter here
+under a canonical name (see :meth:`Metrics.publish`), and extends them
+with labelled per-cache/per-operator instruments the flat bag cannot
+express.
+"""
 
 from __future__ import annotations
 
@@ -56,3 +65,12 @@ class Metrics:
         })
         copy.per_cache_hits = dict(self.per_cache_hits)
         return copy
+
+    def publish(self, registry) -> None:
+        """Publish these counters into a :class:`MetricsRegistry`.
+
+        The registry's canonical names (``repro_updates_processed_total``
+        etc.) are defined in :data:`repro.obs.registry.METRICS_FACADE_NAMES`;
+        publishing is idempotent snapshotting, safe to repeat per export.
+        """
+        registry.ingest_metrics(self)

@@ -65,6 +65,10 @@ def series_to_dicts(series: Sequence[SeriesPoint]) -> List[Dict]:
             "cumulative_throughput": point.cumulative_throughput,
             "used_caches": list(point.used_caches),
             "memory_bytes": point.memory_bytes,
+            "hit_rate": point.hit_rate,
+            "decisions": [
+                f"{d.action}:{d.candidate_id}" for d in point.decisions
+            ],
         }
         for point in series
     ]
@@ -75,12 +79,18 @@ def series_to_csv(series: Sequence[SeriesPoint]) -> str:
     records = series_to_dicts(series)
     if not records:
         return ""
+    fieldnames: List[str] = []
+    for record in records:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=list(records[0]))
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
     writer.writeheader()
     for record in records:
         record = dict(record)
         record["used_caches"] = ";".join(record["used_caches"])
+        record["decisions"] = ";".join(record["decisions"])
         writer.writerow(record)
     return buffer.getvalue()
 

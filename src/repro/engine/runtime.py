@@ -110,6 +110,8 @@ class SeriesPoint:
     cumulative_throughput: float
     used_caches: Tuple[str, ...] = ()
     memory_bytes: int = 0
+    hit_rate: float = 0.0        # cache hits / probes over the window
+    decisions: Tuple = ()        # DecisionRecords that fired in the window
 
 
 def run_with_series(
@@ -124,12 +126,19 @@ def run_with_series(
 
     ``x_of`` marks which updates advance the x-axis (Figure 12 counts
     arriving ∆S insertions); by default every update counts.
+
+    Each point also carries the window's cache hit rate and the
+    adaptivity :class:`~repro.obs.decisions.DecisionRecord`s that fired
+    inside it, so plots can annotate "cache X added here" markers.
     """
     series: List[SeriesPoint] = []
     ctx = plan.ctx
     x = 0
     window_start_updates = ctx.metrics.updates_processed
     window_start_time = ctx.clock.now_seconds
+    window_start_probes = ctx.metrics.cache_probes
+    window_start_hits = ctx.metrics.cache_hits
+    window_start_seq = ctx.obs.decisions.last_seq
     for update in updates:
         plan.process(update)
         if x_of is None or x_of(update):
@@ -138,6 +147,9 @@ def run_with_series(
         if processed - window_start_updates >= sample_every_updates:
             now = ctx.clock.now_seconds
             span = max(1e-12, now - window_start_time)
+            probes = ctx.metrics.cache_probes - window_start_probes
+            hits = ctx.metrics.cache_hits - window_start_hits
+            decisions = tuple(ctx.obs.decisions.since(window_start_seq))
             series.append(
                 SeriesPoint(
                     x=x,
@@ -148,8 +160,13 @@ def run_with_series(
                     cumulative_throughput=ctx.metrics.throughput(now),
                     used_caches=tuple(used_caches()) if used_caches else (),
                     memory_bytes=memory() if memory else 0,
+                    hit_rate=hits / probes if probes else 0.0,
+                    decisions=decisions,
                 )
             )
             window_start_updates = processed
             window_start_time = now
+            window_start_probes = ctx.metrics.cache_probes
+            window_start_hits = ctx.metrics.cache_hits
+            window_start_seq = ctx.obs.decisions.last_seq
     return series

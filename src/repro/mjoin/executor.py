@@ -128,6 +128,8 @@ class MJoinExecutor:
     # ------------------------------------------------------------------
     def process(self, update: Update) -> List[OutputDelta]:
         """Process one update to completion; returns the result deltas."""
+        obs = self.ctx.obs
+        started_us = self.ctx.clock.now_us if obs.enabled else 0.0
         pipeline = self.pipelines[update.relation]
         profile = False
         if self.profile_gate is not None:
@@ -143,6 +145,19 @@ class MJoinExecutor:
         self.ctx.clock.charge(cm.output_emit * len(composites))
         self.ctx.metrics.updates_processed += 1
         self.ctx.metrics.outputs_emitted += len(composites)
+        if obs.enabled:
+            now_us = self.ctx.clock.now_us
+            obs.registry.histogram(
+                "repro_pipeline_update_us", {"pipeline": update.relation}
+            ).observe(now_us - started_us)
+            obs.tracer.emit(
+                "update_processed",
+                now_us,
+                pipeline=update.relation,
+                sign=update.sign.name,
+                outputs=len(composites),
+                profiled=profile,
+            )
         return [OutputDelta(c, update.sign) for c in composites]
 
     def run(self, updates: Iterable[Update]) -> List[OutputDelta]:

@@ -1,0 +1,135 @@
+"""Observability for the A-Caching engine: metrics, traces, decisions.
+
+Three layers, bundled into one :class:`Observability` object carried by
+every :class:`~repro.operators.base.ExecContext`:
+
+* :mod:`repro.obs.registry` — named counters/gauges/histograms (the
+  superset of the legacy ``Metrics`` bag; Prometheus-style export);
+* :mod:`repro.obs.tracer` — a bounded ring buffer of typed events
+  stamped with virtual-clock time (off by default, one attribute check
+  on hot paths when off);
+* :mod:`repro.obs.decisions` — the always-on adaptivity decision log:
+  every cache add/drop with the estimates that justified it.
+
+Enabling for a run::
+
+    from repro import obs
+
+    with obs.session() as active:
+        engine = ACaching.for_workload(workload)   # picks up the session
+        engine.run(workload.updates(20_000))
+    print(obs.export.observability_to_jsonl(active, engine.ctx.metrics))
+
+Engines built *inside* an active session adopt it automatically (the
+``ExecContext`` default factory consults :func:`current`), which is how
+the CLI's ``--obs-jsonl`` flag instruments experiment code it never
+constructs directly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro.obs.decisions import DecisionLog, DecisionRecord
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+
+@dataclass
+class Observability:
+    """One session's observability surface.
+
+    ``enabled`` gates everything with per-update cost (trace emission,
+    per-operator histograms); the decision log stays live regardless
+    because decisions are rare and always worth keeping.
+    """
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Union[Tracer, NullTracer] = NULL_TRACER
+    decisions: DecisionLog = field(default_factory=DecisionLog)
+    enabled: bool = False
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The default: no tracing, fresh registry and decision log."""
+        return cls()
+
+    @classmethod
+    def tracing(
+        cls,
+        capacity_per_kind: int = 4096,
+        decision_capacity: int = 4096,
+    ) -> "Observability":
+        """A fully enabled session (live tracer, detailed metrics)."""
+        return cls(
+            registry=MetricsRegistry(),
+            tracer=Tracer(capacity_per_kind=capacity_per_kind),
+            decisions=DecisionLog(capacity=decision_capacity),
+            enabled=True,
+        )
+
+
+# The session-scoped override consulted by ExecContext's default factory.
+_ACTIVE: Optional[Observability] = None
+
+
+def current() -> Optional[Observability]:
+    """The active session observability, or None."""
+    return _ACTIVE
+
+
+def activate(observability: Observability) -> Observability:
+    """Make ``observability`` the session default for new ExecContexts."""
+    global _ACTIVE
+    _ACTIVE = observability
+    return observability
+
+
+def deactivate() -> None:
+    """Clear the session default."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def session(
+    observability: Optional[Observability] = None,
+) -> Iterator[Observability]:
+    """Scope an (enabled, unless given) observability to a ``with`` block."""
+    global _ACTIVE
+    active = (
+        observability if observability is not None else Observability.tracing()
+    )
+    previous = _ACTIVE
+    _ACTIVE = active
+    try:
+        yield active
+    finally:
+        _ACTIVE = previous
+
+
+def default_observability() -> Observability:
+    """ExecContext default: the active session, else a disabled bundle."""
+    return _ACTIVE if _ACTIVE is not None else Observability.disabled()
+
+
+from repro.obs import export  # noqa: E402  (exporters need the types above)
+
+__all__ = [
+    "DecisionLog",
+    "DecisionRecord",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "TraceEvent",
+    "Tracer",
+    "activate",
+    "current",
+    "deactivate",
+    "default_observability",
+    "export",
+    "session",
+]

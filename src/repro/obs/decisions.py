@@ -1,0 +1,192 @@
+"""The adaptivity decision log: *why* every cache was added or dropped.
+
+The re-optimizer (and the runtime memory enforcer) record one
+:class:`DecisionRecord` per cache add/drop/reject with everything that
+justified the decision at that instant: the benefit/cost estimates from
+the cost model, the profiler statistics they were computed from (``dij``,
+``cij``, miss probability, maintenance rate), and the memory quota state.
+A record is self-contained — reconstructing its
+:class:`~repro.core.cost_model.CacheStatistics` and re-running the cost
+model reproduces the recorded benefit/cost exactly, which is the
+audit-trail property the log exists for.
+
+Unlike the tracer, the log is **always on**: decisions happen at
+re-optimization frequency (seconds of virtual time apart), so recording
+them costs nothing measurable, and series runners can annotate throughput
+curves with "cache X added here" markers without any opt-in.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+DEFAULT_CAPACITY = 4096
+
+# Decision actions.
+ATTACH = "attach"            # selection wired a cache in
+DETACH = "detach"            # selection unwired a cache
+MONITOR_DROP = "monitor_drop"    # continuous monitor saw negative net
+MEMORY_REJECT = "memory_reject"  # selected but denied pages at admission
+MEMORY_EVICT = "memory_evict"    # dropped at run time to fit the budget
+KEEP = "keep"                # re-selected; left wired (not logged by default)
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One cache add/drop decision, with its full justification."""
+
+    seq: int                     # log-wide sequence number
+    t_us: float                  # virtual-clock time of the decision
+    action: str                  # one of the module's action constants
+    candidate_id: str
+    reason: str                  # free-text: which mechanism decided
+    reopt_seq: int               # metrics.reoptimizations at decision time
+    benefit: Optional[float] = None   # µs/sec saved (cost model estimate)
+    cost: Optional[float] = None      # µs/sec of maintenance
+    # The profiler statistics the estimates were computed from:
+    segment_d: Tuple[float, ...] = ()   # dij per segment operator
+    segment_c: Tuple[float, ...] = ()   # cij per segment operator
+    d_out: Optional[float] = None
+    miss_prob: Optional[float] = None
+    maintenance_rate: Optional[float] = None
+    key_width: Optional[int] = None
+    anchor_size: Optional[int] = None
+    # Memory quota state at decision time:
+    memory_used_bytes: Optional[int] = None
+    memory_budget_bytes: Optional[int] = None
+    expected_bytes: Optional[float] = None
+
+    @property
+    def net(self) -> Optional[float]:
+        """benefit − cost, when both estimates were recorded."""
+        if self.benefit is None or self.cost is None:
+            return None
+        return self.benefit - self.cost
+
+    def statistics(self):
+        """Rebuild the :class:`CacheStatistics` this decision used.
+
+        Returns None for records made without profiler statistics (e.g. a
+        memory eviction of a cache whose stats were unavailable).
+        """
+        if not self.segment_d or self.miss_prob is None:
+            return None
+        from repro.core.cost_model import CacheStatistics
+
+        return CacheStatistics(
+            segment_d=tuple(self.segment_d),
+            segment_c=tuple(self.segment_c),
+            d_out=self.d_out if self.d_out is not None else 0.0,
+            miss_prob=self.miss_prob,
+            maintenance_rate=(
+                self.maintenance_rate
+                if self.maintenance_rate is not None else 0.0
+            ),
+            key_width=self.key_width if self.key_width is not None else 1,
+            anchor_size=self.anchor_size if self.anchor_size is not None else 0,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat dict form used by the JSONL exporter."""
+        return {
+            "seq": self.seq,
+            "kind": "decision",
+            "t_us": self.t_us,
+            "action": self.action,
+            "candidate_id": self.candidate_id,
+            "reason": self.reason,
+            "reopt_seq": self.reopt_seq,
+            "benefit": self.benefit,
+            "cost": self.cost,
+            "net": self.net,
+            "segment_d": list(self.segment_d),
+            "segment_c": list(self.segment_c),
+            "d_out": self.d_out,
+            "miss_prob": self.miss_prob,
+            "maintenance_rate": self.maintenance_rate,
+            "key_width": self.key_width,
+            "anchor_size": self.anchor_size,
+            "memory_used_bytes": self.memory_used_bytes,
+            "memory_budget_bytes": self.memory_budget_bytes,
+            "expected_bytes": self.expected_bytes,
+        }
+
+
+class DecisionLog:
+    """A bounded, always-on log of adaptivity decisions."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("decision log capacity must be positive")
+        self.capacity = capacity
+        self._records: Deque[DecisionRecord] = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0
+
+    def record(
+        self,
+        t_us: float,
+        action: str,
+        candidate_id: str,
+        reason: str,
+        reopt_seq: int = 0,
+        stats=None,
+        benefit: Optional[float] = None,
+        cost: Optional[float] = None,
+        memory_used_bytes: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+        expected_bytes: Optional[float] = None,
+    ) -> DecisionRecord:
+        """Append one decision; ``stats`` is an optional CacheStatistics."""
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._seq += 1
+        record = DecisionRecord(
+            seq=self._seq,
+            t_us=t_us,
+            action=action,
+            candidate_id=candidate_id,
+            reason=reason,
+            reopt_seq=reopt_seq,
+            benefit=benefit,
+            cost=cost,
+            segment_d=tuple(stats.segment_d) if stats is not None else (),
+            segment_c=tuple(stats.segment_c) if stats is not None else (),
+            d_out=stats.d_out if stats is not None else None,
+            miss_prob=stats.miss_prob if stats is not None else None,
+            maintenance_rate=(
+                stats.maintenance_rate if stats is not None else None
+            ),
+            key_width=stats.key_width if stats is not None else None,
+            anchor_size=stats.anchor_size if stats is not None else None,
+            memory_used_bytes=memory_used_bytes,
+            memory_budget_bytes=memory_budget_bytes,
+            expected_bytes=expected_bytes,
+        )
+        self._records.append(record)
+        return record
+
+    def entries(self) -> List[DecisionRecord]:
+        """All retained records, oldest first."""
+        return list(self._records)
+
+    def since(self, seq: int) -> List[DecisionRecord]:
+        """Records with sequence number strictly greater than ``seq``.
+
+        The series runner uses this to attribute decisions to the sample
+        window they fired in.
+        """
+        return [r for r in self._records if r.seq > seq]
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent record (0 when empty)."""
+        return self._seq
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DecisionLog({len(self)} records, dropped={self.dropped})"

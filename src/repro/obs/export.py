@@ -1,0 +1,141 @@
+"""Exporters: JSONL traces and Prometheus-style text metrics.
+
+Two output shapes:
+
+* **JSONL** — one JSON object per line, each with ``kind`` and ``t_us``,
+  merging the tracer's typed events with the decision log (decisions get
+  ``kind = "decision"``). Sorted by virtual time then sequence so the
+  file reads as a chronology of the run.
+* **Prometheus text** — every registry instrument in the classic
+  ``name{label="v"} value`` exposition format (histograms expand into
+  ``_bucket``/``_sum``/``_count`` families), after ingesting the engine's
+  legacy ``Metrics`` counters so one dump covers both layers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.decisions import DecisionLog, DecisionRecord
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import TraceEvent
+
+
+def _json_default(value: object) -> object:
+    if isinstance(value, (set, frozenset, tuple)):
+        return sorted(value) if isinstance(value, (set, frozenset)) else list(value)
+    return str(value)
+
+
+def _dump_line(record: Dict[str, object]) -> str:
+    return json.dumps(record, sort_keys=True, default=_json_default)
+
+
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Render trace events as JSONL (one event per line)."""
+    return "\n".join(_dump_line(e.to_dict()) for e in events)
+
+
+def decisions_to_jsonl(log: DecisionLog) -> str:
+    """Render the decision log as JSONL."""
+    return "\n".join(_dump_line(r.to_dict()) for r in log.entries())
+
+
+def observability_to_jsonl(observability, metrics=None) -> str:
+    """One merged JSONL chronology: trace events + decision records.
+
+    ``metrics`` (a legacy ``Metrics`` bag), when given, contributes a
+    final ``run_summary`` line so a trace file is self-describing.
+    """
+    records: List[Dict[str, object]] = [
+        e.to_dict() for e in observability.tracer.events()
+    ]
+    records.extend(r.to_dict() for r in observability.decisions.entries())
+    records.sort(key=lambda r: (r.get("t_us", 0.0), r.get("seq", 0)))
+    lines = [_dump_line(r) for r in records]
+    if metrics is not None:
+        summary = {
+            "kind": "run_summary",
+            "updates_processed": metrics.updates_processed,
+            "outputs_emitted": metrics.outputs_emitted,
+            "cache_probes": metrics.cache_probes,
+            "cache_hits": metrics.cache_hits,
+            "hit_rate": metrics.hit_rate,
+            "reoptimizations": metrics.reoptimizations,
+            "caches_added": metrics.caches_added,
+            "caches_dropped": metrics.caches_dropped,
+            "trace_events": len(observability.tracer.events()),
+            "decisions": len(observability.decisions),
+        }
+        lines.append(_dump_line(summary))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text exposition
+# ----------------------------------------------------------------------
+def _format_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def registry_to_prometheus(
+    registry: MetricsRegistry, metrics=None
+) -> str:
+    """Render the registry in Prometheus text exposition format.
+
+    ``metrics`` (a legacy ``Metrics`` bag), when given, is ingested first
+    so the dump subsumes the flat counters too.
+    """
+    if metrics is not None:
+        registry.ingest_metrics(metrics)
+    lines: List[str] = []
+    for counter in registry.counters():
+        lines.append(
+            f"{counter.name}{_format_labels(counter.labels)} "
+            f"{_format_value(counter.value)}"
+        )
+    for gauge in registry.gauges():
+        lines.append(
+            f"{gauge.name}{_format_labels(gauge.labels)} "
+            f"{_format_value(gauge.value)}"
+        )
+    for histogram in registry.histograms():
+        base = dict(histogram.labels)
+        for bound, cumulative in histogram.cumulative_counts():
+            labels = dict(base)
+            labels["le"] = _format_value(bound)
+            lines.append(
+                f"{histogram.name}_bucket"
+                f"{_format_labels(tuple(sorted(labels.items())))} "
+                f"{cumulative}"
+            )
+        lines.append(
+            f"{histogram.name}_sum{_format_labels(histogram.labels)} "
+            f"{_format_value(histogram.sum)}"
+        )
+        lines.append(
+            f"{histogram.name}_count{_format_labels(histogram.labels)} "
+            f"{histogram.count}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(path: str, text: str) -> None:
+    """Write a JSONL/metrics export to disk with a trailing newline."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if text and not text.endswith("\n"):
+            handle.write("\n")

@@ -7,6 +7,7 @@ from typing import Union
 
 from repro.engine.clock import CostModel, VirtualClock, WallClock
 from repro.engine.metrics import Metrics
+from repro.obs import Observability, default_observability
 
 
 @dataclass
@@ -16,8 +17,14 @@ class ExecContext:
     Operators charge all work to ``clock`` using the unit costs in
     ``cost_model`` and bump counters on ``metrics``; they otherwise touch
     no global state, which keeps them unit-testable in isolation.
+
+    ``obs`` is the observability surface (registry, tracer, decision
+    log). The default is disabled — hot paths pay one ``obs.enabled``
+    attribute check — unless an observability session is active
+    (:func:`repro.obs.session`), in which case new contexts adopt it.
     """
 
     clock: Union[VirtualClock, WallClock] = field(default_factory=VirtualClock)
     cost_model: CostModel = field(default_factory=CostModel)
     metrics: Metrics = field(default_factory=Metrics)
+    obs: Observability = field(default_factory=default_observability)

@@ -89,6 +89,8 @@ class CacheUpdate:
         """Run the maintenance calls for a batch of delta composites."""
         clock, cm = ctx.clock, ctx.cost_model
         is_global = isinstance(self.cache, GlobalCache)
+        obs = ctx.obs
+        applied_count = 0
         for composite in composites:
             # A call on an absent key is only a hash + bucket check
             # (ignored per Section 3.2); applying a delta costs more.
@@ -105,7 +107,16 @@ class CacheUpdate:
                 else:
                     applied = self.cache.maintain_delete(composite)
             if applied:
+                applied_count += 1
                 clock.charge(cm.cache_maintain)
+        if obs.enabled and composites:
+            labels = {"cache": self.cache.name, "pipeline": self.owner}
+            obs.registry.counter(
+                "repro_cache_maintenance_calls_by_cache_total", labels
+            ).inc(len(composites))
+            obs.registry.counter(
+                "repro_cache_maintenance_applied_total", labels
+            ).inc(applied_count)
 
     def __repr__(self) -> str:
         return f"CacheUpdate({self.cache.name}@{self.position} in ∆{self.owner})"

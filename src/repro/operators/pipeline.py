@@ -179,6 +179,7 @@ class Pipeline:
         """
         nops = len(self.operators)
         sample = ProfileSample() if profile else None
+        detail = ctx.obs.enabled
         composites: List[CompositeTuple] = [CompositeTuple.of(self.owner, row)]
         position = 0
         while position <= nops:
@@ -204,8 +205,14 @@ class Pipeline:
                 if profile:
                     ctx.clock.charge(ctx.cost_model.profile_tuple)
                 composites = self.operators[position].apply(composites, ctx)
+                elapsed = ctx.clock.now_us - started
                 if profile:
-                    sample.taus.append(ctx.clock.now_us - started)
+                    sample.taus.append(elapsed)
+                if detail:
+                    ctx.obs.registry.histogram(
+                        "repro_operator_us",
+                        {"pipeline": self.owner, "slot": str(position)},
+                    ).observe(elapsed)
                 position += 1
         return composites, sample
 
@@ -248,9 +255,12 @@ class Pipeline:
         checked_keys: set = set()
         results: List[CompositeTuple] = []
         miss_groups: Dict[tuple, List[CompositeTuple]] = {}
+        hit_count = 0
         for composite in composites:
             clock.charge(cm.cache_probe)
             probe_key, values = cache.probe(composite, lookup.key)
+            if values is not None:
+                hit_count += 1
             ctx.metrics.record_probe(cache.name, hit=values is not None)
             if check_witnesses is not None and probe_key not in checked_keys:
                 checked_keys.add(probe_key)
@@ -264,6 +274,28 @@ class Pipeline:
             clock.charge(cm.cache_hit_tuple * len(values))
             for segment_composite in values:
                 results.append(composite.merge(segment_composite))
+        obs = ctx.obs
+        if obs.enabled and composites:
+            labels = {"cache": cache.name}
+            obs.registry.counter(
+                "repro_cache_probe_batch_total", labels
+            ).inc()
+            obs.registry.counter(
+                "repro_cache_probed_total", labels
+            ).inc(len(composites))
+            obs.registry.counter(
+                "repro_cache_hit_total", labels
+            ).inc(hit_count)
+            obs.tracer.emit(
+                "cache_probe",
+                clock.now_us,
+                cache=cache.name,
+                pipeline=self.owner,
+                probes=len(composites),
+                hits=hit_count,
+                misses=len(composites) - hit_count,
+                sign=sign.name,
+            )
         for probe_key, group in miss_groups.items():
             if probe_key in consumed_keys:
                 # Compute through the operators without creating an entry:
@@ -293,6 +325,10 @@ class Pipeline:
                 cm.cache_create + cm.cache_store_tuple * len(segment_parts)
             )
             ctx.metrics.cache_creates += 1
+            if obs.enabled:
+                obs.registry.counter(
+                    "repro_cache_create_total", {"cache": cache.name}
+                ).inc()
             cache.create(probe_key, segment_parts)
             for i, member in enumerate(group):
                 if i > 0:

@@ -142,6 +142,8 @@ class XJoinExecutor:
     def process(self, update: Update) -> List[OutputDelta]:
         """Propagate one update from its leaf to the root; returns deltas."""
         clock, cm = self.ctx.clock, self.ctx.cost_model
+        obs = self.ctx.obs
+        started_us = clock.now_us if obs.enabled else 0.0
         leaf: JoinTree = Leaf(update.relation)
         delta: List[CompositeTuple] = [
             CompositeTuple.of(update.relation, update.row)
@@ -178,6 +180,19 @@ class XJoinExecutor:
         current = self.memory_in_use()
         if current > self.peak_memory_bytes:
             self.peak_memory_bytes = current
+        if obs.enabled:
+            now_us = clock.now_us
+            obs.registry.histogram(
+                "repro_xjoin_update_us", {"leaf": update.relation}
+            ).observe(now_us - started_us)
+            obs.registry.gauge("repro_xjoin_memory_bytes").set(current)
+            obs.tracer.emit(
+                "update_processed",
+                now_us,
+                leaf=update.relation,
+                sign=update.sign.name,
+                outputs=len(delta),
+            )
         return [OutputDelta(c, update.sign) for c in delta]
 
     def run(self, updates: Iterable[Update]) -> List[OutputDelta]:

@@ -1,0 +1,101 @@
+"""Unit tests for the virtual cost clock (engine/clock.py).
+
+Includes the calibration check the ``CostModel`` docstring promises:
+with default unit costs a three-way indexed MJoin lands on the order of
+50k updates per virtual second, the scale of the paper's Figures 6-13.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.clock import CostModel, Stopwatch, VirtualClock, WallClock
+from repro.planner.enumeration import run_mjoin
+from repro.streams.workloads import three_way_chain
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        clock = VirtualClock()
+        assert clock.now_us == 0.0
+        assert clock.now_seconds == 0.0
+
+    def test_charge_accumulates(self):
+        clock = VirtualClock()
+        clock.charge(5.0)
+        clock.charge(2.5)
+        assert clock.now_us == pytest.approx(7.5)
+
+    def test_now_seconds_converts_microseconds(self):
+        clock = VirtualClock()
+        clock.charge(2_500_000.0)
+        assert clock.now_seconds == pytest.approx(2.5)
+
+    def test_zero_and_fractional_charges(self):
+        clock = VirtualClock()
+        clock.charge(0.0)
+        assert clock.now_us == 0.0
+        clock.charge(0.15)
+        assert clock.now_us == pytest.approx(0.15)
+
+
+class TestWallClock:
+    def test_charge_is_a_noop(self):
+        clock = WallClock()
+        before = clock.now_us
+        clock.charge(10_000_000.0)
+        # Virtual charges must not advance a wall clock: only the tiny
+        # real delay between the two reads may.
+        assert clock.now_us - before < 1_000_000.0
+
+    def test_advances_with_real_time(self):
+        clock = WallClock()
+        first = clock.now_us
+        time.sleep(0.01)
+        assert clock.now_us > first
+
+    def test_now_seconds_matches_now_us(self):
+        clock = WallClock()
+        assert clock.now_seconds == pytest.approx(
+            clock.now_us / 1e6, abs=0.05
+        )
+
+
+class TestStopwatch:
+    def test_measures_charged_span(self):
+        clock = VirtualClock()
+        watch = Stopwatch(clock)
+        clock.charge(3.0)
+        watch.start()
+        clock.charge(4.5)
+        clock.charge(1.5)
+        assert watch.elapsed_us() == pytest.approx(6.0)
+
+    def test_restart_resets_origin(self):
+        clock = VirtualClock()
+        watch = Stopwatch(clock)
+        watch.start()
+        clock.charge(9.0)
+        watch.start()
+        clock.charge(2.0)
+        assert watch.elapsed_us() == pytest.approx(2.0)
+
+
+class TestCostModelCalibration:
+    def test_defaults_are_positive(self):
+        cm = CostModel()
+        for name, value in cm.__dict__.items():
+            assert value > 0, name
+
+    def test_three_way_indexed_mjoin_rate(self):
+        """The CostModel docstring's claim: a three-way indexed MJoin
+        processes on the order of 50k updates per virtual second."""
+        result = run_mjoin(lambda: three_way_chain(), 6000)
+        assert 20_000 <= result.throughput <= 200_000
+
+    def test_virtual_throughput_is_deterministic(self):
+        """Virtual time depends only on operation counts, so the same
+        run yields bit-identical throughput."""
+        first = run_mjoin(lambda: three_way_chain(), 3000)
+        second = run_mjoin(lambda: three_way_chain(), 3000)
+        assert first.throughput == second.throughput

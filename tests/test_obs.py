@@ -1,0 +1,267 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.engine.metrics import Metrics
+from repro.obs.decisions import ATTACH, DETACH, DecisionLog, MEMORY_EVICT
+from repro.obs.export import (
+    decisions_to_jsonl,
+    events_to_jsonl,
+    observability_to_jsonl,
+    registry_to_prometheus,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    METRICS_FACADE_NAMES,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.core.cost_model import CacheStatistics
+
+
+class TestTracer:
+    def test_emit_and_read_back(self):
+        tracer = Tracer()
+        event = tracer.emit("reoptimize", 42.0, applied=True)
+        assert event.kind == "reoptimize"
+        assert event.t_us == 42.0
+        assert event.data["applied"] is True
+        assert tracer.events("reoptimize") == [event]
+
+    def test_seq_is_total_order_across_kinds(self):
+        tracer = Tracer()
+        tracer.emit("cache_probe", 1.0)
+        tracer.emit("reoptimize", 2.0)
+        tracer.emit("cache_probe", 3.0)
+        seqs = [e.seq for e in tracer.events()]
+        assert seqs == sorted(seqs) == [1, 2, 3]
+
+    def test_ring_bounded_per_kind(self):
+        tracer = Tracer(capacity_per_kind=8)
+        for i in range(100):
+            tracer.emit("update_processed", float(i))
+        tracer.emit("reoptimize", 999.0)
+        # The flood of hot events wrapped its own ring only...
+        assert len(tracer.events("update_processed")) == 8
+        assert tracer.dropped["update_processed"] == 92
+        # ...and could not evict the rare kind.
+        assert len(tracer.events("reoptimize")) == 1
+        assert tracer.dropped_total() == 92
+
+    def test_retains_newest_events_on_wrap(self):
+        tracer = Tracer(capacity_per_kind=4)
+        for i in range(10):
+            tracer.emit("cache_probe", float(i))
+        kept = [e.t_us for e in tracer.events("cache_probe")]
+        assert kept == [6.0, 7.0, 8.0, 9.0]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity_per_kind=0)
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit("cache_probe", 1.0)
+        tracer.clear()
+        assert len(tracer) == 0
+        # Sequence numbers keep increasing across a clear.
+        assert tracer.emit("cache_probe", 2.0).seq == 2
+
+    def test_null_tracer_is_disabled_and_empty(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.emit("anything", 1.0, x=1) is None
+        assert NULL_TRACER.events() == []
+        assert len(NULL_TRACER) == 0
+
+    def test_null_tracer_has_no_instance_dict(self):
+        # The no-op guard is one attribute check; the slotted singleton
+        # guarantees no per-event allocation can sneak in.
+        assert not hasattr(NullTracer(), "__dict__")
+
+
+class TestRegistry:
+    def test_counter_get_or_create_and_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_x_total", {"cache": "c1"})
+        counter.inc()
+        counter.inc(2.0)
+        assert registry.counter("repro_x_total", {"cache": "c1"}) is counter
+        assert registry.value("repro_x_total", {"cache": "c1"}) == 3.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x", ()).inc(-1.0)
+
+    def test_labels_are_order_insensitive(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", {"a": "1", "b": "2"})
+        b = registry.counter("x", {"b": "2", "a": "1"})
+        assert a is b
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("x", ())
+        gauge.set(10.0)
+        gauge.inc(-4.0)
+        assert gauge.value == 6.0
+
+    def test_histogram_buckets_and_mean(self):
+        histogram = Histogram("x", (), buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.inf_count == 1
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(138.875)
+        cumulative = histogram.cumulative_counts()
+        assert cumulative[-1] == (float("inf"), 4)
+        assert [c for _, c in cumulative] == [1, 2, 3, 4]
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", (), buckets=(10.0, 1.0))
+
+    def test_ingest_metrics_subsumes_facade(self):
+        registry = MetricsRegistry()
+        metrics = Metrics(updates_processed=7, cache_probes=4, cache_hits=2)
+        metrics.per_cache_hits["T:0-1p"] = 2
+        metrics.publish(registry)
+        assert registry.value("repro_updates_processed_total") == 7
+        assert registry.value("repro_cache_hit_rate") == 0.5
+        assert registry.value("repro_cache_hits", {"cache": "T:0-1p"}) == 2
+        # Every legacy counter has a canonical registry name.
+        for metric_name in METRICS_FACADE_NAMES.values():
+            assert registry.value(metric_name) is not None
+
+
+STATS = CacheStatistics(
+    segment_d=(100.0, 200.0),
+    segment_c=(2.0, 3.0),
+    d_out=50.0,
+    miss_prob=0.25,
+    maintenance_rate=40.0,
+    key_width=1,
+    anchor_size=0,
+)
+
+
+class TestDecisionLog:
+    def test_record_and_read_back(self):
+        log = DecisionLog()
+        record = log.record(
+            10.0, ATTACH, "T:0-1p", reason="test", reopt_seq=1,
+            stats=STATS, benefit=123.0, cost=45.0,
+        )
+        assert record.net == pytest.approx(78.0)
+        assert log.entries() == [record]
+        assert log.last_seq == 1
+
+    def test_statistics_roundtrip(self):
+        log = DecisionLog()
+        record = log.record(10.0, ATTACH, "c", reason="r", stats=STATS)
+        assert record.statistics() == STATS
+
+    def test_statistics_none_without_stats(self):
+        log = DecisionLog()
+        record = log.record(10.0, MEMORY_EVICT, "c", reason="r")
+        assert record.statistics() is None
+        assert record.net is None
+
+    def test_since_filters_by_seq(self):
+        log = DecisionLog()
+        log.record(1.0, ATTACH, "a", reason="r")
+        mark = log.last_seq
+        second = log.record(2.0, DETACH, "b", reason="r")
+        assert log.since(mark) == [second]
+        assert log.since(log.last_seq) == []
+
+    def test_bounded_capacity(self):
+        log = DecisionLog(capacity=4)
+        for i in range(10):
+            log.record(float(i), ATTACH, f"c{i}", reason="r")
+        assert len(log) == 4
+        assert log.dropped == 6
+        assert [r.candidate_id for r in log.entries()] == [
+            "c6", "c7", "c8", "c9"
+        ]
+
+
+class TestSession:
+    def test_default_is_disabled(self):
+        bundle = obs.default_observability()
+        assert bundle.enabled is False
+        assert bundle.tracer is NULL_TRACER
+
+    def test_session_scopes_the_active_bundle(self):
+        assert obs.current() is None
+        with obs.session() as active:
+            assert obs.current() is active
+            assert active.enabled is True
+            assert obs.default_observability() is active
+        assert obs.current() is None
+
+    def test_nested_sessions_restore_outer(self):
+        with obs.session() as outer:
+            with obs.session() as inner:
+                assert obs.current() is inner
+            assert obs.current() is outer
+
+
+class TestExport:
+    def test_events_to_jsonl(self):
+        tracer = Tracer()
+        tracer.emit("reoptimize", 5.0, applied=False)
+        lines = events_to_jsonl(tracer.events()).splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["kind"] == "reoptimize"
+        assert record["applied"] is False
+
+    def test_decisions_to_jsonl(self):
+        log = DecisionLog()
+        log.record(1.0, ATTACH, "c", reason="r", stats=STATS)
+        record = json.loads(decisions_to_jsonl(log))
+        assert record["kind"] == "decision"
+        assert record["segment_d"] == [100.0, 200.0]
+
+    def test_merged_chronology_sorted_by_time(self):
+        active = obs.Observability.tracing()
+        active.tracer.emit("cache_probe", 30.0)
+        active.decisions.record(10.0, ATTACH, "c", reason="r")
+        active.tracer.emit("update_processed", 20.0)
+        kinds = [
+            json.loads(line)["kind"]
+            for line in observability_to_jsonl(active).splitlines()
+        ]
+        assert kinds == ["decision", "update_processed", "cache_probe"]
+
+    def test_run_summary_line(self):
+        active = obs.Observability.tracing()
+        metrics = Metrics(updates_processed=3)
+        last = observability_to_jsonl(active, metrics).splitlines()[-1]
+        summary = json.loads(last)
+        assert summary["kind"] == "run_summary"
+        assert summary["updates_processed"] == 3
+
+    def test_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", {"cache": "c"}).inc(2)
+        registry.gauge("repro_mem_bytes").set(4096)
+        registry.histogram(
+            "repro_op_us", {"pipeline": "T"}, buckets=(1.0, 10.0)
+        ).observe(5.0)
+        text = registry_to_prometheus(registry)
+        assert 'repro_x_total{cache="c"} 2' in text
+        assert "repro_mem_bytes 4096" in text
+        assert 'repro_op_us_bucket{le="10",pipeline="T"} 1' in text
+        assert 'repro_op_us_bucket{le="+Inf",pipeline="T"} 1' in text
+        assert 'repro_op_us_count{pipeline="T"} 1' in text
+
+    def test_prometheus_ingests_metrics(self):
+        registry = MetricsRegistry()
+        text = registry_to_prometheus(registry, Metrics(updates_processed=9))
+        assert "repro_updates_processed_total 9" in text
