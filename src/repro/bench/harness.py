@@ -105,6 +105,9 @@ def decision_markers(series) -> List[Dict[str, object]]:
     right x position.
     """
     markers: List[Dict[str, object]] = []
+    # Resilience actions are not about a cache, so their labels skip the
+    # "cache" noun (candidate_id carries the stream or "engine" instead).
+    non_cache_actions = {"quarantine", "shed_start", "shed_stop"}
     for point in series:
         for decision in point.decisions:
             verb = {
@@ -113,14 +116,20 @@ def decision_markers(series) -> List[Dict[str, object]]:
                 "monitor_drop": "dropped (monitor)",
                 "memory_reject": "rejected (memory)",
                 "memory_evict": "evicted (memory)",
+                "quarantine": "quarantined an update",
+                "shed_start": "began shedding load",
+                "shed_stop": "stopped shedding load",
+                "coherence_detach": "dropped (coherence)",
+                "coherence_rebuild": "rebuilt (coherence)",
             }.get(decision.action, decision.action)
+            noun = "" if decision.action in non_cache_actions else "cache "
             markers.append(
                 {
                     "x": point.x,
                     "action": decision.action,
                     "candidate_id": decision.candidate_id,
                     "net": decision.net,
-                    "label": f"cache {decision.candidate_id} {verb}",
+                    "label": f"{noun}{decision.candidate_id} {verb}",
                 }
             )
     return markers

@@ -6,6 +6,7 @@
     python -m repro table2
     python -m repro demo
     python -m repro trace fig12 --jsonl fig12-trace.jsonl
+    python -m repro chaos fig12 --seed 11 --faults duplicate_prob=0.02
 
 Arrival counts trade precision for time; the defaults match the
 benchmark suite's.
@@ -25,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro import obs
 from repro.bench import figures
 from repro.bench.harness import ExperimentRow, format_rows
+from repro.errors import ReproError
 from repro.obs.export import (
     observability_to_jsonl,
     registry_to_prometheus,
@@ -122,6 +124,7 @@ def cmd_list(_args: argparse.Namespace) -> str:
     lines.append("  spectrum D1..D8   M/X/P/G comparison at a Table 2 point")
     lines.append("  table2            print the Table 2 parameters")
     lines.append("  demo              quick adaptive-vs-MJoin demonstration")
+    lines.append("  chaos EXP         run an experiment under fault injection")
     return "\n".join(lines)
 
 
@@ -178,6 +181,30 @@ def cmd_demo(args: argparse.Namespace) -> str:
         f"hit rate {cached.detail['hit_rate']:.0%})\n"
         f"  speedup    : {cached.throughput / mjoin.throughput:.2f}x"
     )
+
+
+def cmd_chaos(args: argparse.Namespace) -> str:
+    """``chaos EXP``: run one experiment under a seeded fault schedule."""
+    from repro.faults.chaos import (
+        chaos_to_jsonl,
+        format_chaos_report,
+        parse_fault_overrides,
+        run_chaos,
+    )
+
+    _ensure_writable(args.jsonl)
+    overrides = parse_fault_overrides(args.faults)
+    report = run_chaos(
+        args.experiment,
+        seed=args.seed,
+        arrivals=args.arrivals,
+        overrides=overrides,
+    )
+    body = format_chaos_report(report)
+    if args.jsonl:
+        write_jsonl(args.jsonl, chaos_to_jsonl(report))
+        body += f"\nwrote chaos JSONL to {args.jsonl}"
+    return body
 
 
 TRACEABLE = tuple(sorted(FIGURES)) + ("demo",)
@@ -301,6 +328,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Prometheus-style metrics dump here",
     )
     trace.set_defaults(handler=cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos", help="run an experiment under deterministic fault injection"
+    )
+    chaos.add_argument(
+        "experiment",
+        help="experiment name (figure key or demo); see `list`",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--arrivals", type=int, default=None)
+    chaos.add_argument(
+        "--faults", metavar="K=V,...", default=None,
+        help="override FaultSpec fields, e.g. "
+             "duplicate_prob=0.05,burst_copies=5",
+    )
+    chaos.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="write the chaos summary + decision chronology here",
+    )
+    chaos.set_defaults(handler=cmd_chaos)
     return parser
 
 
@@ -326,6 +373,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except Exception:
             pass
         return 0
+    except ReproError as error:
+        # Library errors are user-facing configuration problems, not
+        # crashes: one line on stderr, exit status 1, no traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.profiler import Profiler, ProfilerConfig
+from repro.faults.resilience import ResilienceConfig, ResilienceController
 from repro.core.reoptimizer import (
     CandidateState,
     Reoptimizer,
@@ -44,6 +45,9 @@ class ACachingConfig:
     adaptive_ordering: bool = True
     memory_check_every_updates: int = 500
     incremental_reoptimizer: bool = False
+    # Graceful degradation (repro.faults): ingress quarantine, load
+    # shedding, and the cache coherence auditor. None disables all three.
+    resilience: Optional[ResilienceConfig] = None
 
 
 class ACaching:
@@ -75,6 +79,17 @@ class ACaching:
         self.orderer: Optional[AGreedyOrderer] = None
         if self.config.adaptive_ordering and self.config.ordering is not None:
             self.orderer = AGreedyOrderer(self.executor, self.config.ordering)
+        self.resilience: Optional[ResilienceController] = None
+        if self.config.resilience is not None:
+            self.resilience = ResilienceController(
+                self.executor, self.config.resilience
+            )
+            self.executor.resilience = self.resilience
+            # The auditor must see the live wiring, and its detach/attach
+            # must keep the re-optimizer's candidate states consistent.
+            self.resilience.bind_wiring(
+                self.reoptimizer.wiring, state_listener=self.reoptimizer
+            )
         self._updates_at_memory_check = 0
 
     @classmethod

@@ -149,6 +149,29 @@ class Reoptimizer:
                 self.profiler.install_bloom(candidate)
 
     # ------------------------------------------------------------------
+    # coherence-auditor coordination (repro.faults.auditor)
+    # ------------------------------------------------------------------
+    def on_cache_quarantined(self, candidate_id: str) -> None:
+        """The auditor detached a poisoned cache behind our back: return
+        the candidate to the profiled pool (bloom reinstalled) so a later
+        selection cycle may legitimately rebuild it."""
+        candidate = self.candidates.get(candidate_id)
+        if candidate is None:
+            return
+        if self.states.get(candidate_id) is CandidateState.USED:
+            self.states[candidate_id] = CandidateState.PROFILED
+            self.profiler.install_bloom(candidate)
+
+    def on_cache_rebuilt(self, candidate_id: str) -> None:
+        """The auditor re-attached a quarantined candidate: mirror the
+        selection bookkeeping so states stay consistent with the wiring."""
+        if candidate_id not in self.candidates:
+            return
+        if self.states.get(candidate_id) is not CandidateState.USED:
+            self.states[candidate_id] = CandidateState.USED
+            self.profiler.remove_bloom(candidate_id)
+
+    # ------------------------------------------------------------------
     # per-update hook
     # ------------------------------------------------------------------
     def after_update(self) -> None:

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.candidates import enumerate_candidates
 from repro.core.wiring import CacheWiring
 from repro.errors import PlanError
+from repro.faults.resilience import ResilienceConfig, ResilienceController
 from repro.mjoin.executor import MJoinExecutor
 from repro.streams.events import Sign, Update
 from repro.streams.workloads import Workload
@@ -26,6 +27,7 @@ class StaticPlan:
     executor: MJoinExecutor
     wiring: CacheWiring
     used: Tuple[str, ...]
+    resilience: Optional[ResilienceController] = None
 
     def process(self, update: Update):
         """Process one update through the fixed plan."""
@@ -47,6 +49,7 @@ def static_plan(
     candidate_ids: Sequence[str] = (),
     global_quota: int = 8,
     buckets: int = 512,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> StaticPlan:
     """Build an executor with exactly the named candidate caches wired in.
 
@@ -80,8 +83,16 @@ def static_plan(
                 )
         chosen.append(candidate)
         wiring.attach(candidate, buckets=buckets)
+    controller = None
+    if resilience is not None:
+        controller = ResilienceController(executor, resilience)
+        executor.resilience = controller
+        controller.bind_wiring(wiring)  # no re-optimizer on a static plan
     return StaticPlan(
-        executor=executor, wiring=wiring, used=tuple(candidate_ids)
+        executor=executor,
+        wiring=wiring,
+        used=tuple(candidate_ids),
+        resilience=controller,
     )
 
 
@@ -112,6 +123,8 @@ class SeriesPoint:
     memory_bytes: int = 0
     hit_rate: float = 0.0        # cache hits / probes over the window
     decisions: Tuple = ()        # DecisionRecords that fired in the window
+    degraded: bool = False       # overload shedding active / shed in window
+    shed_updates: int = 0        # updates shed during the window
 
 
 def run_with_series(
@@ -133,12 +146,14 @@ def run_with_series(
     """
     series: List[SeriesPoint] = []
     ctx = plan.ctx
+    resilience = getattr(plan, "resilience", None)
     x = 0
     window_start_updates = ctx.metrics.updates_processed
     window_start_time = ctx.clock.now_seconds
     window_start_probes = ctx.metrics.cache_probes
     window_start_hits = ctx.metrics.cache_hits
     window_start_seq = ctx.obs.decisions.last_seq
+    window_start_shed = resilience.shed_total if resilience else 0
     for update in updates:
         plan.process(update)
         if x_of is None or x_of(update):
@@ -150,6 +165,8 @@ def run_with_series(
             probes = ctx.metrics.cache_probes - window_start_probes
             hits = ctx.metrics.cache_hits - window_start_hits
             decisions = tuple(ctx.obs.decisions.since(window_start_seq))
+            shed_now = resilience.shed_total if resilience else 0
+            shed_in_window = shed_now - window_start_shed
             series.append(
                 SeriesPoint(
                     x=x,
@@ -162,6 +179,11 @@ def run_with_series(
                     memory_bytes=memory() if memory else 0,
                     hit_rate=hits / probes if probes else 0.0,
                     decisions=decisions,
+                    degraded=bool(
+                        resilience
+                        and (resilience.degraded or shed_in_window)
+                    ),
+                    shed_updates=shed_in_window,
                 )
             )
             window_start_updates = processed
@@ -169,4 +191,5 @@ def run_with_series(
             window_start_probes = ctx.metrics.cache_probes
             window_start_hits = ctx.metrics.cache_hits
             window_start_seq = ctx.obs.decisions.last_seq
+            window_start_shed = shed_now
     return series

@@ -33,3 +33,7 @@ class MemoryBudgetError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload specification was inconsistent."""
+
+
+class ResilienceError(ReproError):
+    """A fault-injection or degradation configuration was invalid."""

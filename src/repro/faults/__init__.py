@@ -1,0 +1,38 @@
+"""Fault injection and graceful degradation (the resilience subsystem).
+
+Two halves:
+
+* :mod:`repro.faults.plan` — a deterministic, seeded :class:`FaultPlan`
+  that rewrites any update stream with duplicates, orphaned/dropped
+  deletes, bounded reordering, value corruption, and rate bursts;
+* the degradation side — :class:`IngressGuard` (quarantine to a bounded
+  dead-letter buffer), :class:`LoadShedder` (overload detection and
+  deterministic shedding), and :class:`CoherenceAuditor` (sampled cache
+  cross-checks with detach/rebuild) — composed by
+  :class:`ResilienceController` behind the executors' ``admit`` /
+  ``after_update`` hooks.
+
+``python -m repro chaos`` (see :mod:`repro.faults.chaos`) runs any
+experiment under a fault schedule and reports the damage.
+"""
+
+from repro.faults.auditor import AuditorConfig, CoherenceAuditor
+from repro.faults.guard import DeadLetterBuffer, IngressGuard
+from repro.faults.plan import CORRUPT, CorruptValue, FaultPlan, FaultSpec
+from repro.faults.resilience import ResilienceConfig, ResilienceController
+from repro.faults.shedding import LoadShedder, SheddingConfig
+
+__all__ = [
+    "AuditorConfig",
+    "CoherenceAuditor",
+    "CORRUPT",
+    "CorruptValue",
+    "DeadLetterBuffer",
+    "FaultPlan",
+    "FaultSpec",
+    "IngressGuard",
+    "LoadShedder",
+    "ResilienceConfig",
+    "ResilienceController",
+    "SheddingConfig",
+]

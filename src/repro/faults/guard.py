@@ -1,0 +1,155 @@
+"""Ingress validation: quarantine malformed updates instead of raising.
+
+The guard sits in front of an executor's ``process``. Every update is
+checked against the relation catalog (known relation, schema arity,
+hashable non-NaN values) and against the live window state (duplicate
+inserts, orphaned deletes). Anything that fails goes to a bounded
+dead-letter buffer and is recorded in the obs decision log; the engine
+never sees it.
+
+Duplicate pairing: a :class:`~repro.faults.plan.FaultPlan` duplicate
+re-emits the insert adjacent to the original and later emits the source
+delete twice. The guard quarantines the extra insert and remembers one
+*pending extra delete* for that rid; the first matching delete to arrive
+is then quarantined too, so exactly one insert and one delete reach the
+engine — the clean run's state, reached through a faulted stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.decisions import QUARANTINE
+from repro.relations.relation import Relation
+from repro.streams.events import Sign, Update
+
+# Quarantine reasons.
+UNKNOWN_RELATION = "unknown_relation"
+ARITY_MISMATCH = "arity_mismatch"
+CORRUPT_VALUE = "corrupt_value"
+DUPLICATE_INSERT = "duplicate_insert"
+DUPLICATE_DELETE = "duplicate_delete"
+ORPHAN_DELETE = "orphan_delete"
+
+
+@dataclass(frozen=True)
+class QuarantinedUpdate:
+    """One dead-lettered update: enough to debug, cheap to retain."""
+
+    relation: str
+    rid: int
+    sign: str
+    reason: str
+    seq: int
+
+
+class DeadLetterBuffer:
+    """A bounded ring of quarantined updates (oldest dropped first)."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("dead-letter capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[QuarantinedUpdate] = deque(maxlen=capacity)
+        self.total = 0
+        self.dropped = 0
+
+    def add(self, entry: QuarantinedUpdate) -> None:
+        if len(self._entries) == self.capacity:
+            self.dropped += 1
+        self._entries.append(entry)
+        self.total += 1
+
+    def entries(self) -> List[QuarantinedUpdate]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeadLetterBuffer({len(self)}/{self.capacity}, total={self.total})"
+
+
+class IngressGuard:
+    """Validates updates against catalog and window state at ingress."""
+
+    def __init__(
+        self,
+        relations: Dict[str, Relation],
+        dead_letters: Optional[DeadLetterBuffer] = None,
+    ):
+        self.relations = relations
+        self.dead_letters = (
+            dead_letters if dead_letters is not None else DeadLetterBuffer()
+        )
+        self.by_reason: Dict[str, int] = {}
+        self._pending_extra_deletes: Dict[int, int] = {}
+
+    @property
+    def quarantined(self) -> int:
+        """Total updates dead-lettered so far."""
+        return self.dead_letters.total
+
+    def admit(self, update: Update, ctx) -> Optional[str]:
+        """None to admit; otherwise the quarantine reason (recorded)."""
+        relation = self.relations.get(update.relation)
+        if relation is None:
+            return self._quarantine(update, UNKNOWN_RELATION, ctx)
+        if len(update.row.values) != len(relation.schema.attributes):
+            return self._quarantine(update, ARITY_MISMATCH, ctx)
+        try:
+            hash(update.row.values)
+        except TypeError:
+            return self._quarantine(update, CORRUPT_VALUE, ctx)
+        for value in update.row.values:
+            if value != value:  # NaN: comparable garbage, also poison
+                return self._quarantine(update, CORRUPT_VALUE, ctx)
+        rid = update.row.rid
+        if update.sign is Sign.INSERT:
+            if relation.live_row(rid) is not None:
+                self._pending_extra_deletes[rid] = (
+                    self._pending_extra_deletes.get(rid, 0) + 1
+                )
+                return self._quarantine(update, DUPLICATE_INSERT, ctx)
+            return None
+        pending = self._pending_extra_deletes.get(rid, 0)
+        if pending:
+            if pending == 1:
+                del self._pending_extra_deletes[rid]
+            else:
+                self._pending_extra_deletes[rid] = pending - 1
+            return self._quarantine(update, DUPLICATE_DELETE, ctx)
+        if relation.live_row(rid) is None:
+            return self._quarantine(update, ORPHAN_DELETE, ctx)
+        return None
+
+    def _quarantine(self, update: Update, reason: str, ctx) -> str:
+        self.dead_letters.add(
+            QuarantinedUpdate(
+                relation=update.relation,
+                rid=update.row.rid,
+                sign=update.sign.name,
+                reason=reason,
+                seq=update.seq,
+            )
+        )
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+        ctx.obs.decisions.record(
+            ctx.clock.now_us,
+            QUARANTINE,
+            f"∆{update.relation}",
+            reason=(
+                f"{reason} rid={update.row.rid} sign={update.sign.name}"
+            ),
+        )
+        if ctx.obs.enabled:
+            ctx.obs.registry.counter(
+                "repro_quarantined_updates_total",
+                {"relation": update.relation, "reason": reason},
+            ).inc()
+        return reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IngressGuard(quarantined={self.quarantined})"

@@ -1,0 +1,326 @@
+"""Deterministic, seeded fault injection for update streams.
+
+A :class:`FaultPlan` wraps any ``Iterable[Update]`` (normally
+``Workload.updates``) and rewrites it according to a :class:`FaultSpec`:
+
+* **duplicate inserts** — an insert is re-emitted immediately after the
+  original, and when the source later deletes that row the delete is also
+  emitted twice, so a correctly hardened engine converges back to the
+  clean run's state;
+* **dropped deletes** — a source delete is swallowed, leaving the row in
+  the window forever (a real divergence the chaos driver measures);
+* **orphaned deletes** — a delete for a row that was never inserted;
+* **corrupted values** — one attribute value of an insert is replaced by
+  the unhashable :class:`CorruptValue` sentinel;
+* **out-of-order delivery** — an update is held back and released within a
+  bounded skew, never past the delete of its own row (per-rid
+  insert-before-delete order is preserved);
+* **rate bursts** — each insert of one stream spawns extra fresh-rid
+  copies for a while, whose deletes follow after a linger period,
+  modelling a transient overload.
+
+All randomness flows through one ``random.Random(seed)`` consumed in a
+fixed order, so the same (spec, seed, source) triple always yields the
+same faulted stream — the property the chaos CLI's determinism check and
+the CI smoke job rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from dataclasses import dataclass
+from random import Random
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ResilienceError
+from repro.streams.events import Sign, Update
+from repro.streams.tuples import Row
+
+# Injected rows get rids far above anything a RowFactory hands out, so
+# they can never collide with real window tuples.
+INJECTED_RID_BASE = 1_000_000_000
+ORPHAN_RID_BASE = 2_000_000_000
+
+
+class CorruptValue:
+    """An unhashable sentinel standing in for a garbled attribute value."""
+
+    __slots__ = ()
+    __hash__ = None  # type: ignore[assignment]  # unhashable on purpose
+
+    def __repr__(self) -> str:
+        return "<corrupt>"
+
+
+CORRUPT = CorruptValue()
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Which faults to inject, and how often."""
+
+    duplicate_prob: float = 0.0    # re-emit an insert (and later its delete)
+    drop_delete_prob: float = 0.0  # swallow a source delete
+    orphan_delete_prob: float = 0.0  # delete a row that never existed
+    corrupt_prob: float = 0.0      # garble one value of an insert
+    reorder_prob: float = 0.0      # hold an update back a few slots
+    reorder_skew: int = 4          # max updates a held update lags behind
+    burst_stream: Optional[str] = None
+    burst_start: int = 0           # source-update index the burst begins at
+    burst_length: int = 0          # source updates the burst lasts
+    burst_copies: int = 0          # extra inserts per bursty source insert
+    burst_linger: int = 64         # emitted updates before a copy is deleted
+    poison_at: Optional[int] = None  # processed-update index for cache poisoning
+
+    _PROBS = (
+        "duplicate_prob", "drop_delete_prob", "orphan_delete_prob",
+        "corrupt_prob", "reorder_prob",
+    )
+
+    def validate(self) -> None:
+        """Raise :class:`ResilienceError` on out-of-range fields."""
+        for name in self._PROBS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ResilienceError(
+                    f"{name} must be a probability in [0, 1], got {value!r}"
+                )
+        for name in ("reorder_skew", "burst_start", "burst_length",
+                     "burst_copies", "burst_linger"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ResilienceError(f"{name} must be non-negative")
+        if self.reorder_prob and self.reorder_skew < 1:
+            raise ResilienceError("reorder_skew must be >= 1 when reordering")
+        if self.poison_at is not None and self.poison_at < 1:
+            raise ResilienceError("poison_at must be >= 1")
+
+    def with_overrides(self, overrides: Dict[str, object]) -> "FaultSpec":
+        """A copy with ``overrides`` applied (unknown keys raise)."""
+        fields = {f.name: f for f in dataclasses.fields(self)}
+        coerced: Dict[str, object] = {}
+        for key, raw in overrides.items():
+            if key not in fields or key.startswith("_"):
+                raise ResilienceError(
+                    f"unknown fault parameter {key!r}; known: "
+                    f"{sorted(n for n in fields if not n.startswith('_'))}"
+                )
+            try:
+                if key == "burst_stream":
+                    coerced[key] = None if raw in ("", "none") else str(raw)
+                elif key.endswith("_prob"):
+                    coerced[key] = float(raw)  # type: ignore[arg-type]
+                elif key == "poison_at":
+                    coerced[key] = (
+                        None if raw in ("", "none") else int(raw)  # type: ignore[arg-type]
+                    )
+                else:
+                    coerced[key] = int(raw)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise ResilienceError(
+                    f"bad value for fault parameter {key!r}: {raw!r}"
+                ) from None
+        spec = dataclasses.replace(self, **coerced)
+        spec.validate()
+        return spec
+
+    @classmethod
+    def default_schedule(
+        cls, burst_stream: Optional[str], arrivals: int
+    ) -> "FaultSpec":
+        """The chaos CLI's default mix, scaled to the run length:
+        duplicates + orphaned deletes + dropped deletes + corruption +
+        one rate burst + one cache poisoning."""
+        return cls(
+            duplicate_prob=0.01,
+            drop_delete_prob=0.003,
+            orphan_delete_prob=0.005,
+            corrupt_prob=0.002,
+            reorder_prob=0.01,
+            reorder_skew=4,
+            burst_stream=burst_stream,
+            burst_start=max(1, arrivals // 3),
+            burst_length=max(1, arrivals // 10),
+            burst_copies=3,
+            burst_linger=64,
+            poison_at=max(1, arrivals // 2),
+        )
+
+
+class FaultPlan:
+    """A seeded rewrite of one update stream according to a FaultSpec."""
+
+    def __init__(self, spec: FaultSpec, seed: int = 0):
+        spec.validate()
+        self.spec = spec
+        self.seed = seed
+        self._rng = Random(seed)
+        self._next_injected_rid = INJECTED_RID_BASE
+        self._next_orphan_rid = ORPHAN_RID_BASE
+        # Rids whose insert was duplicated: their source delete is emitted
+        # twice, adjacent, so a hardened engine can pair the extras up.
+        self._dup_rids: Set[int] = set()
+        self.counts: Dict[str, int] = {
+            "duplicates": 0,
+            "duplicate_deletes": 0,
+            "dropped_deletes": 0,
+            "orphans": 0,
+            "corrupted": 0,
+            "reordered": 0,
+            "burst_inserts": 0,
+            "burst_deletes": 0,
+        }
+        self._seq = 0
+        self._emitted = 0
+        self._held: Optional[Update] = None
+        self._held_for = 0
+        self._burst_queue: Deque[Tuple[int, Update]] = deque()
+
+    @property
+    def injected_total(self) -> int:
+        """Updates the plan added or perturbed, across all fault kinds."""
+        return sum(self.counts.values())
+
+    # ------------------------------------------------------------------
+    # the stream rewrite
+    # ------------------------------------------------------------------
+    def updates(self, source: Iterable[Update]) -> Iterator[Update]:
+        """Yield the faulted version of ``source`` (seq renumbered)."""
+        for index, update in enumerate(source):
+            for out in self._on_source(index, update):
+                yield self._renumber(out)
+        for out in self._flush():
+            yield self._renumber(out)
+
+    def _renumber(self, update: Update) -> Update:
+        self._seq += 1
+        self._emitted += 1
+        return update._replace(seq=self._seq)
+
+    def _on_source(self, index: int, update: Update) -> List[Update]:
+        spec, rng = self.spec, self._rng
+        batch: List[Update] = []
+
+        # 1. burst copies whose linger expired get their deletes first.
+        while self._burst_queue and self._burst_queue[0][0] <= self._emitted:
+            batch.append(self._burst_queue.popleft()[1])
+            self.counts["burst_deletes"] += 1
+
+        # 2. release a held update: when its hold expires, or eagerly when
+        # the current update deletes the same row (so per-rid
+        # insert-before-delete order survives the reorder).
+        if self._held is not None:
+            self._held_for -= 1
+            if self._held_for <= 0 or (
+                update.sign is Sign.DELETE
+                and update.row.rid == self._held.row.rid
+            ):
+                batch.extend(self._release(self._held))
+                self._held = None
+
+        # 3. maybe hold the current update back (bounded skew).
+        if (
+            self._held is None
+            and spec.reorder_prob
+            and rng.random() < spec.reorder_prob
+        ):
+            self._held = update
+            self._held_for = rng.randint(1, spec.reorder_skew)
+            self.counts["reordered"] += 1
+            return batch
+
+        if update.sign is Sign.DELETE:
+            batch.extend(self._on_delete(update))
+        else:
+            batch.extend(self._on_insert(index, update))
+        return batch
+
+    def _on_delete(self, update: Update) -> List[Update]:
+        spec, rng = self.spec, self._rng
+        if update.row.rid in self._dup_rids:
+            # The insert was duplicated: the delete rides twice, adjacent.
+            self._dup_rids.discard(update.row.rid)
+            self.counts["duplicate_deletes"] += 1
+            return [update, update]
+        if spec.drop_delete_prob and rng.random() < spec.drop_delete_prob:
+            self.counts["dropped_deletes"] += 1
+            return []
+        return [update]
+
+    def _on_insert(self, index: int, update: Update) -> List[Update]:
+        spec, rng = self.spec, self._rng
+        batch: List[Update] = []
+        corrupted = False
+        if spec.corrupt_prob and rng.random() < spec.corrupt_prob:
+            slot = rng.randrange(len(update.row.values))
+            values = tuple(
+                CORRUPT if i == slot else v
+                for i, v in enumerate(update.row.values)
+            )
+            # A fresh Row: mutating values in place would also garble the
+            # CountWindow's copy (same object) and break its later delete.
+            update = update._replace(row=Row(update.row.rid, values))
+            self.counts["corrupted"] += 1
+            corrupted = True
+        batch.append(update)
+        if (
+            not corrupted
+            and spec.duplicate_prob
+            and rng.random() < spec.duplicate_prob
+        ):
+            batch.append(update)
+            self._dup_rids.add(update.row.rid)
+            self.counts["duplicates"] += 1
+        if spec.orphan_delete_prob and rng.random() < spec.orphan_delete_prob:
+            rid = self._next_orphan_rid
+            self._next_orphan_rid += 1
+            batch.append(
+                Update(
+                    update.relation,
+                    Row(rid, update.row.values),
+                    Sign.DELETE,
+                    0,
+                )
+            )
+            self.counts["orphans"] += 1
+        if (
+            spec.burst_stream == update.relation
+            and spec.burst_copies > 0
+            and spec.burst_start <= index < spec.burst_start + spec.burst_length
+        ):
+            for _ in range(spec.burst_copies):
+                rid = self._next_injected_rid
+                self._next_injected_rid += 1
+                copy = Row(rid, update.row.values)
+                batch.append(Update(update.relation, copy, Sign.INSERT, 0))
+                self._burst_queue.append(
+                    (
+                        self._emitted + spec.burst_linger,
+                        Update(update.relation, copy, Sign.DELETE, 0),
+                    )
+                )
+                self.counts["burst_inserts"] += 1
+        return batch
+
+    def _release(self, held: Update) -> List[Update]:
+        """Emit a previously held update; a held delete of a duplicated
+        rid still expands to the adjacent pair (the guard consumes one)."""
+        if held.sign is Sign.DELETE and held.row.rid in self._dup_rids:
+            self._dup_rids.discard(held.row.rid)
+            self.counts["duplicate_deletes"] += 1
+            return [held, held]
+        return [held]
+
+    def _flush(self) -> List[Update]:
+        batch: List[Update] = []
+        if self._held is not None:
+            batch.extend(self._release(self._held))
+            self._held = None
+        while self._burst_queue:
+            batch.append(self._burst_queue.popleft()[1])
+            self.counts["burst_deletes"] += 1
+        return batch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, injected={self.injected_total})"

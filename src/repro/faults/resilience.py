@@ -1,0 +1,138 @@
+"""The resilience controller: one object gating an executor's ingress.
+
+Composes the three degradation mechanisms — ingress guard (quarantine),
+load shedder (overload), coherence auditor (poisoned caches) — behind two
+hooks the executors call: ``admit(update)`` before processing and
+``after_update()`` once an update completes. An executor with no
+controller attached pays nothing (a single ``is None`` test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.faults.auditor import AuditorConfig, CoherenceAuditor
+from repro.faults.guard import DeadLetterBuffer, IngressGuard
+from repro.faults.shedding import LoadShedder, SheddingConfig
+from repro.streams.events import Update
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Which degradation mechanisms to enable, and their tunables.
+
+    ``shedding`` / ``auditor`` set to None disable that mechanism; the
+    guard is a bool because it has a single knob (buffer capacity).
+    """
+
+    guard: bool = True
+    dead_letter_capacity: int = 256
+    shedding: Optional[SheddingConfig] = field(
+        default_factory=SheddingConfig
+    )
+    auditor: Optional[AuditorConfig] = field(default_factory=AuditorConfig)
+
+
+class ResilienceController:
+    """Gates one executor's ingress and runs its degradation machinery."""
+
+    def __init__(self, executor, config: Optional[ResilienceConfig] = None):
+        self.config = config if config is not None else ResilienceConfig()
+        self.executor = executor
+        self.guard: Optional[IngressGuard] = None
+        if self.config.guard:
+            self.guard = IngressGuard(
+                executor.relations,
+                DeadLetterBuffer(self.config.dead_letter_capacity),
+            )
+        self.shedder: Optional[LoadShedder] = None
+        if self.config.shedding is not None:
+            self.shedder = LoadShedder(self.config.shedding)
+        self.auditor: Optional[CoherenceAuditor] = None
+        if self.config.auditor is not None:
+            self.auditor = CoherenceAuditor(executor, self.config.auditor)
+
+    def bind_wiring(self, wiring, state_listener=None) -> None:
+        """Point the auditor at the plan's cache wiring (no-op without
+        an auditor — e.g. XJoin plans, which have no caches to audit)."""
+        if self.auditor is not None:
+            self.auditor.bind_wiring(wiring, state_listener=state_listener)
+
+    # ------------------------------------------------------------------
+    # the two executor hooks
+    # ------------------------------------------------------------------
+    def admit(self, update: Update) -> bool:
+        """False if the update must be dropped (quarantined or shed)."""
+        ctx = self.executor.ctx
+        if self.guard is not None and self.guard.admit(update, ctx) is not None:
+            return False
+        if self.shedder is not None and self.shedder.should_shed(update, ctx):
+            return False
+        return True
+
+    def after_update(self) -> None:
+        """Run post-update machinery for one admitted update."""
+        ctx = self.executor.ctx
+        if self.shedder is not None:
+            self.shedder.after_update(ctx)
+        if self.auditor is not None:
+            self.auditor.after_update(ctx)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True while the overload detector is shedding load."""
+        return self.shedder is not None and self.shedder.degraded
+
+    @property
+    def quarantined(self) -> int:
+        return self.guard.quarantined if self.guard is not None else 0
+
+    @property
+    def shed_total(self) -> int:
+        return self.shedder.shed_total if self.shedder is not None else 0
+
+    def summary(self) -> Dict[str, object]:
+        """Counters for reports: quarantine/shed/detach/rebuild state."""
+        out: Dict[str, object] = {
+            "quarantined": self.quarantined,
+            "quarantined_by_reason": dict(
+                sorted(self.guard.by_reason.items())
+            ) if self.guard is not None else {},
+            "dead_letter_dropped": (
+                self.guard.dead_letters.dropped
+                if self.guard is not None else 0
+            ),
+            "shed_total": self.shed_total,
+            "shed_by_stream": dict(
+                sorted(self.shedder.shed_by_stream.items())
+            ) if self.shedder is not None else {},
+            "shed_events": (
+                self.shedder.shed_events if self.shedder is not None else 0
+            ),
+            "degraded": self.degraded,
+            "coherence_detached": (
+                self.auditor.detached if self.auditor is not None else 0
+            ),
+            "coherence_rebuilt": (
+                self.auditor.rebuilt if self.auditor is not None else 0
+            ),
+            "coherence_rebuild_failures": (
+                self.auditor.rebuild_failures
+                if self.auditor is not None else 0
+            ),
+            "coherence_entries_checked": (
+                self.auditor.entries_checked
+                if self.auditor is not None else 0
+            ),
+        }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResilienceController(quarantined={self.quarantined}, "
+            f"shed={self.shed_total}, degraded={self.degraded})"
+        )

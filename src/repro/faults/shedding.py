@@ -1,0 +1,124 @@
+"""Overload detection and deterministic load shedding.
+
+The :class:`LoadShedder` watches the virtual-clock cost of processing,
+averaged over windows of ``window_updates`` admitted updates. When the
+average exceeds ``budget_us_per_update`` the engine enters *degraded*
+mode: a fixed fraction of arriving inserts is dropped (every ``stride``-th
+insert — deterministic, no randomness), and the deletes paired with shed
+inserts are silently dropped too (even after recovery), so shedding never
+manufactures orphans. Mode transitions are recorded in the obs decision
+log; per-update sheds are counters only, so heavy shedding cannot flood
+the bounded log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.obs.decisions import SHED_START, SHED_STOP
+from repro.streams.events import Sign, Update
+
+
+@dataclass(frozen=True)
+class SheddingConfig:
+    """Overload budget and response."""
+
+    budget_us_per_update: float = 400.0  # virtual µs per admitted update
+    window_updates: int = 200            # averaging window
+    shed_fraction: float = 0.5           # inserts dropped while degraded
+    recover_windows: int = 2             # consecutive good windows to exit
+    recover_factor: float = 0.8          # hysteresis: good = below this × budget
+
+
+class LoadShedder:
+    """Sheds arriving updates when processing cost exceeds the budget."""
+
+    def __init__(self, config: Optional[SheddingConfig] = None):
+        self.config = config if config is not None else SheddingConfig()
+        if self.config.window_updates <= 0:
+            raise ValueError("shedding window must be positive")
+        if not 0.0 < self.config.shed_fraction <= 1.0:
+            raise ValueError("shed_fraction must be in (0, 1]")
+        self.degraded = False
+        self.shed_by_stream: Dict[str, int] = {}
+        self.shed_total = 0
+        self.shed_events = 0  # shed_start transitions
+        self._stride = max(1, round(1.0 / self.config.shed_fraction))
+        self._insert_tick = 0
+        self._shed_rids: Set[int] = set()
+        self._window_updates = 0
+        self._window_started_us: Optional[float] = None
+        self._good_windows = 0
+
+    def should_shed(self, update: Update, ctx) -> bool:
+        """True if this update must be dropped before processing."""
+        if update.sign is Sign.DELETE:
+            # The pair of a shed insert: the row never entered the window,
+            # so its delete must vanish too (it would be an orphan).
+            if update.row.rid in self._shed_rids:
+                self._shed_rids.discard(update.row.rid)
+                return True
+            return False
+        if not self.degraded:
+            return False
+        self._insert_tick += 1
+        if self._insert_tick % self._stride:
+            return False
+        self._shed_rids.add(update.row.rid)
+        self.shed_total += 1
+        self.shed_by_stream[update.relation] = (
+            self.shed_by_stream.get(update.relation, 0) + 1
+        )
+        if ctx.obs.enabled:
+            ctx.obs.registry.counter(
+                "repro_shed_updates_total", {"relation": update.relation}
+            ).inc()
+        return True
+
+    def after_update(self, ctx) -> None:
+        """Account one admitted update; check the window budget."""
+        now_us = ctx.clock.now_us
+        if self._window_started_us is None:
+            self._window_started_us = now_us
+        self._window_updates += 1
+        if self._window_updates < self.config.window_updates:
+            return
+        avg = (now_us - self._window_started_us) / self._window_updates
+        self._window_started_us = now_us
+        self._window_updates = 0
+        budget = self.config.budget_us_per_update
+        if not self.degraded:
+            if avg > budget:
+                self.degraded = True
+                self.shed_events += 1
+                self._good_windows = 0
+                ctx.obs.decisions.record(
+                    now_us,
+                    SHED_START,
+                    "engine",
+                    reason=(
+                        f"avg {avg:.0f}µs/update over budget {budget:.0f}µs"
+                    ),
+                )
+            return
+        if avg <= budget * self.config.recover_factor:
+            self._good_windows += 1
+            if self._good_windows >= self.config.recover_windows:
+                self.degraded = False
+                self._good_windows = 0
+                ctx.obs.decisions.record(
+                    now_us,
+                    SHED_STOP,
+                    "engine",
+                    reason=(
+                        f"avg {avg:.0f}µs/update back under "
+                        f"{budget * self.config.recover_factor:.0f}µs"
+                    ),
+                )
+        else:
+            self._good_windows = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "degraded" if self.degraded else "normal"
+        return f"LoadShedder({mode}, shed={self.shed_total})"

@@ -76,6 +76,9 @@ class MJoinExecutor:
             self._build_pipeline(owner, order)
         self.profile_gate: Optional[ProfileGate] = None
         self.sample_sink: Optional[SampleSink] = None
+        # Optional ResilienceController (repro.faults): gates ingress and
+        # runs degradation machinery. None keeps the hot path unchanged.
+        self.resilience = None
 
     def _default_indexed(self, relation: str) -> Tuple[str, ...]:
         """Index every attribute that participates in a join predicate."""
@@ -128,6 +131,8 @@ class MJoinExecutor:
     # ------------------------------------------------------------------
     def process(self, update: Update) -> List[OutputDelta]:
         """Process one update to completion; returns the result deltas."""
+        if self.resilience is not None and not self.resilience.admit(update):
+            return []
         obs = self.ctx.obs
         started_us = self.ctx.clock.now_us if obs.enabled else 0.0
         pipeline = self.pipelines[update.relation]
@@ -158,6 +163,8 @@ class MJoinExecutor:
                 outputs=len(composites),
                 profiled=profile,
             )
+        if self.resilience is not None:
+            self.resilience.after_update()
         return [OutputDelta(c, update.sign) for c in composites]
 
     def run(self, updates: Iterable[Update]) -> List[OutputDelta]:

@@ -31,6 +31,13 @@ MONITOR_DROP = "monitor_drop"    # continuous monitor saw negative net
 MEMORY_REJECT = "memory_reject"  # selected but denied pages at admission
 MEMORY_EVICT = "memory_evict"    # dropped at run time to fit the budget
 KEEP = "keep"                # re-selected; left wired (not logged by default)
+# Resilience actions (repro.faults): same log, so chaos runs interleave
+# degradation events with the re-optimizer's own decisions chronologically.
+QUARANTINE = "quarantine"              # ingress guard dead-lettered an update
+SHED_START = "shed_start"              # overload detector began dropping load
+SHED_STOP = "shed_stop"                # overload cleared; shedding ended
+COHERENCE_DETACH = "coherence_detach"      # auditor dropped a poisoned cache
+COHERENCE_REBUILD = "coherence_rebuild"    # auditor re-attach after quarantine
 
 
 @dataclass(frozen=True)

@@ -62,7 +62,17 @@ class Relation:
     # updates
     # ------------------------------------------------------------------
     def insert(self, row: Row) -> None:
-        """Add a row to the window and all indexes."""
+        """Add a row to the window and all indexes (idempotent by rid).
+
+        Re-delivery of a live row is a no-op; a live rid arriving with
+        *different* values is treated as a replacement, removing the stale
+        index postings first so no bucket keeps a dangling reference.
+        """
+        existing = self._rows.get(row.rid)
+        if existing is not None:
+            if existing.values == row.values:
+                return
+            self.delete(existing)
         self._rows[row.rid] = row
         for index in self._indexes.values():
             index.add(row)
@@ -78,6 +88,15 @@ class Relation:
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
+    def live_row(self, rid: int) -> Optional[Row]:
+        """The live row with identity ``rid``, or None.
+
+        The ingress guard uses this to recognize duplicate inserts and
+        orphaned deletes; the coherence auditor uses it to check that a
+        cached composite still references live window tuples.
+        """
+        return self._rows.get(rid)
+
     def matching(self, attribute: str, value: Any) -> List[Row]:
         """Rows whose ``attribute`` equals ``value``.
 

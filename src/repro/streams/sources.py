@@ -20,6 +20,10 @@ RateFunction = Callable[[int], Mapping[str, float]]
 class DeficitScheduler:
     """Chooses which stream emits its next arrival."""
 
+    # How far ahead next_stream() scans through an all-zero-rate gap of a
+    # time-varying schedule before concluding the rates are zero forever.
+    MAX_IDLE_TICKS = 1_000_000
+
     def __init__(
         self,
         rates: Mapping[str, float],
@@ -47,11 +51,26 @@ class DeficitScheduler:
         return self._base_rates
 
     def next_stream(self) -> str:
-        """The stream that emits the next arrival (deficit round)."""
+        """The stream that emits the next arrival (deficit round).
+
+        A time-varying ``rate_function`` may pass through an interval where
+        every rate is zero (e.g. the gap before a burst): that is an idle
+        stretch of the schedule, not an error, so the scheduler advances
+        ``_emitted`` through the gap until some rate turns positive again.
+        Only a gap that never ends (``MAX_IDLE_TICKS`` scanned) raises.
+        """
         rates = self.current_rates()
         total = sum(rates.values())
-        if total <= 0:
-            raise WorkloadError("all stream rates became zero")
+        idle = 0
+        while total <= 0:
+            idle += 1
+            if idle > self.MAX_IDLE_TICKS:
+                raise WorkloadError(
+                    "all stream rates became zero and never recovered"
+                )
+            self._emitted += 1
+            rates = self.current_rates()
+            total = sum(rates.values())
         for name in self._credits:
             self._credits[name] += rates.get(name, 0.0) / total
         chosen = max(self._credits, key=lambda n: (self._credits[n], n))

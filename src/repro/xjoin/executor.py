@@ -127,6 +127,9 @@ class XJoinExecutor:
                 slots.add((ref.relation, graph.attr_position(ref)))
             self.stores[node] = SubresultStore(node.relations, slots)
         self.peak_memory_bytes = 0
+        # Optional ResilienceController (repro.faults): same ingress gate
+        # as the MJoin executor (no auditor — subresults are not caches).
+        self.resilience = None
 
     def _default_indexed(self, relation: str) -> Tuple[str, ...]:
         attrs = set()
@@ -141,6 +144,8 @@ class XJoinExecutor:
     # ------------------------------------------------------------------
     def process(self, update: Update) -> List[OutputDelta]:
         """Propagate one update from its leaf to the root; returns deltas."""
+        if self.resilience is not None and not self.resilience.admit(update):
+            return []
         clock, cm = self.ctx.clock, self.ctx.cost_model
         obs = self.ctx.obs
         started_us = clock.now_us if obs.enabled else 0.0
@@ -193,6 +198,8 @@ class XJoinExecutor:
                 sign=update.sign.name,
                 outputs=len(delta),
             )
+        if self.resilience is not None:
+            self.resilience.after_update()
         return [OutputDelta(c, update.sign) for c in delta]
 
     def run(self, updates: Iterable[Update]) -> List[OutputDelta]:

@@ -1,0 +1,90 @@
+"""The ``repro chaos`` command: reports, determinism, error handling."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ResilienceError
+from repro.faults.chaos import parse_fault_overrides, run_chaos
+
+CHAOS_ARGS = ["chaos", "demo", "--arrivals", "1200", "--seed", "3"]
+
+
+def test_chaos_command_reports_degradation(capsys):
+    assert main(CHAOS_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "chaos demo — seed 3, 1200 arrivals" in out
+    assert "injected faults:" in out
+    assert "quarantined" in out
+    assert "coherence detached" in out
+    assert "result fidelity vs clean run:" in out
+
+
+def test_chaos_jsonl_is_deterministic(tmp_path, capsys):
+    one = tmp_path / "one.jsonl"
+    two = tmp_path / "two.jsonl"
+    assert main(CHAOS_ARGS + ["--jsonl", str(one)]) == 0
+    assert main(CHAOS_ARGS + ["--jsonl", str(two)]) == 0
+    capsys.readouterr()
+    assert one.read_bytes() == two.read_bytes()
+    first = one.read_text().splitlines()[0]
+    assert '"kind": "chaos_summary"' in first
+
+
+def test_chaos_seed_changes_the_run(tmp_path, capsys):
+    one = tmp_path / "one.jsonl"
+    two = tmp_path / "two.jsonl"
+    assert main(CHAOS_ARGS + ["--jsonl", str(one)]) == 0
+    assert (
+        main(
+            ["chaos", "demo", "--arrivals", "1200", "--seed", "4"]
+            + ["--jsonl", str(two)]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert one.read_bytes() != two.read_bytes()
+
+
+def test_chaos_faults_override_rejected_with_clean_error(capsys):
+    # Satellite: ReproError surfaces as exit 1 + one-line error, no trace.
+    assert main(["chaos", "demo", "--faults", "bogus=1"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "bogus" in err
+
+
+def test_chaos_unknown_experiment_is_a_clean_error(capsys):
+    assert main(["chaos", "nope"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "nope" in err
+
+
+def test_parse_fault_overrides():
+    assert parse_fault_overrides(None) == {}
+    assert parse_fault_overrides("a=1, b = 2,") == {"a": "1", "b": "2"}
+    with pytest.raises(ResilienceError):
+        parse_fault_overrides("no-equals-sign")
+
+
+def test_run_chaos_rejects_bad_arrivals():
+    with pytest.raises(ResilienceError):
+        run_chaos("demo", arrivals=0)
+
+
+def test_run_chaos_report_is_complete():
+    report = run_chaos("demo", seed=5, arrivals=1000)
+    assert report.clean_outputs > 0
+    assert report.faulted_outputs > 0
+    assert report.injected["duplicates"] >= 0
+    assert set(report.summary) >= {
+        "quarantined",
+        "shed_total",
+        "degraded",
+        "coherence_detached",
+        "coherence_rebuilt",
+    }
+    assert 0.0 <= report.discrepancy_ratio
+    assert report.discrepancy == (
+        report.missing_outputs + report.extra_outputs
+    )
