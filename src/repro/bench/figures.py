@@ -14,6 +14,7 @@ same workload. Figures 9, 11, 12, 13 run the full adaptive system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import ExperimentRow, run_static
@@ -23,6 +24,9 @@ from repro.engine.runtime import (
     run_with_series,
     static_plan,
 )
+from repro.parallel.engine import ParallelConfig, run_sharded
+from repro.parallel.series import run_series_sharded
+from repro.parallel.spec import EngineSpec, ExperimentSpec
 from repro.planner import enumeration as plans
 from repro.streams.events import Sign
 from repro.streams.workloads import (
@@ -43,7 +47,41 @@ CHAIN_ORDERS = {"T": ("S", "R"), "R": ("S", "T"), "S": ("R", "T")}
 FORCED_CACHE = "T:0-1p"
 
 
-def _forced_cache_rate(workload_factory, arrivals: int) -> Tuple[float, Dict]:
+def _static_rate_sharded(
+    workload_factory,
+    arrivals: int,
+    candidate_ids: Tuple[str, ...],
+    parallel: ParallelConfig,
+) -> Tuple[float, Dict]:
+    """Sharded analog of a cumulative static-plan rate measurement."""
+    run = run_sharded(
+        ExperimentSpec(
+            workload_factory=workload_factory,
+            arrivals=arrivals,
+            engine=EngineSpec(
+                kind="static",
+                orders=CHAIN_ORDERS,
+                candidate_ids=candidate_ids,
+            ),
+        ),
+        parallel,
+    )
+    stats = run.stats
+    return stats.modeled_throughput, {
+        "hit_rate": round(stats.hit_rate, 3),
+        "probes": stats.cache_probes,
+    }
+
+
+def _forced_cache_rate(
+    workload_factory,
+    arrivals: int,
+    parallel: Optional[ParallelConfig] = None,
+) -> Tuple[float, Dict]:
+    if parallel is not None and parallel.active:
+        return _static_rate_sharded(
+            workload_factory, arrivals, (FORCED_CACHE,), parallel
+        )
     workload = workload_factory()
     plan = static_plan(
         workload, orders=CHAIN_ORDERS, candidate_ids=[FORCED_CACHE]
@@ -56,7 +94,16 @@ def _forced_cache_rate(workload_factory, arrivals: int) -> Tuple[float, Dict]:
     }
 
 
-def _plain_mjoin_rate(workload_factory, arrivals: int) -> float:
+def _plain_mjoin_rate(
+    workload_factory,
+    arrivals: int,
+    parallel: Optional[ParallelConfig] = None,
+) -> float:
+    if parallel is not None and parallel.active:
+        rate, _ = _static_rate_sharded(
+            workload_factory, arrivals, (), parallel
+        )
+        return rate
     workload = workload_factory()
     plan = static_plan(workload, orders=CHAIN_ORDERS, candidate_ids=[])
     return run_static(plan, workload, arrivals)
@@ -66,13 +113,14 @@ def figure6(
     multiplicities: Sequence[int] = tuple(range(1, 11)),
     arrivals: int = 20_000,
     window: int = 128,
+    parallel: Optional[ParallelConfig] = None,
 ) -> List[ExperimentRow]:
     """Figure 6: varying cache hit probability via T.B multiplicity."""
     rows = []
     for multiplicity in multiplicities:
-        factory = lambda m=multiplicity: fig6_workload(m, window=window)
-        cached, extra = _forced_cache_rate(factory, arrivals)
-        plain = _plain_mjoin_rate(factory, arrivals)
+        factory = partial(fig6_workload, multiplicity, window=window)
+        cached, extra = _forced_cache_rate(factory, arrivals, parallel)
+        plain = _plain_mjoin_rate(factory, arrivals, parallel)
         rows.append(
             ExperimentRow(
                 x=multiplicity,
@@ -88,13 +136,14 @@ def figure7(
     selectivities: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0),
     arrivals: int = 20_000,
     window: int = 128,
+    parallel: Optional[ParallelConfig] = None,
 ) -> List[ExperimentRow]:
     """Figure 7: varying join selectivity for ∆T tuples."""
     rows = []
     for selectivity in selectivities:
-        factory = lambda s=selectivity: fig7_workload(s, window=window)
-        cached, extra = _forced_cache_rate(factory, arrivals)
-        plain = _plain_mjoin_rate(factory, arrivals)
+        factory = partial(fig7_workload, selectivity, window=window)
+        cached, extra = _forced_cache_rate(factory, arrivals, parallel)
+        plain = _plain_mjoin_rate(factory, arrivals, parallel)
         rows.append(
             ExperimentRow(
                 x=selectivity,
@@ -110,13 +159,14 @@ def figure8(
     ratios: Sequence[float] = (0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0),
     arrivals: int = 20_000,
     window: int = 128,
+    parallel: Optional[ParallelConfig] = None,
 ) -> List[ExperimentRow]:
     """Figure 8: varying the cache update rate over the probe rate."""
     rows = []
     for ratio in ratios:
-        factory = lambda r=ratio: fig8_workload(r, window=window)
-        cached, extra = _forced_cache_rate(factory, arrivals)
-        plain = _plain_mjoin_rate(factory, arrivals)
+        factory = partial(fig8_workload, ratio, window=window)
+        cached, extra = _forced_cache_rate(factory, arrivals, parallel)
+        plain = _plain_mjoin_rate(factory, arrivals, parallel)
         rows.append(
             ExperimentRow(
                 x=ratio, caching_rate=cached, mjoin_rate=plain, extra=extra
@@ -129,6 +179,7 @@ def figure9(
     relation_counts: Sequence[int] = tuple(range(3, 10)),
     arrivals_for: Optional[Callable[[int], int]] = None,
     window: int = 48,
+    parallel: Optional[ParallelConfig] = None,
 ) -> List[ExperimentRow]:
     """Figure 9: n-way star joins under full adaptive A-Caching."""
     if arrivals_for is None:
@@ -136,7 +187,7 @@ def figure9(
     rows = []
     for n in relation_counts:
         arrivals = arrivals_for(n)
-        factory = lambda k=n: fig9_workload(k, window=window)
+        factory = partial(fig9_workload, n, window=window)
         cached = plans.run_acaching(
             factory,
             arrivals,
@@ -144,8 +195,11 @@ def figure9(
             reopt_interval_updates=max(800, arrivals // 5),
             stat_window=4,
             bloom_window=max(96, 3 * window),
+            parallel=parallel,
         )
-        plain = plans.run_mjoin(factory, arrivals, adaptive_ordering=True)
+        plain = plans.run_mjoin(
+            factory, arrivals, adaptive_ordering=True, parallel=parallel
+        )
         rows.append(
             ExperimentRow(
                 x=n,
@@ -163,13 +217,14 @@ def figure9(
 def figure10(
     s_windows: Sequence[int] = (50, 250, 500, 1000, 1500, 2000),
     arrivals: int = 8_000,
+    parallel: Optional[ParallelConfig] = None,
 ) -> List[ExperimentRow]:
     """Figure 10: nested-loop join cost via |S| with no S.B index."""
     rows = []
     for s_window in s_windows:
-        factory = lambda w=s_window: fig10_workload(w)
-        cached, extra = _forced_cache_rate(factory, arrivals)
-        plain = _plain_mjoin_rate(factory, arrivals)
+        factory = partial(fig10_workload, s_window)
+        cached, extra = _forced_cache_rate(factory, arrivals, parallel)
+        plain = _plain_mjoin_rate(factory, arrivals, parallel)
         rows.append(
             ExperimentRow(
                 x=s_window,
@@ -195,13 +250,14 @@ def figure11(
     arrivals: int = 12_000,
     window_base: Optional[int] = None,
     global_quota: int = 6,
+    parallel: Optional[ParallelConfig] = None,
 ) -> List[SpectrumResult]:
     """Figure 11: M / X / P / G at the Table 2 sample points."""
     results = []
     for point in points:
-        factory = lambda p=point: table2_workload(p, window_base=window_base)
+        factory = partial(table2_workload, point, window_base=window_base)
         spectrum = plans.plan_spectrum(
-            factory, arrivals, global_quota=global_quota
+            factory, arrivals, global_quota=global_quota, parallel=parallel
         )
         results.append(
             SpectrumResult(
@@ -234,6 +290,7 @@ def figure12(
     sample_every_updates: int = 4_000,
     window: int = 96,
     reopt_interval_updates: int = 3_000,
+    parallel: Optional[ParallelConfig] = None,
 ) -> AdaptivitySeries:
     """Figure 12: adaptivity to a 20× rate burst on ∆R.
 
@@ -242,13 +299,55 @@ def figure12(
     (T⋈S)⋉R cache in ∆R's pipeline), and full A-Caching.
     """
 
-    def factory():
-        return fig12_workload(
-            burst_after_arrivals, burst_factor=burst_factor, window=window
-        )
+    factory = partial(
+        fig12_workload,
+        burst_after_arrivals,
+        burst_factor=burst_factor,
+        window=window,
+    )
 
     def is_s_insert(update) -> bool:
         return update.relation == "S" and update.sign is Sign.INSERT
+
+    if parallel is not None and parallel.active:
+        # A time axis needs lockstep sampling, so the sharded variant is
+        # always in-process regardless of the configured backend.
+        def sharded_series(engine: EngineSpec) -> List[SeriesPoint]:
+            return run_series_sharded(
+                ExperimentSpec(
+                    workload_factory=factory,
+                    arrivals=total_arrivals,
+                    engine=engine,
+                ),
+                parallel.shards,
+                sample_every_updates,
+                x_of=is_s_insert,
+            )
+
+        series_a = sharded_series(
+            EngineSpec(
+                kind="static",
+                orders=CHAIN_ORDERS,
+                candidate_ids=(FORCED_CACHE,),
+            )
+        )
+        series_b = sharded_series(
+            EngineSpec(
+                kind="static", orders=CHAIN_ORDERS, candidate_ids=("R:0-1g",)
+            )
+        )
+        config = plans._tuning(
+            global_quota=6,
+            reopt_interval_updates=reopt_interval_updates,
+            profiling_phase_updates=500,
+        )
+        series_c = sharded_series(EngineSpec(kind="acaching", config=config))
+        return AdaptivitySeries(
+            adaptive=series_c,
+            static_rs_cache=series_a,
+            static_ts_cache=series_b,
+            burst_at_s_tuples=burst_after_arrivals // 7,
+        )
 
     # Static plan A: R ⋈ S cache in ∆T's pipeline.
     workload_a = factory()
@@ -320,14 +419,14 @@ def figure13(
     window_base: Optional[int] = None,
     point: str = "D8",
     global_quota: int = 0,
+    parallel: Optional[ParallelConfig] = None,
 ) -> List[MemoryPoint]:
     """Figure 13: adaptivity to the memory available for subresults."""
 
-    def factory():
-        return table2_workload(point, window_base=window_base)
+    factory = partial(table2_workload, point, window_base=window_base)
 
-    mjoin = plans.run_mjoin(factory, arrivals)
-    xjoin = plans.best_xjoin(factory, arrivals)
+    mjoin = plans.run_mjoin(factory, arrivals, parallel=parallel)
+    xjoin = plans.best_xjoin(factory, arrivals, parallel=parallel)
     xjoin_needs = xjoin.memory_peak_bytes
     rows = []
     for budget_kb in budgets_kb:
@@ -340,6 +439,7 @@ def figure13(
             label=f"A-Caching@{budget_kb}KB",
             stat_window=5,
             reopt_interval_updates=4000,
+            parallel=parallel,
         )
         rows.append(
             MemoryPoint(

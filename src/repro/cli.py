@@ -2,14 +2,22 @@
 
     python -m repro list
     python -m repro figure fig6 --arrivals 8000
+    python -m repro figure fig9 --shards 4 --parallel-backend process
     python -m repro spectrum D2 --arrivals 12000
     python -m repro table2
-    python -m repro demo
+    python -m repro demo --shards 2
     python -m repro trace fig12 --jsonl fig12-trace.jsonl
     python -m repro chaos fig12 --seed 11 --faults duplicate_prob=0.02
+    python -m repro bench --shards 1,2,4 --out BENCH_parallel.json
 
 Arrival counts trade precision for time; the defaults match the
 benchmark suite's.
+
+Parallelism: ``--shards N`` hash-partitions the update streams and runs
+one full pipeline per shard (``--parallel-backend process`` uses one OS
+process per shard; the default ``serial`` backend runs shards in-process
+with identical results). ``bench`` measures serial-vs-sharded throughput
+and writes the BENCH_parallel.json baseline (see docs/parallelism.md).
 
 Observability: ``trace`` runs one experiment with the structured tracer
 enabled and prints an event summary; ``--obs-jsonl PATH`` on ``figure``,
@@ -26,12 +34,13 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro import obs
 from repro.bench import figures
 from repro.bench.harness import ExperimentRow, format_rows
-from repro.errors import ReproError
+from repro.errors import CLIError, ReproError
 from repro.obs.export import (
     observability_to_jsonl,
     registry_to_prometheus,
     write_jsonl,
 )
+from repro.parallel.engine import BACKENDS, ParallelConfig
 
 FIGURES: Dict[str, str] = {
     "fig6": "varying cache hit probability (T.B multiplicity 1-10)",
@@ -44,8 +53,27 @@ FIGURES: Dict[str, str] = {
 }
 
 
-def _run_row_figure(name: str, arrivals: Optional[int]) -> str:
+def _parallel_of(args: argparse.Namespace) -> ParallelConfig:
+    """Build the run's ParallelConfig from CLI flags (validates both)."""
+    return ParallelConfig(
+        shards=getattr(args, "shards", 1),
+        backend=getattr(args, "parallel_backend", "serial"),
+    )
+
+
+def _check_arrivals(args: argparse.Namespace) -> None:
+    arrivals = getattr(args, "arrivals", None)
+    if arrivals is not None and arrivals <= 0:
+        raise CLIError(f"--arrivals must be positive, got {arrivals}")
+
+
+def _run_row_figure(
+    name: str,
+    arrivals: Optional[int],
+    parallel: Optional[ParallelConfig] = None,
+) -> str:
     kwargs = {} if arrivals is None else {"arrivals": arrivals}
+    kwargs["parallel"] = parallel
     if name == "fig6":
         rows = figures.figure6(**kwargs)
         return format_rows(
@@ -65,7 +93,8 @@ def _run_row_figure(name: str, arrivals: Optional[int]) -> str:
             "update/probe", rows, ("hit_rate",),
         )
     if name == "fig9":
-        rows = figures.figure9()  # scales arrivals per n internally
+        # Scales arrivals per n internally.
+        rows = figures.figure9(parallel=parallel)
         return format_rows(
             "Figure 9 — varying number of joining relations",
             "n relations", rows, ("caches_used",),
@@ -76,13 +105,18 @@ def _run_row_figure(name: str, arrivals: Optional[int]) -> str:
             "Figure 10 — varying join cost (no S.B index)",
             "|S| window", rows, ("hit_rate",),
         )
-    raise ValueError(name)
+    raise CLIError(
+        f"unknown figure {name!r}; available: {sorted(FIGURES)}"
+    )
 
 
-def _run_fig12(arrivals: Optional[int]) -> str:
+def _run_fig12(
+    arrivals: Optional[int], parallel: Optional[ParallelConfig] = None
+) -> str:
     total = arrivals if arrivals is not None else 44_000
     series = figures.figure12(
-        total_arrivals=total, burst_after_arrivals=total // 2
+        total_arrivals=total, burst_after_arrivals=total // 2,
+        parallel=parallel,
     )
     lines = [
         "Figure 12 — adaptivity to changing stream rate",
@@ -100,9 +134,11 @@ def _run_fig12(arrivals: Optional[int]) -> str:
     return "\n".join(lines)
 
 
-def _run_fig13(arrivals: Optional[int]) -> str:
+def _run_fig13(
+    arrivals: Optional[int], parallel: Optional[ParallelConfig] = None
+) -> str:
     kwargs = {} if arrivals is None else {"arrivals": arrivals}
-    rows = figures.figure13(**kwargs)
+    rows = figures.figure13(parallel=parallel, **kwargs)
     lines = [
         "Figure 13 — adaptivity to memory availability (D8)",
         f"{'budget KB':>10} | {'MJoin':>9} | {'A-Caching':>10} | {'XJoin':>10}",
@@ -125,23 +161,34 @@ def cmd_list(_args: argparse.Namespace) -> str:
     lines.append("  table2            print the Table 2 parameters")
     lines.append("  demo              quick adaptive-vs-MJoin demonstration")
     lines.append("  chaos EXP         run an experiment under fault injection")
+    lines.append("  bench             serial-vs-sharded throughput benchmark")
     return "\n".join(lines)
 
 
 def cmd_figure(args: argparse.Namespace) -> str:
     """``figure NAME``: regenerate one figure's data series."""
+    _check_arrivals(args)
+    parallel = _parallel_of(args)
     if args.name == "fig12":
-        return _run_fig12(args.arrivals)
+        return _run_fig12(args.arrivals, parallel)
     if args.name == "fig13":
-        return _run_fig13(args.arrivals)
-    return _run_row_figure(args.name, args.arrivals)
+        return _run_fig13(args.arrivals, parallel)
+    return _run_row_figure(args.name, args.arrivals, parallel)
 
 
 def cmd_spectrum(args: argparse.Namespace) -> str:
     """``spectrum POINT``: the M/X/P/G comparison at a Table 2 point."""
+    _check_arrivals(args)
+    parallel = _parallel_of(args)
+    known = [f"D{i}" for i in range(1, 9)]
+    if args.point not in known:
+        raise CLIError(
+            f"unknown Table 2 point {args.point!r}; available: {known}"
+        )
     results = figures.figure11(
         points=(args.point,),
         arrivals=args.arrivals if args.arrivals else 16_000,
+        parallel=parallel,
     )
     (result,) = results
     lines = [f"plan spectrum at {result.point}:"]
@@ -160,21 +207,30 @@ def cmd_table2(_args: argparse.Namespace) -> str:
 
 def cmd_demo(args: argparse.Namespace) -> str:
     """``demo``: a quick adaptive-caching-vs-MJoin measurement."""
+    from functools import partial
+
     from repro.planner.enumeration import run_acaching, run_mjoin
     from repro.streams.workloads import three_way_chain
 
+    _check_arrivals(args)
+    parallel = _parallel_of(args)
     arrivals = args.arrivals if args.arrivals else 12_000
+    factory = partial(
+        three_way_chain, t_multiplicity=5.0, window_r=96, window_s=96
+    )
 
-    def factory():
-        return three_way_chain(t_multiplicity=5.0, window_r=96, window_s=96)
-
-    mjoin = run_mjoin(factory, arrivals)
+    mjoin = run_mjoin(factory, arrivals, parallel=parallel)
     cached = run_acaching(
         factory, arrivals, global_quota=6,
-        reopt_interval_updates=3000, stat_window=5,
+        reopt_interval_updates=3000, stat_window=5, parallel=parallel,
+    )
+    sharding = (
+        f" ({parallel.shards} shards, {parallel.backend} backend)"
+        if parallel.active
+        else ""
     )
     return (
-        "three-way stream join, adaptive caching vs MJoin\n"
+        f"three-way stream join, adaptive caching vs MJoin{sharding}\n"
         f"  MJoin      : {mjoin.throughput:>10,.0f} tuples/sec\n"
         f"  A-Caching  : {cached.throughput:>10,.0f} tuples/sec "
         f"(caches {cached.detail['used_caches']}, "
@@ -192,6 +248,8 @@ def cmd_chaos(args: argparse.Namespace) -> str:
         run_chaos,
     )
 
+    _check_arrivals(args)
+    parallel = _parallel_of(args)
     _ensure_writable(args.jsonl)
     overrides = parse_fault_overrides(args.faults)
     report = run_chaos(
@@ -199,6 +257,8 @@ def cmd_chaos(args: argparse.Namespace) -> str:
         seed=args.seed,
         arrivals=args.arrivals,
         overrides=overrides,
+        shards=parallel.shards,
+        backend=parallel.backend,
     )
     body = format_chaos_report(report)
     if args.jsonl:
@@ -207,18 +267,63 @@ def cmd_chaos(args: argparse.Namespace) -> str:
     return body
 
 
+def cmd_bench(args: argparse.Namespace) -> str:
+    """``bench``: serial-vs-sharded throughput on the 6-way workload."""
+    from repro.parallel.bench import (
+        DEFAULT_ARRIVALS,
+        bench_to_json,
+        format_bench_report,
+        run_parallel_bench,
+    )
+
+    _check_arrivals(args)
+    try:
+        shard_counts = tuple(
+            int(part) for part in args.shards.split(",") if part.strip()
+        )
+    except ValueError:
+        raise CLIError(
+            f"--shards expects a comma-separated list of integers, "
+            f"got {args.shards!r}"
+        )
+    if not shard_counts:
+        raise CLIError("--shards needs at least one shard count")
+    for count in shard_counts:
+        if count < 1:
+            raise CLIError(f"shard counts must be >= 1, got {count}")
+    if args.backend not in BACKENDS:
+        raise CLIError(
+            f"--backend must be one of {list(BACKENDS)}, "
+            f"got {args.backend!r}"
+        )
+    _ensure_writable(args.out)
+    report = run_parallel_bench(
+        shard_counts=shard_counts,
+        arrivals=args.arrivals if args.arrivals else DEFAULT_ARRIVALS,
+        backend=args.backend,
+    )
+    body = format_bench_report(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(bench_to_json(report))
+        body += f"\nwrote bench baseline to {args.out}"
+    return body
+
+
 TRACEABLE = tuple(sorted(FIGURES)) + ("demo",)
 
 
 def _run_experiment(name: str, args: argparse.Namespace) -> str:
     """Dispatch one traceable experiment by name (figure key or demo)."""
+    _check_arrivals(args)
+    parallel = _parallel_of(args)
     if name == "demo":
         return cmd_demo(args)
     if name == "fig12":
-        return _run_fig12(args.arrivals)
+        return _run_fig12(args.arrivals, parallel)
     if name == "fig13":
-        return _run_fig13(args.arrivals)
-    return _run_row_figure(name, args.arrivals)
+        return _run_fig13(args.arrivals, parallel)
+    return _run_row_figure(name, args.arrivals, parallel)
 
 
 def _trace_summary(active: "obs.Observability") -> str:
@@ -280,26 +385,39 @@ def build_parser() -> argparse.ArgumentParser:
         handler=cmd_list
     )
 
+    def add_parallel_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--shards", type=int, default=1, metavar="N",
+            help="hash-partition the streams across N shards (default 1)",
+        )
+        command.add_argument(
+            "--parallel-backend", default="serial", metavar="BACKEND",
+            help="how shards execute: serial (in-process, default) "
+                 "or process (one OS process per shard)",
+        )
+
     figure = sub.add_parser("figure", help="regenerate one figure's series")
-    figure.add_argument("name", choices=sorted(FIGURES))
+    # Name validated in the handler so unknown figures surface as the
+    # library's one-line `error: ...` rather than an argparse usage dump.
+    figure.add_argument("name", metavar="NAME")
     figure.add_argument("--arrivals", type=int, default=None)
     figure.add_argument(
         "--obs-jsonl", metavar="PATH", default=None,
         help="run with tracing enabled; write the JSONL chronology here",
     )
+    add_parallel_flags(figure)
     figure.set_defaults(handler=cmd_figure)
 
     spectrum = sub.add_parser(
         "spectrum", help="M/X/P/G comparison at a Table 2 point"
     )
-    spectrum.add_argument(
-        "point", choices=[f"D{i}" for i in range(1, 9)]
-    )
+    spectrum.add_argument("point", metavar="POINT")
     spectrum.add_argument("--arrivals", type=int, default=None)
     spectrum.add_argument(
         "--obs-jsonl", metavar="PATH", default=None,
         help="run with tracing enabled; write the JSONL chronology here",
     )
+    add_parallel_flags(spectrum)
     spectrum.set_defaults(handler=cmd_spectrum)
 
     sub.add_parser("table2", help="print Table 2").set_defaults(
@@ -312,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs-jsonl", metavar="PATH", default=None,
         help="run with tracing enabled; write the JSONL chronology here",
     )
+    add_parallel_flags(demo)
     demo.set_defaults(handler=cmd_demo)
 
     trace = sub.add_parser(
@@ -347,7 +466,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--jsonl", metavar="PATH", default=None,
         help="write the chaos summary + decision chronology here",
     )
+    add_parallel_flags(chaos)
     chaos.set_defaults(handler=cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench", help="serial-vs-sharded throughput benchmark"
+    )
+    bench.add_argument(
+        "--shards", default="1,2,4", metavar="N,N,...",
+        help="comma-separated shard counts to measure (default 1,2,4)",
+    )
+    bench.add_argument("--arrivals", type=int, default=None)
+    bench.add_argument(
+        "--backend", default="process",
+        help="shard backend: process (default) or serial",
+    )
+    bench.add_argument(
+        "--out", metavar="PATH", default="BENCH_parallel.json",
+        help="write the JSON baseline here (default BENCH_parallel.json)",
+    )
+    bench.set_defaults(handler=cmd_bench)
     return parser
 
 

@@ -69,6 +69,9 @@ def series_to_dicts(series: Sequence[SeriesPoint]) -> List[Dict]:
             "decisions": [
                 f"{d.action}:{d.candidate_id}" for d in point.decisions
             ],
+            "degraded": point.degraded,
+            "shed_updates": point.shed_updates,
+            "shard_count": point.shard_count,
         }
         for point in series
     ]

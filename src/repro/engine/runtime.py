@@ -124,7 +124,8 @@ class SeriesPoint:
     hit_rate: float = 0.0        # cache hits / probes over the window
     decisions: Tuple = ()        # DecisionRecords that fired in the window
     degraded: bool = False       # overload shedding active / shed in window
-    shed_updates: int = 0        # updates shed during the window
+    shed_updates: int = 0        # updates shed during the window (all shards)
+    shard_count: int = 1         # shards behind this sample (1 = serial)
 
 
 def run_with_series(

@@ -37,3 +37,11 @@ class WorkloadError(ReproError):
 
 class ResilienceError(ReproError):
     """A fault-injection or degradation configuration was invalid."""
+
+
+class ParallelError(ReproError):
+    """A sharded-execution configuration or merge invariant was invalid."""
+
+
+class CLIError(ReproError):
+    """A command-line argument was out of range or named nothing known."""

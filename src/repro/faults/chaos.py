@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.acaching import ACaching, ACachingConfig
@@ -33,7 +34,9 @@ from repro.faults.plan import FaultPlan, FaultSpec
 from repro.faults.resilience import ResilienceConfig
 from repro.faults.shedding import SheddingConfig
 from repro.ordering.agreedy import OrderingConfig
-from repro.streams.events import OutputDelta
+from repro.parallel.engine import ParallelConfig, run_sharded
+from repro.parallel.spec import EngineSpec, ExperimentSpec
+from repro.streams.events import OutputDelta, canonical_delta
 from repro.streams.tuples import CompositeTuple, Row
 from repro.streams.workloads import (
     Workload,
@@ -92,6 +95,11 @@ CHAOS_EXPERIMENTS: Dict[str, ChaosExperiment] = {
 }
 
 
+def _build_workload(experiment: str, arrivals: int) -> Workload:
+    """Module level so ``partial(_build_workload, name, n)`` pickles."""
+    return CHAOS_EXPERIMENTS[experiment].build(arrivals)
+
+
 @dataclass
 class ChaosReport:
     """Everything one chaos run measured."""
@@ -100,6 +108,8 @@ class ChaosReport:
     seed: int
     arrivals: int
     spec: FaultSpec
+    shards: int = 1
+    backend: str = "serial"
     injected: Dict[str, int] = field(default_factory=dict)
     poisonings: int = 0
     summary: Dict[str, object] = field(default_factory=dict)
@@ -139,8 +149,8 @@ def parse_fault_overrides(text: Optional[str]) -> Dict[str, str]:
     return overrides
 
 
-def _engine(workload: Workload, resilience: Optional[ResilienceConfig]) -> ACaching:
-    config = ACachingConfig(
+def _chaos_config(resilience: Optional[ResilienceConfig]) -> ACachingConfig:
+    return ACachingConfig(
         profiler=ProfilerConfig(
             window=10, profile_probability=0.05, bloom_window_tuples=256
         ),
@@ -153,22 +163,16 @@ def _engine(workload: Workload, resilience: Optional[ResilienceConfig]) -> ACach
         adaptive_ordering=True,
         resilience=resilience,
     )
-    return ACaching.for_workload(workload, config)
+
+
+def _engine(workload: Workload, resilience: Optional[ResilienceConfig]) -> ACaching:
+    return ACaching.for_workload(workload, _chaos_config(resilience))
 
 
 def _canonical(delta: OutputDelta) -> Tuple:
     """A rid-free identity for one result delta: values, not identities,
     so injected rows matter only when they change actual join results."""
-    composite = delta.composite
-    return (
-        int(delta.sign),
-        tuple(
-            sorted(
-                (relation, composite.row(relation).values)
-                for relation in composite.relations()
-            )
-        ),
-    )
+    return canonical_delta(delta)
 
 
 def _drive(engine: ACaching, updates: Iterator) -> Counter:
@@ -195,11 +199,100 @@ def _poison_one_entry(engine: ACaching) -> bool:
     return False
 
 
+def _run_chaos_sharded(
+    experiment: str,
+    exp: ChaosExperiment,
+    seed: int,
+    total: int,
+    spec: FaultSpec,
+    parallel: ParallelConfig,
+) -> ChaosReport:
+    """The sharded chaos run: both the clean and the faulted pass go
+    through the parallel engine, so resilience is exercised per shard and
+    the report's degradation counters are the merged fleet-wide view.
+
+    The adaptivity decision log stays empty here — decisions are made
+    inside worker processes; ``decision_count`` still surfaces via the
+    merged stats.
+    """
+    factory = partial(_build_workload, experiment, total)
+
+    clean = run_sharded(
+        ExperimentSpec(
+            workload_factory=factory,
+            arrivals=total,
+            engine=EngineSpec(kind="acaching", config=_chaos_config(None)),
+            output_mode="canonical",
+        ),
+        parallel,
+    )
+    clean_outputs = clean.merged_canonical()
+    clean_cost = clean.stats.total_work_us / max(
+        1, clean.stats.updates_processed
+    )
+
+    resilience = ResilienceConfig(
+        shedding=SheddingConfig(
+            budget_us_per_update=max(1.0, clean_cost * 3.0),
+            window_updates=200,
+        ),
+        auditor=AuditorConfig(
+            audit_every_updates=400,
+            entries_per_audit=6,
+            rebuild_after_updates=1500,
+        ),
+    )
+    faulted = run_sharded(
+        ExperimentSpec(
+            workload_factory=factory,
+            arrivals=total,
+            engine=EngineSpec(
+                kind="acaching", config=_chaos_config(resilience)
+            ),
+            fault_spec=spec,
+            fault_seed=seed,
+            output_mode="canonical",
+            poison_at=spec.poison_at,
+        ),
+        parallel,
+    )
+    faulted_outputs = faulted.merged_canonical()
+
+    # Injected-fault counts describe the global stream, which every shard
+    # replays identically; one engine-free pass recovers them.
+    plan = FaultPlan(spec, seed=seed)
+    for _ in plan.updates(exp.build(total).updates(total)):
+        pass
+
+    missing = clean_outputs - faulted_outputs
+    extra = faulted_outputs - clean_outputs
+    return ChaosReport(
+        experiment=experiment,
+        seed=seed,
+        arrivals=total,
+        spec=spec,
+        shards=parallel.shards,
+        backend=parallel.backend,
+        injected=dict(plan.counts),
+        poisonings=faulted.stats.poisonings,
+        summary=faulted.merged_resilience_summary(),
+        clean_outputs=sum(clean_outputs.values()),
+        faulted_outputs=sum(faulted_outputs.values()),
+        missing_outputs=sum(missing.values()),
+        extra_outputs=sum(extra.values()),
+        clean_throughput=clean.stats.modeled_throughput,
+        faulted_throughput=faulted.stats.modeled_throughput,
+        decisions=[],
+    )
+
+
 def run_chaos(
     experiment: str,
     seed: int = 0,
     arrivals: Optional[int] = None,
     overrides: Optional[Dict[str, str]] = None,
+    shards: int = 1,
+    backend: str = "serial",
 ) -> ChaosReport:
     """Run one experiment clean and faulted; return the comparison."""
     exp = CHAOS_EXPERIMENTS.get(experiment)
@@ -211,12 +304,16 @@ def run_chaos(
     total = arrivals if arrivals is not None else exp.arrivals
     if total <= 0:
         raise ResilienceError("arrivals must be positive")
+    parallel = ParallelConfig(shards=shards, backend=backend)
 
     # Validate the fault schedule up front: a bad --faults value should
     # fail fast, not after a full clean run.
     spec = FaultSpec.default_schedule(exp.burst_stream, total)
     if overrides:
         spec = spec.with_overrides(overrides)
+
+    if parallel.active:
+        return _run_chaos_sharded(experiment, exp, seed, total, spec, parallel)
 
     # Clean run: ground truth, and the shedding budget's baseline.
     clean_engine = _engine(exp.build(total), None)
@@ -282,9 +379,14 @@ def run_chaos(
 def format_chaos_report(report: ChaosReport) -> str:
     """Human-readable chaos summary for the CLI."""
     s = report.summary
+    sharding = (
+        f", {report.shards} shards ({report.backend})"
+        if report.shards > 1
+        else ""
+    )
     lines = [
         f"chaos {report.experiment} — seed {report.seed}, "
-        f"{report.arrivals} arrivals",
+        f"{report.arrivals} arrivals{sharding}",
         "=" * 60,
         "injected faults:",
     ]
@@ -331,6 +433,8 @@ def chaos_to_jsonl(report: ChaosReport) -> str:
         "experiment": report.experiment,
         "seed": report.seed,
         "arrivals": report.arrivals,
+        "shards": report.shards,
+        "backend": report.backend,
         "injected": dict(sorted(report.injected.items())),
         "poisonings": report.poisonings,
         "resilience": report.summary,

@@ -1,0 +1,236 @@
+"""The serial-vs-sharded throughput benchmark (``repro bench``).
+
+Measures the full adaptive A-Caching engine on the 6-way star workload
+(Figure 9's shape at n=6: one attribute class, so every stream hash-
+partitions and nothing is broadcast) serially and at each requested
+shard count, and writes ``BENCH_parallel.json`` — the repo's performance
+trajectory baseline that future PRs diff against.
+
+Two speedups are reported per shard count:
+
+* ``modeled_speedup`` — serial virtual elapsed time over the sharded
+  critical path (slowest shard). Deterministic and hardware-independent:
+  what a machine with one core per shard achieves under the engine's
+  cost model. This is the number CI can assert on.
+* ``wall_seconds`` — real time the backend took on *this* machine.
+  Informative only: on a single-core container the process backend
+  cannot beat serial wall time, while on >= shards cores it tracks the
+  modeled number.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.profiler import ProfilerConfig
+from repro.core.reoptimizer import ReoptimizerConfig
+from repro.core.acaching import ACachingConfig
+from repro.errors import ParallelError
+from repro.ordering.agreedy import OrderingConfig
+from repro.parallel.engine import ParallelConfig, ParallelEngine
+from repro.parallel.spec import EngineSpec, ExperimentSpec
+from repro.streams.workloads import fig9_workload
+
+BENCH_SCHEMA_VERSION = 1
+DEFAULT_OUT = "BENCH_parallel.json"
+DEFAULT_ARRIVALS = 8_000
+DEFAULT_SHARDS = (1, 2, 4)
+BENCH_RELATIONS = 6
+
+
+def bench_engine_spec() -> EngineSpec:
+    """The adaptive engine configuration every bench run uses."""
+    config = ACachingConfig(
+        profiler=ProfilerConfig(
+            window=6, profile_probability=0.05, bloom_window_tuples=256
+        ),
+        reoptimizer=ReoptimizerConfig(
+            reopt_interval_updates=2000,
+            profiling_phase_updates=400,
+            global_quota=6,
+        ),
+        ordering=OrderingConfig(interval_updates=1500),
+        adaptive_ordering=True,
+    )
+    return EngineSpec(kind="acaching", config=config)
+
+
+def bench_spec(arrivals: int) -> ExperimentSpec:
+    """The 6-way workload experiment, steady-state measured."""
+    return ExperimentSpec(
+        workload_factory=partial(fig9_workload, BENCH_RELATIONS, window=48),
+        arrivals=arrivals,
+        engine=bench_engine_spec(),
+        warmup_fraction=0.4,
+        output_mode="none",
+    )
+
+
+@dataclass
+class BenchPoint:
+    """One shard count's measurement."""
+
+    shards: int
+    backend: str
+    modeled_throughput: float
+    steady_throughput: float
+    modeled_speedup: float
+    steady_speedup: float
+    critical_path_s: float
+    total_work_s: float
+    balance: float
+    wall_seconds: float
+    source_updates: int
+    per_shard_updates: List[int]
+    hit_rate: float
+    used_caches: List[str]
+    partitioned: List[str]
+    broadcast: List[str]
+
+
+@dataclass
+class BenchReport:
+    """The full serial-vs-sharded comparison."""
+
+    workload: str
+    arrivals: int
+    backend: str
+    serial_throughput: float
+    serial_steady_throughput: float
+    serial_elapsed_s: float
+    serial_steady_span_s: float
+    serial_wall_seconds: float
+    points: List[BenchPoint] = field(default_factory=list)
+
+
+def run_parallel_bench(
+    shard_counts: Sequence[int] = DEFAULT_SHARDS,
+    arrivals: int = DEFAULT_ARRIVALS,
+    backend: str = "process",
+) -> BenchReport:
+    """Measure serial vs sharded throughput on the 6-way workload."""
+    if arrivals <= 0:
+        raise ParallelError(f"arrivals must be positive, got {arrivals}")
+    if not shard_counts:
+        raise ParallelError("need at least one shard count to benchmark")
+    for count in shard_counts:
+        if count < 1:
+            raise ParallelError(f"shard count must be >= 1, got {count}")
+
+    spec = bench_spec(arrivals)
+
+    # Serial reference: the same computation as one shard of one.
+    import time
+
+    started = time.perf_counter()
+    serial = ParallelEngine(ParallelConfig(shards=1, backend="serial")).run(
+        spec
+    )
+    serial_wall = time.perf_counter() - started
+    serial_elapsed_us = serial.stats.critical_path_us
+    serial_steady_us = serial.stats.measured_critical_us
+
+    report = BenchReport(
+        workload=spec.workload_factory().name,
+        arrivals=arrivals,
+        backend=backend,
+        serial_throughput=serial.stats.modeled_throughput,
+        serial_steady_throughput=serial.stats.steady_throughput,
+        serial_elapsed_s=serial_elapsed_us / 1e6,
+        serial_steady_span_s=serial_steady_us / 1e6,
+        serial_wall_seconds=serial.wall_seconds,
+    )
+    for count in shard_counts:
+        run = ParallelEngine(
+            ParallelConfig(shards=count, backend=backend)
+        ).run(spec)
+        stats = run.stats
+        report.points.append(
+            BenchPoint(
+                shards=count,
+                backend=run.backend,
+                modeled_throughput=stats.modeled_throughput,
+                steady_throughput=stats.steady_throughput,
+                modeled_speedup=stats.speedup_over_us(serial_elapsed_us),
+                steady_speedup=(
+                    serial_steady_us / max(1e-12, stats.measured_critical_us)
+                ),
+                critical_path_s=stats.critical_path_us / 1e6,
+                total_work_s=stats.total_work_us / 1e6,
+                balance=stats.balance,
+                wall_seconds=run.wall_seconds,
+                source_updates=stats.source_updates,
+                per_shard_updates=list(stats.per_shard_updates),
+                hit_rate=stats.hit_rate,
+                used_caches=list(stats.used_caches),
+                partitioned=list(run.scheme.partitioned),
+                broadcast=list(run.scheme.broadcast),
+            )
+        )
+    return report
+
+
+def bench_to_json(report: BenchReport) -> str:
+    """Serialize a bench report (schema in benchmarks/README.md)."""
+    payload = {
+        "kind": "parallel_bench",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "workload": report.workload,
+        "arrivals": report.arrivals,
+        "backend": report.backend,
+        "serial": {
+            "modeled_throughput": round(report.serial_throughput, 1),
+            "steady_throughput": round(report.serial_steady_throughput, 1),
+            "elapsed_virtual_s": round(report.serial_elapsed_s, 6),
+            "steady_span_virtual_s": round(report.serial_steady_span_s, 6),
+            "wall_seconds": round(report.serial_wall_seconds, 3),
+        },
+        "points": [
+            {
+                "shards": p.shards,
+                "backend": p.backend,
+                "modeled_throughput": round(p.modeled_throughput, 1),
+                "steady_throughput": round(p.steady_throughput, 1),
+                "modeled_speedup": round(p.modeled_speedup, 3),
+                "steady_speedup": round(p.steady_speedup, 3),
+                "critical_path_virtual_s": round(p.critical_path_s, 6),
+                "total_work_virtual_s": round(p.total_work_s, 6),
+                "balance": round(p.balance, 3),
+                "wall_seconds": round(p.wall_seconds, 3),
+                "source_updates": p.source_updates,
+                "per_shard_updates": p.per_shard_updates,
+                "hit_rate": round(p.hit_rate, 4),
+                "used_caches": p.used_caches,
+                "partitioned": p.partitioned,
+                "broadcast": p.broadcast,
+            }
+            for p in report.points
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def format_bench_report(report: BenchReport) -> str:
+    """Human-readable bench table for the CLI."""
+    lines = [
+        f"parallel throughput bench — {report.workload}, "
+        f"{report.arrivals} arrivals, backend {report.backend}",
+        "=" * 72,
+        f"serial: {report.serial_throughput:>10,.0f} updates/sec "
+        f"(steady {report.serial_steady_throughput:,.0f}), "
+        f"{report.serial_elapsed_s:.3f}s virtual, "
+        f"{report.serial_wall_seconds:.2f}s wall",
+        f"{'shards':>7} | {'modeled rate':>12} | {'speedup':>8} | "
+        f"{'steady x':>8} | {'balance':>7} | {'wall s':>7} | broadcast",
+    ]
+    for p in report.points:
+        lines.append(
+            f"{p.shards:>7} | {p.modeled_throughput:>12,.0f} | "
+            f"{p.modeled_speedup:>7.2f}x | {p.steady_speedup:>7.2f}x | "
+            f"{p.balance:>7.2f} | {p.wall_seconds:>7.2f} | "
+            f"{p.broadcast or '—'}"
+        )
+    return "\n".join(lines)

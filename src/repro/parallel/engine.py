@@ -1,0 +1,211 @@
+"""The parallel engine: fan shards out, merge results back.
+
+Two backends execute the same :func:`repro.parallel.shard.run_shard`
+computation:
+
+* ``"serial"`` (serial-shards) — every shard runs in this process, one
+  after another. Deterministic, dependency-free, and what tests and CI
+  use; the virtual clocks still record per-shard cost, so modeled
+  parallel throughput is identical to the process backend's.
+* ``"process"`` — one OS process per shard via :mod:`multiprocessing`.
+  Real wall-clock parallelism on multicore hardware; the experiment spec
+  is pickled to each worker, which rebuilds the workload and replays the
+  stream locally (no per-update IPC).
+
+Because both backends run the exact same per-shard computation on the
+exact same routed sub-streams, their merged outputs and merged statistics
+are equal — a property the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParallelError
+from repro.parallel.partitioner import PartitionScheme, scheme_for_workload
+from repro.parallel.shard import ShardResult, TaggedDelta, run_shard
+from repro.parallel.spec import ExperimentSpec
+from repro.parallel.stats import MergedStats, StatsMerger
+
+BACKENDS = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How an experiment should be sharded, if at all."""
+
+    shards: int = 1
+    backend: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ParallelError(
+                f"shard count must be >= 1, got {self.shards}"
+            )
+        if self.backend not in BACKENDS:
+            raise ParallelError(
+                f"parallel backend must be one of {BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True when execution is actually split across shards."""
+        return self.shards > 1
+
+
+@dataclass
+class ParallelRun:
+    """One merged sharded run."""
+
+    scheme: PartitionScheme
+    backend: str
+    results: List[ShardResult]
+    stats: MergedStats
+    source_updates: int
+    wall_seconds: float
+
+    def merged_deltas(self) -> List[TaggedDelta]:
+        """All emitted deltas restored to the global arrival order.
+
+        Ordered by (source seq, shard, emission index): every source
+        update's results appear at its position in the global stream; a
+        broadcast update that produced results on several shards lists
+        them in shard order. Within one (update, shard) pair the engine's
+        own emission order is preserved.
+        """
+        tagged: List[Tuple[int, int, int, object]] = []
+        for result in self.results:
+            shard = result.stats.shard
+            for seq, index, delta in result.deltas:
+                tagged.append((seq, shard, index, delta))
+        tagged.sort(key=lambda t: (t[0], t[1], t[2]))
+        return [(seq, index, delta) for seq, _shard, index, delta in tagged]
+
+    def merged_canonical(self) -> Counter:
+        """The rid-free result multiset across all shards."""
+        merged: Counter = Counter()
+        for result in self.results:
+            if result.canonical:
+                merged.update(result.canonical)
+        return merged
+
+    def merged_windows(self) -> Dict[str, List[Tuple[int, tuple]]]:
+        """Final per-relation window contents, reassembled globally.
+
+        Partitioned relations hold disjoint row sets per shard (union);
+        broadcast relations hold a full copy everywhere (all copies must
+        agree, and shard 0's is returned).
+        """
+        merged: Dict[str, List[Tuple[int, tuple]]] = {}
+        broadcast = set(self.scheme.broadcast)
+        for result in self.results:
+            if result.windows is None:
+                raise ParallelError(
+                    "shard run did not collect windows "
+                    "(ExperimentSpec.collect_windows=False)"
+                )
+            for name, rows in result.windows.items():
+                if name in broadcast and self.scheme.shard_count > 1:
+                    previous = merged.get(name)
+                    if previous is not None and previous != rows:
+                        raise ParallelError(
+                            f"broadcast relation {name!r} diverged "
+                            f"between shards"
+                        )
+                    merged[name] = rows
+                else:
+                    merged.setdefault(name, []).extend(rows)
+        for name, rows in merged.items():
+            if name not in broadcast or self.scheme.shard_count == 1:
+                rows.sort(key=lambda pair: pair[0])
+        return merged
+
+    def merged_resilience_summary(self) -> Dict[str, object]:
+        """Global degradation counters across shards."""
+        return StatsMerger().merge_summaries(
+            [result.resilience_summary for result in self.results]
+        )
+
+
+def count_source_updates(spec: ExperimentSpec) -> int:
+    """How many updates the (possibly faulted) global stream contains."""
+    from repro.faults.plan import FaultPlan
+
+    workload = spec.workload_factory()
+    updates = workload.updates(spec.arrivals)
+    if spec.fault_spec is not None:
+        updates = FaultPlan(spec.fault_spec, seed=spec.fault_seed).updates(
+            updates
+        )
+    return sum(1 for _ in updates)
+
+
+def _run_shard_star(args) -> ShardResult:
+    """Module-level trampoline so Pool.map can pickle the call."""
+    spec, shard, shard_count = args
+    return run_shard(spec, shard, shard_count)
+
+
+class ParallelEngine:
+    """Runs one :class:`ExperimentSpec` sharded and merges the pieces."""
+
+    def __init__(self, config: ParallelConfig):
+        self.config = config
+        self._merger = StatsMerger()
+
+    def run(self, spec: ExperimentSpec) -> ParallelRun:
+        """Fan the experiment out over shards and merge the results."""
+        import time
+
+        shards = self.config.shards
+        scheme = scheme_for_workload(spec.workload_factory(), shards)
+        started = time.perf_counter()
+        if self.config.backend == "process" and shards > 1:
+            results = self._run_process(spec, shards)
+        else:
+            results = [
+                run_shard(spec, shard, shards, scheme=scheme)
+                for shard in range(shards)
+            ]
+        wall = time.perf_counter() - started
+        source_updates = count_source_updates(spec)
+        stats = self._merger.merge(
+            [result.stats for result in results],
+            source_updates=source_updates,
+        )
+        return ParallelRun(
+            scheme=scheme,
+            backend=self.config.backend,
+            results=results,
+            stats=stats,
+            source_updates=source_updates,
+            wall_seconds=wall,
+        )
+
+    def _run_process(
+        self, spec: ExperimentSpec, shards: int
+    ) -> List[ShardResult]:
+        import multiprocessing
+        import pickle
+
+        jobs = [(spec, shard, shards) for shard in range(shards)]
+        try:
+            with multiprocessing.Pool(processes=shards) as pool:
+                return pool.map(_run_shard_star, jobs)
+        except (pickle.PicklingError, AttributeError, TypeError) as error:
+            # A spec that cannot be pickled (closure factories) is a
+            # configuration problem, not a crash.
+            raise ParallelError(
+                f"process backend could not ship the experiment to "
+                f"workers: {error}"
+            ) from None
+
+
+def run_sharded(
+    spec: ExperimentSpec, parallel: ParallelConfig
+) -> ParallelRun:
+    """Convenience wrapper: build the engine and run one experiment."""
+    return ParallelEngine(parallel).run(spec)

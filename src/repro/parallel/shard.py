@@ -1,0 +1,225 @@
+"""One shard's full pipeline run, and what it reports back.
+
+A shard is a complete serial engine (MJoin/XJoin/A-Caching with windows,
+caches, profiler, re-optimizer, resilience) that sees only the updates
+routed to it. Workers rebuild the workload locally and replay the whole
+globally ordered stream — generation is deterministic and cheap relative
+to join work — filtering to their shard, so no update ever crosses a
+process boundary and rids agree bit-for-bit with the serial run.
+
+Each emitted :class:`OutputDelta` is tagged with its source update's
+global ``seq`` plus an emission index, which is all the merge step needs
+to restore the global arrival order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.parallel.partitioner import PartitionScheme, scheme_for_workload
+from repro.parallel.spec import ExperimentSpec
+from repro.streams.events import OutputDelta, Sign, canonical_delta
+
+# (source seq, emission index within that update, the delta itself)
+TaggedDelta = Tuple[int, int, OutputDelta]
+
+
+@dataclass
+class ShardStats:
+    """One shard's counters, ready to cross a process boundary."""
+
+    shard: int
+    shard_count: int
+    updates_processed: int = 0
+    outputs_emitted: int = 0
+    cache_probes: int = 0
+    cache_hits: int = 0
+    profiled_tuples: int = 0
+    reoptimizations: int = 0
+    caches_added: int = 0
+    caches_dropped: int = 0
+    per_cache_hits: Dict[str, int] = field(default_factory=dict)
+    clock_us: float = 0.0                # this shard's virtual elapsed time
+    measured_updates: int = 0            # post-warmup updates
+    measured_span_us: float = 0.0        # post-warmup virtual span
+    used_caches: Tuple[str, ...] = ()
+    memory_bytes: int = 0
+    shed_updates: int = 0
+    quarantined: int = 0
+    degraded: bool = False
+    decision_count: int = 0
+    poisonings: int = 0
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard run produced."""
+
+    stats: ShardStats
+    deltas: List[TaggedDelta] = field(default_factory=list)
+    canonical: Optional[Counter] = None
+    windows: Optional[Dict[str, List[Tuple[int, tuple]]]] = None
+    resilience_summary: Optional[Dict[str, object]] = None
+
+
+def _relations_of(plan):
+    """The relation-name -> Relation map behind any plan kind."""
+    executor = getattr(plan, "executor", plan)
+    return executor.relations
+
+
+def _used_caches(plan) -> Tuple[str, ...]:
+    """Candidate ids of caches currently probed, if the plan has any."""
+    used = getattr(plan, "used_caches", None)
+    if callable(used):
+        return tuple(used())
+    fixed = getattr(plan, "used", None)
+    return tuple(fixed) if fixed else ()
+
+
+def _memory_in_use(plan) -> int:
+    memory = getattr(plan, "memory_in_use", None)
+    current = int(memory()) if callable(memory) else 0
+    # XJoin tracks a peak (its subresults grow with the windows); report
+    # whichever is larger so memory-feasibility checks stay conservative.
+    return max(current, int(getattr(plan, "peak_memory_bytes", 0)))
+
+
+def _poison_one_entry(plan) -> bool:
+    """Chaos support: swap one cached row for a fake-rid impostor.
+
+    Mirrors the serial chaos harness, but per shard: each shard poisons
+    the deterministically-first entry of its own first wired cache so the
+    coherence auditor has something to catch on every shard.
+    """
+    from repro.faults.chaos import POISON_RID
+    from repro.streams.tuples import CompositeTuple, Row
+
+    reoptimizer = getattr(plan, "reoptimizer", None)
+    if reoptimizer is None:
+        return False
+    wiring = reoptimizer.wiring
+    for candidate_id in sorted(wiring.wired):
+        wired = wiring.wired[candidate_id]
+        for _key, value in wired.cache.store.entries():
+            for identity, composite in value.items():
+                relation = wired.cache.segment[0]
+                rows = {r: composite.row(r) for r in composite.relations()}
+                rows[relation] = Row(POISON_RID, rows[relation].values)
+                value[identity] = CompositeTuple(rows)
+                return True
+    return False
+
+
+def run_shard(
+    spec: ExperimentSpec,
+    shard: int,
+    shard_count: int,
+    scheme: Optional[PartitionScheme] = None,
+) -> ShardResult:
+    """Execute shard ``shard`` of ``shard_count`` for one experiment.
+
+    This is the module-level worker the process backend maps over; it is
+    also what the in-process ``serial-shards`` backend calls directly, so
+    the two backends run byte-identical computations.
+    """
+    workload = spec.workload_factory()
+    if scheme is None:
+        scheme = scheme_for_workload(workload, shard_count)
+    plan = spec.engine.build(workload)
+    ctx = plan.ctx
+
+    updates = workload.updates(spec.arrivals)
+    if spec.fault_spec is not None:
+        updates = FaultPlan(spec.fault_spec, seed=spec.fault_seed).updates(
+            updates
+        )
+
+    warmup_arrivals = int(spec.arrivals * spec.warmup_fraction)
+    arrivals_seen = 0                  # counted over the *global* stream
+    start_updates: Optional[int] = None
+    start_time_us = 0.0
+    deltas: List[TaggedDelta] = []
+    canonical: Optional[Counter] = (
+        Counter() if spec.output_mode == "canonical" else None
+    )
+    processed_here = 0
+    poisonings = 0
+    # Per-shard poisoning point: the serial harness poisons after N
+    # processed updates; a shard sees roughly 1/n of them.
+    poison_after = (
+        max(1, spec.poison_at // shard_count)
+        if spec.poison_at is not None
+        else None
+    )
+
+    for update in updates:
+        if start_updates is None and arrivals_seen >= warmup_arrivals:
+            start_updates = ctx.metrics.updates_processed
+            start_time_us = ctx.clock.now_us
+        if update.sign is Sign.INSERT:
+            arrivals_seen += 1
+        if shard in scheme.shards_for(update):
+            outputs = plan.process(update)
+            processed_here += 1
+            if spec.output_mode == "deltas":
+                for index, delta in enumerate(outputs):
+                    deltas.append((update.seq, index, delta))
+            elif canonical is not None:
+                for delta in outputs:
+                    canonical[canonical_delta(delta)] += 1
+            if (
+                poison_after is not None
+                and poisonings == 0
+                and processed_here >= poison_after
+                and _poison_one_entry(plan)
+            ):
+                poisonings = 1
+
+    if start_updates is None:
+        start_updates, start_time_us = 0, 0.0
+    metrics = ctx.metrics
+    resilience = getattr(plan, "resilience", None)
+    stats = ShardStats(
+        shard=shard,
+        shard_count=shard_count,
+        updates_processed=metrics.updates_processed,
+        outputs_emitted=metrics.outputs_emitted,
+        cache_probes=metrics.cache_probes,
+        cache_hits=metrics.cache_hits,
+        profiled_tuples=metrics.profiled_tuples,
+        reoptimizations=metrics.reoptimizations,
+        caches_added=metrics.caches_added,
+        caches_dropped=metrics.caches_dropped,
+        per_cache_hits=dict(metrics.per_cache_hits),
+        clock_us=ctx.clock.now_us,
+        measured_updates=metrics.updates_processed - start_updates,
+        measured_span_us=ctx.clock.now_us - start_time_us,
+        used_caches=_used_caches(plan),
+        memory_bytes=_memory_in_use(plan),
+        shed_updates=resilience.shed_total if resilience else 0,
+        quarantined=resilience.quarantined if resilience else 0,
+        degraded=bool(resilience and resilience.degraded),
+        decision_count=len(ctx.obs.decisions),
+        poisonings=poisonings,
+    )
+    windows = None
+    if spec.collect_windows:
+        windows = {
+            name: sorted(
+                ((row.rid, row.values) for row in relation.rows()),
+                key=lambda pair: pair[0],
+            )
+            for name, relation in _relations_of(plan).items()
+        }
+    summary = resilience.summary() if resilience else None
+    return ShardResult(
+        stats=stats,
+        deltas=deltas,
+        canonical=canonical,
+        windows=windows,
+        resilience_summary=summary,
+    )

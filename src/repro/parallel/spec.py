@@ -1,0 +1,120 @@
+"""Picklable descriptions of one shardable experiment.
+
+The process backend cannot ship live engines or generator state across
+workers, so a run is described by *how to rebuild it*: a zero-argument
+workload factory (a module-level function or ``functools.partial`` of
+one — closures won't pickle) plus an :class:`EngineSpec` naming which
+plan to construct around the workload. Every worker rebuilds the same
+workload, replays the same globally ordered update stream, and processes
+only the updates routed to its shard, which is what makes the merged run
+bit-equivalent to the serial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import ParallelError
+from repro.faults.plan import FaultSpec
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Which plan a shard runs; ``build`` constructs it for a workload.
+
+    Kinds:
+
+    * ``"acaching"`` — the full adaptive engine (:class:`ACaching`),
+      configured by ``config`` (None = defaults). Resilience rides inside
+      the config.
+    * ``"static"`` — an MJoin with a fixed cache set
+      (:func:`repro.engine.runtime.static_plan`).
+    * ``"mjoin"`` — a bare, policy-free :class:`MJoinExecutor`.
+    * ``"xjoin"`` — an :class:`XJoinExecutor` over ``tree``.
+    """
+
+    kind: str = "acaching"
+    config: Optional[object] = None            # ACachingConfig
+    orders: Optional[Dict[str, Tuple[str, ...]]] = None
+    candidate_ids: Tuple[str, ...] = ()
+    buckets: int = 512
+    tree: Optional[object] = None              # xjoin JoinTree
+
+    def build(self, workload):
+        """Construct the plan this spec describes for ``workload``."""
+        if self.kind == "acaching":
+            from repro.core.acaching import ACaching
+
+            return ACaching(
+                workload.graph,
+                orders=self.orders,
+                indexed_attributes=workload.indexed_attributes,
+                config=self.config,
+            )
+        if self.kind == "static":
+            from repro.engine.runtime import static_plan
+
+            return static_plan(
+                workload,
+                orders=self.orders,
+                candidate_ids=self.candidate_ids,
+                buckets=self.buckets,
+            )
+        if self.kind == "mjoin":
+            from repro.mjoin.executor import MJoinExecutor
+
+            return MJoinExecutor(
+                workload.graph,
+                orders=self.orders,
+                indexed_attributes=workload.indexed_attributes,
+            )
+        if self.kind == "xjoin":
+            from repro.xjoin.executor import XJoinExecutor
+
+            if self.tree is None:
+                raise ParallelError("xjoin EngineSpec needs a join tree")
+            return XJoinExecutor(
+                workload.graph,
+                self.tree,
+                indexed_attributes=workload.indexed_attributes,
+            )
+        raise ParallelError(f"unknown engine kind {self.kind!r}")
+
+
+# What a shard sends back about its emitted results. ``none`` keeps the
+# bench cheap, ``canonical`` ships rid-free multiset keys (chaos compares
+# values, not identities), ``deltas`` ships full OutputDeltas tagged with
+# their source-update seq for the global-order merge.
+OUTPUT_MODES = ("none", "canonical", "deltas")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One shardable run: workload + engine + measurement directives."""
+
+    workload_factory: Callable[[], object]     # picklable, zero-argument
+    arrivals: int
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    fault_spec: Optional[FaultSpec] = None     # rewrite the stream first
+    fault_seed: int = 0
+    warmup_fraction: float = 0.0               # steady-state measurement
+    output_mode: str = "none"
+    collect_windows: bool = False              # ship final window contents
+    poison_at: Optional[int] = None            # per-shard cache poisoning
+
+    def __post_init__(self) -> None:
+        if self.arrivals <= 0:
+            raise ParallelError(
+                f"arrivals must be positive, got {self.arrivals}"
+            )
+        if self.output_mode not in OUTPUT_MODES:
+            raise ParallelError(
+                f"output_mode must be one of {OUTPUT_MODES}, "
+                f"got {self.output_mode!r}"
+            )
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ParallelError(
+                f"warmup_fraction must be in [0, 1), got "
+                f"{self.warmup_fraction}"
+            )

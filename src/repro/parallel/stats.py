@@ -1,0 +1,193 @@
+"""Merging per-shard statistics back into one global view.
+
+The A-Caching machinery reasons about *global* quantities: benefit and
+cost estimates per candidate cache, overall hit rate, memory in use,
+throughput. When the engine is sharded each shard only observes its
+partition, so the :class:`StatsMerger` re-aggregates: counters sum,
+per-candidate hits sum (the merged benefit view the re-optimizer's
+estimates correspond to), memory sums against the global budget, and
+elapsed time splits into *total work* (the serial-equivalent cost, the
+sum of shard clocks) and the *critical path* (the slowest shard — what a
+machine with one core per shard would take).
+
+Modeled parallel throughput is therefore ``updates / critical path``:
+deterministic, hardware-independent, and exactly comparable with the
+serial engine's virtual-clock throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParallelError
+from repro.parallel.shard import ShardStats
+
+
+@dataclass
+class MergedStats:
+    """The global view reassembled from every shard's counters."""
+
+    shard_count: int
+    updates_processed: int               # shard-local work, incl. broadcast
+    source_updates: int                  # distinct source updates covered
+    outputs_emitted: int
+    cache_probes: int
+    cache_hits: int
+    profiled_tuples: int
+    reoptimizations: int
+    caches_added: int
+    caches_dropped: int
+    per_cache_hits: Dict[str, int]
+    total_work_us: float                 # sum of shard clocks
+    critical_path_us: float              # max shard clock
+    measured_updates: int
+    measured_critical_us: float
+    used_caches: Tuple[str, ...]         # union across shards
+    used_caches_by_shard: Dict[int, Tuple[str, ...]]
+    memory_bytes: int
+    shed_updates: int
+    quarantined: int
+    degraded: bool
+    decision_count: int
+    poisonings: int
+    per_shard_updates: List[int] = field(default_factory=list)
+    per_shard_clock_us: List[float] = field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        """Global cache hit probability across every shard's probes."""
+        if self.cache_probes == 0:
+            return 0.0
+        return self.cache_hits / self.cache_probes
+
+    @property
+    def modeled_throughput(self) -> float:
+        """Source updates per second with one core per shard (critical
+        path), on the virtual clock."""
+        span = max(1e-12, self.critical_path_us / 1e6)
+        return self.source_updates / span
+
+    @property
+    def steady_throughput(self) -> float:
+        """Post-warmup modeled throughput (sum of shard measured work
+        over the slowest shard's measured span)."""
+        span = max(1e-12, self.measured_critical_us / 1e6)
+        return self.measured_updates / span
+
+    @property
+    def serial_equivalent_throughput(self) -> float:
+        """Throughput if all shard work ran on one core (total work)."""
+        span = max(1e-12, self.total_work_us / 1e6)
+        return self.source_updates / span
+
+    @property
+    def balance(self) -> float:
+        """Load balance in (0, 1]: mean shard clock over max shard clock."""
+        if not self.per_shard_clock_us or self.critical_path_us <= 0:
+            return 1.0
+        mean = sum(self.per_shard_clock_us) / len(self.per_shard_clock_us)
+        return mean / self.critical_path_us
+
+    def speedup_over_us(self, serial_elapsed_us: float) -> float:
+        """Modeled speedup vs a serial run that took ``serial_elapsed_us``."""
+        return serial_elapsed_us / max(1e-12, self.critical_path_us)
+
+
+class StatsMerger:
+    """Folds :class:`ShardStats` into one :class:`MergedStats`."""
+
+    def merge(
+        self,
+        shard_stats: Sequence[ShardStats],
+        source_updates: Optional[int] = None,
+    ) -> MergedStats:
+        """Aggregate one run's shard stats.
+
+        ``source_updates`` is the number of distinct updates in the
+        global stream — broadcast updates are processed by every shard
+        but are still one logical update. Callers that drove the stream
+        should pass it; when omitted, the largest shard's count stands in
+        (a lower bound once anything is broadcast).
+        """
+        if not shard_stats:
+            raise ParallelError("cannot merge zero shards")
+        counts = sorted({s.shard_count for s in shard_stats})
+        if len(counts) != 1 or counts[0] != len(shard_stats):
+            raise ParallelError(
+                f"inconsistent shard set: got {len(shard_stats)} results "
+                f"for shard_count={counts}"
+            )
+        per_cache: Dict[str, int] = {}
+        for stats in shard_stats:
+            for cache, hits in stats.per_cache_hits.items():
+                per_cache[cache] = per_cache.get(cache, 0) + hits
+        used_union = sorted(
+            {cid for s in shard_stats for cid in s.used_caches}
+        )
+        if source_updates is None:
+            source_updates = max(s.updates_processed for s in shard_stats)
+        return MergedStats(
+            shard_count=len(shard_stats),
+            updates_processed=sum(s.updates_processed for s in shard_stats),
+            source_updates=source_updates,
+            outputs_emitted=sum(s.outputs_emitted for s in shard_stats),
+            cache_probes=sum(s.cache_probes for s in shard_stats),
+            cache_hits=sum(s.cache_hits for s in shard_stats),
+            profiled_tuples=sum(s.profiled_tuples for s in shard_stats),
+            reoptimizations=sum(s.reoptimizations for s in shard_stats),
+            caches_added=sum(s.caches_added for s in shard_stats),
+            caches_dropped=sum(s.caches_dropped for s in shard_stats),
+            per_cache_hits=per_cache,
+            total_work_us=sum(s.clock_us for s in shard_stats),
+            critical_path_us=max(s.clock_us for s in shard_stats),
+            measured_updates=sum(s.measured_updates for s in shard_stats),
+            measured_critical_us=max(
+                s.measured_span_us for s in shard_stats
+            ),
+            used_caches=tuple(used_union),
+            used_caches_by_shard={
+                s.shard: tuple(s.used_caches) for s in shard_stats
+            },
+            memory_bytes=sum(s.memory_bytes for s in shard_stats),
+            shed_updates=sum(s.shed_updates for s in shard_stats),
+            quarantined=sum(s.quarantined for s in shard_stats),
+            degraded=any(s.degraded for s in shard_stats),
+            decision_count=sum(s.decision_count for s in shard_stats),
+            poisonings=sum(s.poisonings for s in shard_stats),
+            per_shard_updates=[
+                s.updates_processed
+                for s in sorted(shard_stats, key=lambda s: s.shard)
+            ],
+            per_shard_clock_us=[
+                s.clock_us
+                for s in sorted(shard_stats, key=lambda s: s.shard)
+            ],
+        )
+
+    def merge_summaries(
+        self, summaries: Sequence[Optional[Dict[str, object]]]
+    ) -> Dict[str, object]:
+        """Fold per-shard resilience summaries into one global summary.
+
+        Scalar counters sum, nested per-reason/per-stream dicts sum
+        key-wise, and boolean flags OR — global degradation means *any*
+        shard is degraded.
+        """
+        merged: Dict[str, object] = {}
+        for summary in summaries:
+            if not summary:
+                continue
+            for key, value in summary.items():
+                if isinstance(value, bool):
+                    merged[key] = bool(merged.get(key, False)) or value
+                elif isinstance(value, (int, float)):
+                    merged[key] = merged.get(key, 0) + value
+                elif isinstance(value, dict):
+                    bucket = dict(merged.get(key, {}))
+                    for inner, count in value.items():
+                        bucket[inner] = bucket.get(inner, 0) + count
+                    merged[key] = bucket
+                else:
+                    merged.setdefault(key, value)
+        return merged

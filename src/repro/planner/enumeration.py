@@ -22,11 +22,57 @@ from repro.core.profiler import ProfilerConfig
 from repro.core.reoptimizer import ReoptimizerConfig
 from repro.mjoin.executor import MJoinExecutor
 from repro.ordering.agreedy import OrderingConfig
+from repro.parallel.engine import ParallelConfig, run_sharded
+from repro.parallel.spec import EngineSpec, ExperimentSpec
 from repro.streams.workloads import Workload
 from repro.xjoin.executor import XJoinExecutor
 from repro.xjoin.tree import JoinTree, enumerate_trees
 
 WorkloadFactory = Callable[[], Workload]
+
+
+def _run_parallel(
+    label: str,
+    workload_factory: WorkloadFactory,
+    arrivals: int,
+    engine_spec: EngineSpec,
+    parallel: ParallelConfig,
+    warmup_fraction: float = 0.4,
+) -> "PlanResult":
+    """Measure one plan sharded; mirrors :func:`measured_run` semantics.
+
+    Throughput is the post-warmup modeled parallel rate: the shards'
+    combined post-warmup updates over the slowest shard's post-warmup
+    virtual span (one core per shard). ``workload_factory`` must be
+    picklable (a module-level function or ``functools.partial``) when the
+    process backend is used.
+    """
+    spec = ExperimentSpec(
+        workload_factory=workload_factory,
+        arrivals=arrivals,
+        engine=engine_spec,
+        warmup_fraction=warmup_fraction,
+    )
+    run = run_sharded(spec, parallel)
+    stats = run.stats
+    return PlanResult(
+        label=label,
+        throughput=stats.steady_throughput,
+        elapsed_seconds=stats.critical_path_us / 1e6,
+        updates=stats.updates_processed,
+        outputs=stats.outputs_emitted,
+        memory_peak_bytes=stats.memory_bytes,
+        detail={
+            "shards": stats.shard_count,
+            "backend": run.backend,
+            "partitioned": list(run.scheme.partitioned),
+            "broadcast": list(run.scheme.broadcast),
+            "balance": round(stats.balance, 3),
+            "used_caches": list(stats.used_caches),
+            "hit_rate": stats.hit_rate,
+            "reoptimizations": stats.reoptimizations,
+        },
+    )
 
 
 def measured_run(plan, workload: Workload, arrivals: int, warmup_fraction: float = 0.4):
@@ -113,8 +159,20 @@ def run_mjoin(
     arrivals: int,
     adaptive_ordering: bool = True,
     orders: Optional[Dict[str, Tuple[str, ...]]] = None,
+    parallel: Optional[ParallelConfig] = None,
 ) -> PlanResult:
     """The best MJoin ``M``: A-Greedy ordering, no caches."""
+    if parallel is not None and parallel.active:
+        if adaptive_ordering:
+            config = _tuning(adaptive_ordering=True)
+            config.reoptimizer.reopt_interval_updates = None
+            config.reoptimizer.reopt_interval_seconds = float("inf")
+            engine = EngineSpec(kind="acaching", config=config, orders=orders)
+        else:
+            engine = EngineSpec(kind="mjoin", orders=orders)
+        return _run_parallel(
+            "MJoin", workload_factory, arrivals, engine, parallel
+        )
     workload = workload_factory()
     if adaptive_ordering:
         config = _tuning(adaptive_ordering=True)
@@ -173,10 +231,14 @@ def best_xjoin(
     workload_factory: WorkloadFactory,
     arrivals: int,
     probe_arrivals: Optional[int] = None,
+    parallel: Optional[ParallelConfig] = None,
 ) -> PlanResult:
     """The best XJoin ``X`` by exhaustive search over connected trees.
 
     Each tree is probed on a workload prefix; the winner runs in full.
+    Tree probing stays serial even when ``parallel`` is set — the probes
+    are short prefixes used only for ranking — and the winning tree is
+    then measured sharded.
     """
     workload = workload_factory()
     trees = enumerate_trees(workload.graph)
@@ -187,7 +249,17 @@ def best_xjoin(
         probe = run_xjoin_tree(workload_factory, probe_arrivals, tree)
         if probe.throughput > best_rate:
             best_tree, best_rate = tree, probe.throughput
-    result = run_xjoin_tree(workload_factory, arrivals, best_tree)
+    if parallel is not None and parallel.active:
+        result = _run_parallel(
+            "XJoin",
+            workload_factory,
+            arrivals,
+            EngineSpec(kind="xjoin", tree=best_tree),
+            parallel,
+        )
+        result.detail["tree"] = repr(best_tree)
+    else:
+        result = run_xjoin_tree(workload_factory, arrivals, best_tree)
     result.detail["trees_searched"] = len(trees)
     return result
 
@@ -203,17 +275,24 @@ def run_acaching(
     profile_probability: float = 0.05,
     bloom_window: Optional[int] = None,
     stat_window: int = 10,
+    parallel: Optional[ParallelConfig] = None,
 ) -> PlanResult:
     """A-Caching plans: ``P`` (quota 0) or ``G`` (quota m, Section 6).
 
     ``bloom_window`` defaults to roughly twice the largest window's update
     span so the miss-probability estimator sees the window-expiry reuse a
     probe stream actually has (Appendix A's Wd is a free parameter).
+
+    When sharded, a global ``memory_budget`` is split evenly across
+    shards: each shard's re-optimizer enforces budget/n, so the shards
+    together never exceed the global cap.
     """
     workload = workload_factory()
     if bloom_window is None:
         largest = max(workload.windows.values())
         bloom_window = int(min(1500, max(192, 2.2 * largest)))
+    if parallel is not None and parallel.active and memory_budget is not None:
+        memory_budget = max(1, memory_budget // parallel.shards)
     config = _tuning(
         global_quota=global_quota,
         selection_method=selection_method,
@@ -223,6 +302,16 @@ def run_acaching(
         bloom_window=bloom_window,
         window=stat_window,
     )
+    if parallel is not None and parallel.active:
+        if label is None:
+            label = "G (global caches)" if global_quota else "P (prefix caches)"
+        return _run_parallel(
+            label,
+            workload_factory,
+            arrivals,
+            EngineSpec(kind="acaching", config=config),
+            parallel,
+        )
     engine = ACaching.for_workload(workload, config)
     steady = measured_run(engine, workload, arrivals)
     ctx = engine.executor.ctx
@@ -248,13 +337,19 @@ def plan_spectrum(
     workload_factory: WorkloadFactory,
     arrivals: int,
     global_quota: int = 6,
+    parallel: Optional[ParallelConfig] = None,
 ) -> Dict[str, PlanResult]:
     """Measure M, X, P, and G for one workload (a Figure 11 bar group)."""
     return {
-        "M": run_mjoin(workload_factory, arrivals),
-        "X": best_xjoin(workload_factory, arrivals),
-        "P": run_acaching(workload_factory, arrivals, global_quota=0),
+        "M": run_mjoin(workload_factory, arrivals, parallel=parallel),
+        "X": best_xjoin(workload_factory, arrivals, parallel=parallel),
+        "P": run_acaching(
+            workload_factory, arrivals, global_quota=0, parallel=parallel
+        ),
         "G": run_acaching(
-            workload_factory, arrivals, global_quota=global_quota
+            workload_factory,
+            arrivals,
+            global_quota=global_quota,
+            parallel=parallel,
         ),
     }

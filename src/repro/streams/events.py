@@ -48,3 +48,24 @@ class OutputDelta(NamedTuple):
 
     composite: "object"  # CompositeTuple; typed loosely to avoid cycle
     sign: Sign
+
+
+def canonical_delta(delta: "OutputDelta") -> tuple:
+    """A rid-free, hashable identity for one result delta.
+
+    Keys on relation names and attribute *values*, not row identities, so
+    two runs that produce the same results through different internal row
+    numbering (or with injected fresh-rid copies) compare equal exactly
+    when the visible results are equal. Used by the chaos harness and the
+    shard-equivalence merge.
+    """
+    composite = delta.composite
+    return (
+        int(delta.sign),
+        tuple(
+            sorted(
+                (relation, composite.row(relation).values)
+                for relation in composite.relations()
+            )
+        ),
+    )

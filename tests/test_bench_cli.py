@@ -1,0 +1,62 @@
+"""The ``repro bench`` command and its JSON baseline."""
+
+import json
+
+from repro.cli import main
+from repro.parallel.bench import BENCH_SCHEMA_VERSION
+
+
+def test_bench_writes_a_schema_versioned_baseline(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    argv = [
+        "bench", "--shards", "1,2", "--arrivals", "1500",
+        "--backend", "serial", "--out", str(out),
+    ]
+    assert main(argv) == 0
+    stdout = capsys.readouterr().out
+    assert "parallel throughput bench" in stdout
+    assert "speedup" in stdout
+
+    payload = json.loads(out.read_text())
+    assert payload["kind"] == "parallel_bench"
+    assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+    assert payload["arrivals"] == 1500
+    assert payload["serial"]["modeled_throughput"] > 0
+    assert [p["shards"] for p in payload["points"]] == [1, 2]
+    for point in payload["points"]:
+        assert set(point) >= {
+            "modeled_speedup",
+            "steady_speedup",
+            "balance",
+            "wall_seconds",
+            "per_shard_updates",
+            "partitioned",
+            "broadcast",
+        }
+    # One shard of one is the serial computation itself.
+    assert payload["points"][0]["modeled_speedup"] == 1.0
+    # Sharding the 6-way star must actually help (no broadcast streams).
+    assert payload["points"][1]["modeled_speedup"] > 1.5
+    assert payload["points"][1]["broadcast"] == []
+
+
+def test_bench_is_deterministic_modulo_wall_time(tmp_path, capsys):
+    def run(path):
+        assert (
+            main(
+                [
+                    "bench", "--shards", "2", "--arrivals", "1000",
+                    "--backend", "serial", "--out", str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        # Wall time is the one machine-dependent field.
+        payload["serial"].pop("wall_seconds")
+        for point in payload["points"]:
+            point.pop("wall_seconds")
+        return payload
+
+    assert run(tmp_path / "one.json") == run(tmp_path / "two.json")

@@ -32,9 +32,12 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "speedup" in output
 
-    def test_unknown_figure_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["figure", "fig99"])
+    def test_unknown_figure_rejected(self, capsys):
+        # Validated in the handler, not argparse: one-line error, exit 1.
+        assert main(["figure", "fig99"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "fig99" in err
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

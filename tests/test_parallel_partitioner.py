@@ -1,0 +1,104 @@
+"""Partitioning: equivalence classes, scheme choice, and routing."""
+
+import zlib
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel.partitioner import (
+    attribute_classes,
+    choose_scheme,
+    scheme_for_workload,
+    stable_hash,
+)
+from repro.streams.events import Sign
+from repro.streams.workloads import fig9_workload, three_way_chain
+
+
+def chain():
+    return three_way_chain(t_multiplicity=5.0, window_r=64, window_s=64)
+
+
+def test_stable_hash_is_process_independent():
+    # ints map to themselves, strings and tuples through CRC32 — no
+    # PYTHONHASHSEED salting anywhere.
+    assert stable_hash(7) == 7
+    assert stable_hash("abc") == zlib.crc32(b"abc")
+    assert stable_hash((1, 2)) == zlib.crc32(repr((1, 2)).encode("utf-8"))
+
+
+def test_attribute_classes_follow_the_closure():
+    classes = attribute_classes(chain().graph)
+    as_sets = [
+        {(ref.relation, ref.attribute) for ref in cls} for cls in classes
+    ]
+    assert {("R", "A"), ("S", "A")} in as_sets
+    assert {("S", "B"), ("T", "B")} in as_sets
+    assert len(classes) == 2
+
+
+def test_scheme_broadcasts_the_cheapest_relation():
+    # T arrives 5x as often as R, so the chosen class must cover T:
+    # partition {S.B, T.B} and broadcast only R.
+    scheme = scheme_for_workload(chain(), 3)
+    assert scheme.broadcast == ("R",)
+    assert set(scheme.partitioned) == {"S", "T"}
+
+
+def test_star_join_partitions_every_relation():
+    scheme = scheme_for_workload(fig9_workload(4), 4)
+    assert scheme.broadcast == ()
+    assert scheme.partitioned == ("R1", "R2", "R3", "R4")
+
+
+def test_routing_is_deterministic_and_covers_shards():
+    workload = chain()
+    scheme = scheme_for_workload(workload, 3)
+    seen_shards = set()
+    for update in workload.updates(300):
+        shards = scheme.shards_for(update)
+        assert shards == scheme.shards_for(update)  # deterministic
+        if update.relation in scheme.broadcast:
+            assert shards == (0, 1, 2)
+        else:
+            assert len(shards) == 1
+            seen_shards.add(shards[0])
+    assert seen_shards == {0, 1, 2}
+
+
+def test_equal_join_values_co_locate():
+    # The equivalence class guarantees every relation partitions on a
+    # column that is equal across a result tuple, so the same value maps
+    # to the same shard no matter which relation carries it.
+    scheme = scheme_for_workload(chain(), 5)
+    for value in (0, 1, 17, "x"):
+        assert scheme.shard_of_value(value) == stable_hash(value) % 5
+
+
+def test_single_shard_routes_everything_to_shard_zero():
+    workload = chain()
+    scheme = scheme_for_workload(workload, 1)
+    for update in workload.updates(50):
+        assert scheme.shards_for(update) == (0,)
+
+
+def test_inserts_and_deletes_of_one_row_agree():
+    workload = chain()
+    scheme = scheme_for_workload(workload, 4)
+    homes = {}
+    for update in workload.updates(400):
+        if update.relation in scheme.broadcast:
+            continue
+        key = (update.relation, update.row.rid)
+        shards = scheme.shards_for(update)
+        if update.sign is Sign.DELETE:
+            assert homes.get(key) == shards
+        else:
+            homes[key] = shards
+
+
+def test_invalid_shard_counts_are_rejected():
+    with pytest.raises(ParallelError):
+        choose_scheme(chain().graph, 0)
+    with pytest.raises(ParallelError):
+        scheme_for_workload(chain(), -2)
