@@ -7,7 +7,8 @@ compares the two on the bursty Figure 12 workload, where adaptation
 actually matters.
 """
 
-from repro.core.acaching import ACaching, ACachingConfig
+from repro.api import EngineConfig, build_adaptive_engine
+from repro.core.acaching import ACachingConfig
 from repro.core.profiler import ProfilerConfig
 from repro.core.reoptimizer import ReoptimizerConfig
 from repro.ordering.agreedy import OrderingConfig
@@ -30,7 +31,7 @@ def run(incremental: bool, arrivals: int):
         ordering=OrderingConfig(interval_updates=1500),
         incremental_reoptimizer=incremental,
     )
-    engine = ACaching.for_workload(workload, config)
+    engine = build_adaptive_engine(workload, EngineConfig(tuning=config))
     engine.run(workload.updates(arrivals))
     ctx = engine.ctx
     result = {

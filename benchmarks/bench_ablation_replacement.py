@@ -6,8 +6,8 @@ R⋈S cache of Figure 6 with both stores, comparing hit rates and
 replacement churn when the store is deliberately undersized.
 """
 
+from repro.api import EngineConfig, build_static_plan
 from repro.caching.store import LRUStore
-from repro.engine.runtime import static_plan
 from repro.streams.workloads import fig6_workload
 
 CHAIN_ORDERS = {"T": ("S", "R"), "R": ("S", "T"), "S": ("R", "T")}
@@ -15,11 +15,13 @@ CHAIN_ORDERS = {"T": ("S", "R"), "R": ("S", "T"), "S": ("R", "T")}
 
 def run_with_store(store_factory, arrivals=8000, buckets=48):
     workload = fig6_workload(5, window=128)
-    plan = static_plan(
+    plan = build_static_plan(
         workload,
-        orders=CHAIN_ORDERS,
-        candidate_ids=["T:0-1p"],
-        buckets=buckets,
+        EngineConfig(
+            orders=CHAIN_ORDERS,
+            candidate_ids=("T:0-1p",),
+            buckets=buckets,
+        ),
     )
     cache = plan.wiring.wired["T:0-1p"].cache
     if store_factory is not None:

@@ -6,7 +6,8 @@ sweeps p on the Figure 6 workload, recording throughput and the number of
 offline selections actually run.
 """
 
-from repro.core.acaching import ACaching, ACachingConfig
+from repro.api import EngineConfig, build_adaptive_engine
+from repro.core.acaching import ACachingConfig
 from repro.core.profiler import ProfilerConfig
 from repro.core.reoptimizer import ReoptimizerConfig
 from repro.ordering.agreedy import OrderingConfig
@@ -26,7 +27,7 @@ def run_with_threshold(p, arrivals):
         ),
         ordering=OrderingConfig(interval_updates=10**9),
     )
-    engine = ACaching.for_workload(workload, config)
+    engine = build_adaptive_engine(workload, EngineConfig(tuning=config))
     engine.run(workload.updates(arrivals))
     ctx = engine.ctx
     return {

@@ -6,7 +6,16 @@ of stream-join plans between subresult-free MJoins and subresult-rich
 XJoins, navigated adaptively by placing and removing join-subresult
 caches as stream and system conditions change.
 
-Quickstart::
+Quickstart — build engines through the :mod:`repro.api` facade::
+
+    from repro import EngineConfig, Session, three_way_chain
+
+    workload = three_way_chain()
+    session = Session.adaptive(workload, EngineConfig(batch_size=64))
+    deltas = session.run(arrivals=20_000)    # micro-batched execution
+    print(session.throughput(), session.used_caches())
+
+or drive a custom query update-by-update::
 
     from repro import ACaching, JoinGraph, Schema
 
@@ -19,10 +28,17 @@ Quickstart::
         for delta in engine.process(update):
             handle(delta)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record of every figure and table.
+See DESIGN.md for the system inventory, docs/api.md for the facade, and
+EXPERIMENTS.md for the paper-versus-measured record of every figure and
+table.
 """
 
+from repro.api import (
+    EngineConfig,
+    Session,
+    build_adaptive_engine,
+    build_static_plan,
+)
 from repro.caching.bloom import BloomFilter, MissProbEstimator
 from repro.caching.cache import Cache
 from repro.caching.global_cache import GlobalCache
@@ -75,7 +91,7 @@ from repro.planner.enumeration import (
 )
 from repro.relations.predicates import AttrRef, EquiPredicate, JoinGraph
 from repro.relations.relation import Relation
-from repro.streams.events import OutputDelta, Sign, Update
+from repro.streams.events import DeltaBatch, OutputDelta, Sign, Update, batched
 from repro.streams.tuples import CompositeTuple, Row, RowFactory, Schema
 from repro.streams.windows import CountWindow
 from repro.streams.workloads import (
@@ -113,6 +129,8 @@ __all__ = [
     "CompositeTuple",
     "CostModel",
     "CountWindow",
+    "DeltaBatch",
+    "EngineConfig",
     "EquiPredicate",
     "ExecContext",
     "GlobalCache",
@@ -140,6 +158,7 @@ __all__ = [
     "Schema",
     "SchemaError",
     "SelectionProblem",
+    "Session",
     "Sign",
     "StaticPlan",
     "TABLE2_POINTS",
@@ -150,8 +169,11 @@ __all__ = [
     "WorkloadError",
     "XJoinExecutor",
     "available_candidates",
+    "batched",
     "benefit",
     "best_xjoin",
+    "build_adaptive_engine",
+    "build_static_plan",
     "cost",
     "enumerate_candidates",
     "enumerate_trees",

@@ -1,0 +1,466 @@
+"""The public construction facade: :class:`EngineConfig` + :class:`Session`.
+
+Three PRs of growth (observability, faults, parallel) left engine
+construction fragmented: ``static_plan``, ``planner.enumeration``,
+``parallel.EngineSpec``, ``faults.chaos``, and the CLI each re-plumbed the
+same ``orders/global_quota/buckets/resilience/shards`` keyword sets. This
+module is the one place those knobs live:
+
+* :class:`EngineConfig` — a frozen dataclass holding every construction
+  parameter (join orders, cache quota and buckets, micro-batch size,
+  resilience, sharding, observability sinks, adaptive tunables);
+* :class:`Session` — a facade over one engine built from a config:
+  ``Session.static(...)`` for a fixed cache set, ``Session.adaptive(...)``
+  for the full A-Caching engine, with ``.run(...)`` / ``.series(...)``
+  drivers that honor the config's batch size and shard count.
+
+Everything in-repo (figures, chaos, parallel specs, the CLI) builds
+engines through this module; the old keyword entry points remain as thin
+shims that emit :class:`DeprecationWarning`.
+
+>>> from repro.api import EngineConfig, Session
+>>> session = Session.adaptive(workload, EngineConfig(batch_size=64))
+>>> deltas = session.run(arrivals=10_000)
+>>> session.throughput()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.acaching import ACaching, ACachingConfig
+from repro.core.reoptimizer import ReoptimizerConfig
+from repro.errors import PlanError
+from repro.faults.resilience import ResilienceConfig
+from repro.streams.events import DeltaBatch, OutputDelta, Update
+from repro.streams.workloads import Workload
+
+#: Engines a Session can host. ``static`` is an MJoin with a fixed cache
+#: set; ``adaptive`` is the full A-Caching engine of Figure 4.
+SESSION_KINDS = ("static", "adaptive")
+
+PARALLEL_BACKENDS = ("serial", "process")
+
+WorkloadLike = Union[Workload, Callable[[], Workload]]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every engine-construction knob in one picklable value.
+
+    ``orders``/``candidate_ids``/``global_quota``/``buckets`` configure
+    the plan; ``batch_size`` selects micro-batched execution (1 = the
+    per-update hot path, byte-identical results either way);
+    ``resilience`` wires the graceful-degradation controller; ``shards``
+    and ``parallel_backend`` select partitioned execution; the ``obs_*``
+    sinks capture a structured trace / metrics dump of the session's
+    runs; ``tuning`` overrides the adaptive engine's full tunable set
+    (profiler, re-optimizer, ordering) — when set, it wins over
+    ``global_quota`` and ``resilience`` only where it explicitly
+    configures them.
+    """
+
+    orders: Optional[Dict[str, Tuple[str, ...]]] = None
+    candidate_ids: Tuple[str, ...] = ()      # static plans: caches to wire
+    global_quota: int = 8                    # global-cache quota m
+    buckets: int = 512                       # cache store buckets
+    batch_size: int = 1                      # micro-batch size (1 = per-update)
+    resilience: Optional[ResilienceConfig] = None
+    shards: int = 1
+    parallel_backend: str = "serial"
+    obs_trace_jsonl: Optional[str] = None    # structured trace sink
+    obs_metrics_prom: Optional[str] = None   # Prometheus metrics sink
+    tuning: Optional[ACachingConfig] = None  # full adaptive tunables
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise PlanError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.shards < 1:
+            raise PlanError(f"shards must be >= 1, got {self.shards}")
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise PlanError(
+                f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
+                f"got {self.parallel_backend!r}"
+            )
+        object.__setattr__(
+            self, "candidate_ids", tuple(self.candidate_ids)
+        )
+        if self.orders is not None:
+            object.__setattr__(
+                self,
+                "orders",
+                {k: tuple(v) for k, v in self.orders.items()},
+            )
+
+    # ------------------------------------------------------------------
+    # derived configurations
+    # ------------------------------------------------------------------
+    def acaching_config(self) -> ACachingConfig:
+        """The adaptive-engine tunables this config resolves to.
+
+        ``tuning`` is used verbatim when given (with ``resilience``
+        folded in if the tuning left it unset); otherwise defaults with
+        this config's ``global_quota`` and ``resilience`` applied.
+        """
+        if self.tuning is not None:
+            config = self.tuning
+            if self.resilience is not None and config.resilience is None:
+                config = replace(config, resilience=self.resilience)
+            return config
+        return ACachingConfig(
+            reoptimizer=ReoptimizerConfig(global_quota=self.global_quota),
+            resilience=self.resilience,
+        )
+
+    def parallel(self):
+        """The :class:`~repro.parallel.engine.ParallelConfig` equivalent."""
+        from repro.parallel.engine import ParallelConfig
+
+        return ParallelConfig(
+            shards=self.shards, backend=self.parallel_backend
+        )
+
+    def engine_spec(self, kind: str = "adaptive", tree=None):
+        """A picklable :class:`~repro.parallel.spec.EngineSpec`.
+
+        Accepts the Session kinds (``static``/``adaptive``) plus the
+        lower-level ``mjoin``/``xjoin`` spec kinds.
+        """
+        from repro.parallel.spec import EngineSpec
+
+        if kind == "adaptive":
+            kind = "acaching"
+        if kind == "acaching":
+            return EngineSpec(
+                kind="acaching",
+                config=self.acaching_config(),
+                orders=self.orders,
+            )
+        if kind == "static":
+            return EngineSpec(
+                kind="static",
+                orders=self.orders,
+                candidate_ids=self.candidate_ids,
+                buckets=self.buckets,
+            )
+        return EngineSpec(kind=kind, orders=self.orders, tree=tree)
+
+
+def build_static_plan(workload: Workload, config: Optional[EngineConfig] = None):
+    """Build a :class:`~repro.engine.runtime.StaticPlan` from a config.
+
+    The non-deprecated replacement for the legacy keyword form of
+    :func:`repro.engine.runtime.static_plan`.
+    """
+    from repro.engine.runtime import _build_static_plan
+
+    config = config if config is not None else EngineConfig()
+    return _build_static_plan(
+        workload,
+        orders=config.orders,
+        candidate_ids=config.candidate_ids,
+        global_quota=config.global_quota,
+        buckets=config.buckets,
+        resilience=config.resilience,
+    )
+
+
+def build_adaptive_engine(
+    workload: Workload, config: Optional[EngineConfig] = None
+) -> ACaching:
+    """Build the full A-Caching engine from a config.
+
+    The non-deprecated replacement for ``ACaching.for_workload``.
+    """
+    config = config if config is not None else EngineConfig()
+    return ACaching(
+        workload.graph,
+        orders=config.orders,
+        indexed_attributes=workload.indexed_attributes,
+        config=config.acaching_config(),
+    )
+
+
+class Session:
+    """One engine plus the drivers to run it, behind a single config.
+
+    A Session duck-types as a plan — it exposes ``.ctx``, ``.process``,
+    ``.process_batch``, and ``.resilience`` — so it slots into every
+    driver that accepts one (``run_with_series``, ``measured_run``, the
+    chaos harness). Its own :meth:`run` and :meth:`series` additionally
+    honor the config's ``batch_size``, ``shards``, and obs sinks.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        workload: WorkloadLike,
+        config: Optional[EngineConfig] = None,
+    ):
+        if kind not in SESSION_KINDS:
+            raise PlanError(
+                f"session kind must be one of {SESSION_KINDS}, got {kind!r}"
+            )
+        self.kind = kind
+        self.config = config if config is not None else EngineConfig()
+        if callable(workload):
+            self.workload_factory: Optional[Callable[[], Workload]] = workload
+            self.workload: Workload = workload()
+        else:
+            self.workload_factory = None
+            self.workload = workload
+        self._plan = None
+        self._obs = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def static(
+        cls, workload: WorkloadLike, config: Optional[EngineConfig] = None
+    ) -> "Session":
+        """A fixed MJoin-with-caches plan (no adaptivity)."""
+        return cls("static", workload, config)
+
+    @classmethod
+    def adaptive(
+        cls, workload: WorkloadLike, config: Optional[EngineConfig] = None
+    ) -> "Session":
+        """The full A-Caching engine (profiler + re-optimizer + orderer)."""
+        return cls("adaptive", workload, config)
+
+    # ------------------------------------------------------------------
+    # the engine
+    # ------------------------------------------------------------------
+    @property
+    def plan(self):
+        """The underlying engine, built on first use."""
+        if self._plan is None:
+            self._plan = self._build_plan()
+        return self._plan
+
+    def _build_plan(self):
+        sinks = self.config.obs_trace_jsonl or self.config.obs_metrics_prom
+        if sinks:
+            from repro import obs
+
+            self._obs = obs.Observability.tracing()
+            with obs.session(self._obs):
+                return self._construct()
+        return self._construct()
+
+    def _construct(self):
+        if self.kind == "static":
+            return build_static_plan(self.workload, self.config)
+        return build_adaptive_engine(self.workload, self.config)
+
+    @property
+    def ctx(self):
+        """The execution context (clock, cost model, metrics)."""
+        return self.plan.ctx
+
+    @property
+    def resilience(self):
+        """The plan's ResilienceController, if one is configured."""
+        return getattr(self.plan, "resilience", None)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def process(self, update: Update) -> List[OutputDelta]:
+        """Process one update through the engine."""
+        return self.plan.process(update)
+
+    def process_batch(self, batch: DeltaBatch) -> List[List[OutputDelta]]:
+        """Process one micro-batch; returns per-update delta lists."""
+        return self.plan.process_batch(batch)
+
+    def run(
+        self,
+        updates: Optional[Iterable[Update]] = None,
+        arrivals: Optional[int] = None,
+    ) -> List[OutputDelta]:
+        """Process an update sequence; returns all result deltas.
+
+        Pass either an explicit ``updates`` iterable or an ``arrivals``
+        count (drawn from the session's workload). With ``shards > 1``
+        the run executes partitioned (``arrivals`` required, and the
+        session must have been built from a workload *factory*) and the
+        deltas come back merged in global arrival order.
+        """
+        if self.config.shards > 1:
+            if updates is not None:
+                raise PlanError(
+                    "a sharded run() replays the workload's own stream; "
+                    "pass arrivals, not an updates iterable"
+                )
+            run = self.run_sharded(arrivals=arrivals, output_mode="deltas")
+            # merged_deltas() yields (seq, emission index, delta) tagged
+            # triples in global arrival order; strip the tags.
+            return [delta for _, _, delta in run.merged_deltas()]
+        if updates is None:
+            if arrivals is None:
+                raise PlanError("run() needs either updates or arrivals")
+            updates = self.workload.updates(arrivals)
+        outputs = self.plan.run(
+            updates, batch_size=self.config.batch_size
+        )
+        self._export_obs()
+        return outputs
+
+    def series(
+        self,
+        updates: Optional[Iterable[Update]] = None,
+        arrivals: Optional[int] = None,
+        sample_every_updates: int = 2000,
+        x_of: Optional[Callable[[Update], bool]] = None,
+        used_caches: Optional[Callable[[], Sequence[str]]] = None,
+        memory: Optional[Callable[[], int]] = None,
+    ):
+        """Run while sampling throughput; returns ``SeriesPoint`` list.
+
+        Serial sessions drive :func:`repro.engine.runtime.run_with_series`
+        (honoring ``batch_size``); sharded sessions drive the lockstep
+        :func:`repro.parallel.series.run_series_sharded`.
+        """
+        if self.config.shards > 1:
+            from repro.parallel.series import run_series_sharded
+
+            if arrivals is None:
+                raise PlanError("a sharded series() needs arrivals")
+            series = run_series_sharded(
+                self.experiment(arrivals),
+                shards=self.config.shards,
+                sample_every_updates=sample_every_updates,
+                x_of=x_of,
+            )
+            self._export_obs()
+            return series
+        from repro.engine.runtime import run_with_series
+
+        if updates is None:
+            if arrivals is None:
+                raise PlanError("series() needs either updates or arrivals")
+            updates = self.workload.updates(arrivals)
+        plan = self.plan
+        if used_caches is None:
+            used = getattr(plan, "used_caches", None)
+            if callable(used):
+                used_caches = used
+        if memory is None:
+            mem = getattr(plan, "memory_in_use", None)
+            if callable(mem):
+                memory = mem
+        series = run_with_series(
+            plan,
+            updates,
+            sample_every_updates=sample_every_updates,
+            x_of=x_of,
+            used_caches=used_caches,
+            memory=memory,
+            batch_size=self.config.batch_size,
+        )
+        self._export_obs()
+        return series
+
+    # ------------------------------------------------------------------
+    # parallel execution
+    # ------------------------------------------------------------------
+    def _require_factory(self) -> Callable[[], Workload]:
+        if self.workload_factory is None:
+            raise PlanError(
+                "sharded execution needs a workload *factory* — build the "
+                "Session from a zero-argument callable, not an instance"
+            )
+        return self.workload_factory
+
+    def engine_spec(self):
+        """The picklable EngineSpec matching this session's engine."""
+        return self.config.engine_spec(kind=self.kind)
+
+    def experiment(self, arrivals: int, **measurement):
+        """An :class:`~repro.parallel.spec.ExperimentSpec` for this session.
+
+        ``measurement`` kwargs (``warmup_fraction``, ``fault_spec``,
+        ``output_mode``, ``collect_windows``, ...) pass straight through;
+        the engine, batch size, and workload factory come from the
+        session.
+        """
+        from repro.parallel.spec import ExperimentSpec
+
+        return ExperimentSpec(
+            workload_factory=self._require_factory(),
+            arrivals=arrivals,
+            engine=self.engine_spec(),
+            batch_size=self.config.batch_size,
+            **measurement,
+        )
+
+    def run_sharded(
+        self, arrivals: Optional[int] = None, **measurement
+    ):
+        """Run partitioned across the config's shards; a ParallelRun."""
+        from repro.parallel.engine import run_sharded
+
+        if arrivals is None:
+            raise PlanError("run_sharded() needs arrivals")
+        return run_sharded(
+            self.experiment(arrivals, **measurement),
+            self.config.parallel(),
+        )
+
+    # ------------------------------------------------------------------
+    # introspection / observability
+    # ------------------------------------------------------------------
+    def throughput(self) -> float:
+        """Updates per second of virtual time, all overheads included."""
+        ctx = self.ctx
+        return ctx.metrics.throughput(ctx.clock.now_seconds)
+
+    def used_caches(self) -> Tuple[str, ...]:
+        """Candidate ids of the caches the engine currently probes."""
+        used = getattr(self.plan, "used_caches", None)
+        if callable(used):
+            return tuple(used())
+        fixed = getattr(self.plan, "used", None)
+        return tuple(fixed) if fixed else ()
+
+    def _export_obs(self) -> None:
+        """Flush configured obs sinks (idempotent; overwrites)."""
+        if self._obs is None:
+            return
+        from repro.obs.export import (
+            observability_to_jsonl,
+            registry_to_prometheus,
+            write_jsonl,
+        )
+
+        metrics = self.ctx.metrics
+        if self.config.obs_trace_jsonl:
+            write_jsonl(
+                self.config.obs_trace_jsonl,
+                observability_to_jsonl(self._obs, metrics),
+            )
+        if self.config.obs_metrics_prom:
+            write_jsonl(
+                self.config.obs_metrics_prom,
+                registry_to_prometheus(self._obs.registry, metrics),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session({self.kind}, batch_size={self.config.batch_size}, "
+            f"shards={self.config.shards})"
+        )

@@ -1,0 +1,169 @@
+"""The per-tuple vs micro-batched throughput benchmark (``repro bench``).
+
+Measures the full adaptive A-Caching engine on the same 6-way star
+workload as the parallel bench, once per requested micro-batch size, and
+writes ``BENCH_batching.json`` — the batching analog of
+``BENCH_parallel.json`` that future PRs diff against.
+
+Batch size 1 is the per-update hot path; larger sizes share join probe
+work across the batch via the per-batch probe memo (see
+:class:`repro.operators.base.BatchProbeMemo`). Emitted deltas and final
+window contents are identical at every batch size — only the modeled
+cost changes — so the report also records ``outputs_emitted`` per point
+as a cheap cross-check: any divergence there is a correctness bug, not a
+tuning artifact.
+
+All numbers are virtual time (the deterministic cost model), so the
+speedups are hardware-independent and CI can assert on them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.api import Session
+from repro.errors import ParallelError
+from repro.parallel.bench import bench_engine_config
+from repro.planner.enumeration import measured_run
+from repro.streams.workloads import fig9_workload
+
+BATCHING_SCHEMA_VERSION = 1
+BATCHING_DEFAULT_OUT = "BENCH_batching.json"
+BATCHING_DEFAULT_ARRIVALS = 8_000
+DEFAULT_BATCH_SIZES = (1, 4, 16, 64)
+BATCH_BENCH_RELATIONS = 6
+BATCH_BENCH_WINDOW = 48
+WARMUP_FRACTION = 0.4
+
+
+@dataclass
+class BatchPoint:
+    """One batch size's measurement."""
+
+    batch_size: int
+    steady_throughput: float     # post-warmup updates/sec, virtual time
+    modeled_throughput: float    # cumulative updates/sec, virtual time
+    us_per_update: float         # cumulative virtual cost per update
+    speedup: float               # steady_throughput over batch-1's
+    updates_processed: int
+    outputs_emitted: int         # must match across batch sizes
+    hit_rate: float
+    used_caches: List[str]
+
+
+@dataclass
+class BatchingReport:
+    """The full per-tuple vs batched comparison."""
+
+    workload: str
+    arrivals: int
+    warmup_fraction: float
+    points: List[BatchPoint] = field(default_factory=list)
+
+
+def run_batching_bench(
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    arrivals: int = BATCHING_DEFAULT_ARRIVALS,
+) -> BatchingReport:
+    """Measure the adaptive engine at each micro-batch size.
+
+    Each point runs a fresh engine on a fresh workload instance over the
+    identical update stream, steady-state measured exactly like the
+    plan-spectrum experiments (warmup excluded, batch-boundary aligned).
+    A batch size of 1 is always measured first (prepended when absent) —
+    it is the speedup baseline.
+    """
+    if arrivals <= 0:
+        raise ParallelError(f"arrivals must be positive, got {arrivals}")
+    if not batch_sizes:
+        raise ParallelError("need at least one batch size to benchmark")
+    for size in batch_sizes:
+        if size < 1:
+            raise ParallelError(f"batch size must be >= 1, got {size}")
+    sizes = list(dict.fromkeys(batch_sizes))
+    if sizes[0] != 1:
+        sizes = [1] + [s for s in sizes if s != 1]
+
+    report = BatchingReport(
+        workload="",
+        arrivals=arrivals,
+        warmup_fraction=WARMUP_FRACTION,
+    )
+    baseline_steady = None
+    for size in sizes:
+        workload = fig9_workload(
+            BATCH_BENCH_RELATIONS, window=BATCH_BENCH_WINDOW
+        )
+        report.workload = workload.name
+        session = Session.adaptive(workload, bench_engine_config(size))
+        steady = measured_run(
+            session,
+            workload,
+            arrivals,
+            warmup_fraction=WARMUP_FRACTION,
+            batch_size=size,
+        )
+        if baseline_steady is None:
+            baseline_steady = steady
+        ctx = session.ctx
+        updates = ctx.metrics.updates_processed
+        report.points.append(
+            BatchPoint(
+                batch_size=size,
+                steady_throughput=steady,
+                modeled_throughput=session.throughput(),
+                us_per_update=ctx.clock.now_us / max(1, updates),
+                speedup=steady / max(1e-12, baseline_steady),
+                updates_processed=updates,
+                outputs_emitted=ctx.metrics.outputs_emitted,
+                hit_rate=ctx.metrics.hit_rate,
+                used_caches=list(session.used_caches()),
+            )
+        )
+    return report
+
+
+def batching_to_json(report: BatchingReport) -> str:
+    """Serialize a batching report (schema in benchmarks/README.md)."""
+    payload = {
+        "kind": "batching_bench",
+        "schema_version": BATCHING_SCHEMA_VERSION,
+        "workload": report.workload,
+        "arrivals": report.arrivals,
+        "warmup_fraction": report.warmup_fraction,
+        "points": [
+            {
+                "batch_size": p.batch_size,
+                "steady_throughput": round(p.steady_throughput, 1),
+                "modeled_throughput": round(p.modeled_throughput, 1),
+                "us_per_update": round(p.us_per_update, 3),
+                "speedup": round(p.speedup, 3),
+                "updates_processed": p.updates_processed,
+                "outputs_emitted": p.outputs_emitted,
+                "hit_rate": round(p.hit_rate, 4),
+                "used_caches": p.used_caches,
+            }
+            for p in report.points
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def format_batching_report(report: BatchingReport) -> str:
+    """Human-readable batching table for the CLI."""
+    lines = [
+        f"micro-batching bench — {report.workload}, "
+        f"{report.arrivals} arrivals",
+        "=" * 72,
+        f"{'batch':>6} | {'steady rate':>12} | {'us/update':>9} | "
+        f"{'speedup':>8} | {'outputs':>8} | {'hit rate':>8}",
+    ]
+    for p in report.points:
+        lines.append(
+            f"{p.batch_size:>6} | {p.steady_throughput:>12,.0f} | "
+            f"{p.us_per_update:>9.2f} | {p.speedup:>7.2f}x | "
+            f"{p.outputs_emitted:>8} | {p.hit_rate:>8.3f}"
+        )
+    return "\n".join(lines)

@@ -17,13 +17,14 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.harness import ExperimentRow, run_static
-from repro.core.acaching import ACaching
-from repro.engine.runtime import (
-    SeriesPoint,
-    run_with_series,
-    static_plan,
+from repro.api import (
+    EngineConfig,
+    Session,
+    build_adaptive_engine,
+    build_static_plan,
 )
+from repro.bench.harness import ExperimentRow, run_static
+from repro.engine.runtime import SeriesPoint, run_with_series
 from repro.parallel.engine import ParallelConfig, run_sharded
 from repro.parallel.series import run_series_sharded
 from repro.parallel.spec import EngineSpec, ExperimentSpec
@@ -54,19 +55,16 @@ def _static_rate_sharded(
     parallel: ParallelConfig,
 ) -> Tuple[float, Dict]:
     """Sharded analog of a cumulative static-plan rate measurement."""
-    run = run_sharded(
-        ExperimentSpec(
-            workload_factory=workload_factory,
-            arrivals=arrivals,
-            engine=EngineSpec(
-                kind="static",
-                orders=CHAIN_ORDERS,
-                candidate_ids=candidate_ids,
-            ),
+    session = Session.static(
+        workload_factory,
+        EngineConfig(
+            orders=CHAIN_ORDERS,
+            candidate_ids=candidate_ids,
+            shards=parallel.shards,
+            parallel_backend=parallel.backend,
         ),
-        parallel,
     )
-    stats = run.stats
+    stats = session.run_sharded(arrivals).stats
     return stats.modeled_throughput, {
         "hit_rate": round(stats.hit_rate, 3),
         "probes": stats.cache_probes,
@@ -83,8 +81,9 @@ def _forced_cache_rate(
             workload_factory, arrivals, (FORCED_CACHE,), parallel
         )
     workload = workload_factory()
-    plan = static_plan(
-        workload, orders=CHAIN_ORDERS, candidate_ids=[FORCED_CACHE]
+    plan = build_static_plan(
+        workload,
+        EngineConfig(orders=CHAIN_ORDERS, candidate_ids=(FORCED_CACHE,)),
     )
     rate = run_static(plan, workload, arrivals)
     metrics = plan.ctx.metrics
@@ -105,7 +104,7 @@ def _plain_mjoin_rate(
         )
         return rate
     workload = workload_factory()
-    plan = static_plan(workload, orders=CHAIN_ORDERS, candidate_ids=[])
+    plan = build_static_plan(workload, EngineConfig(orders=CHAIN_ORDERS))
     return run_static(plan, workload, arrivals)
 
 
@@ -325,23 +324,23 @@ def figure12(
             )
 
         series_a = sharded_series(
-            EngineSpec(
-                kind="static",
-                orders=CHAIN_ORDERS,
-                candidate_ids=(FORCED_CACHE,),
-            )
+            EngineConfig(
+                orders=CHAIN_ORDERS, candidate_ids=(FORCED_CACHE,)
+            ).engine_spec("static")
         )
         series_b = sharded_series(
-            EngineSpec(
-                kind="static", orders=CHAIN_ORDERS, candidate_ids=("R:0-1g",)
-            )
+            EngineConfig(
+                orders=CHAIN_ORDERS, candidate_ids=("R:0-1g",)
+            ).engine_spec("static")
         )
         config = plans._tuning(
             global_quota=6,
             reopt_interval_updates=reopt_interval_updates,
             profiling_phase_updates=500,
         )
-        series_c = sharded_series(EngineSpec(kind="acaching", config=config))
+        series_c = sharded_series(
+            EngineConfig(tuning=config).engine_spec("adaptive")
+        )
         return AdaptivitySeries(
             adaptive=series_c,
             static_rs_cache=series_a,
@@ -351,8 +350,9 @@ def figure12(
 
     # Static plan A: R ⋈ S cache in ∆T's pipeline.
     workload_a = factory()
-    plan_a = static_plan(
-        workload_a, orders=CHAIN_ORDERS, candidate_ids=[FORCED_CACHE]
+    plan_a = build_static_plan(
+        workload_a,
+        EngineConfig(orders=CHAIN_ORDERS, candidate_ids=(FORCED_CACHE,)),
     )
     series_a = run_with_series(
         plan_a,
@@ -366,8 +366,9 @@ def figure12(
     # prefix invariant and the candidate is globally consistent, exactly
     # the cache the paper's adaptive algorithm converges to.
     workload_b = factory()
-    plan_b = static_plan(
-        workload_b, orders=CHAIN_ORDERS, candidate_ids=["R:0-1g"]
+    plan_b = build_static_plan(
+        workload_b,
+        EngineConfig(orders=CHAIN_ORDERS, candidate_ids=("R:0-1g",)),
     )
     series_b = run_with_series(
         plan_b,
@@ -383,7 +384,7 @@ def figure12(
         reopt_interval_updates=reopt_interval_updates,
         profiling_phase_updates=500,
     )
-    engine = ACaching.for_workload(workload_c, config)
+    engine = build_adaptive_engine(workload_c, EngineConfig(tuning=config))
     series_c = run_with_series(
         engine,
         workload_c.updates(total_arrivals),

@@ -149,6 +149,14 @@ class Cache:
             return composite
         return composite.project(self.segment)
 
+    def maintenance_key(self, composite: CompositeTuple) -> tuple:
+        """The entry key a maintenance delta for ``composite`` targets.
+
+        Used by micro-batched maintenance taps to group same-key deltas
+        behind a single hash + bucket check charge.
+        """
+        return self.key.entry_key(self._segment_part(composite))
+
     # ------------------------------------------------------------------
     # lifecycle / accounting
     # ------------------------------------------------------------------

@@ -9,6 +9,7 @@
     python -m repro trace fig12 --jsonl fig12-trace.jsonl
     python -m repro chaos fig12 --seed 11 --faults duplicate_prob=0.02
     python -m repro bench --shards 1,2,4 --out BENCH_parallel.json
+    python -m repro bench --batch-sizes 1,4,16,64
 
 Arrival counts trade precision for time; the defaults match the
 benchmark suite's.
@@ -18,6 +19,11 @@ one full pipeline per shard (``--parallel-backend process`` uses one OS
 process per shard; the default ``serial`` backend runs shards in-process
 with identical results). ``bench`` measures serial-vs-sharded throughput
 and writes the BENCH_parallel.json baseline (see docs/parallelism.md).
+
+Micro-batching: ``bench --batch-sizes N,...`` (or ``--batch-size N``,
+sugar for ``1,N``) measures per-update vs batched execution and writes
+the BENCH_batching.json baseline; ``chaos --batch-size N`` drives the
+chaos harness batched (see docs/api.md).
 
 Observability: ``trace`` runs one experiment with the structured tracer
 enabled and prints an event summary; ``--obs-jsonl PATH`` on ``figure``,
@@ -259,6 +265,7 @@ def cmd_chaos(args: argparse.Namespace) -> str:
         overrides=overrides,
         shards=parallel.shards,
         backend=parallel.backend,
+        batch_size=args.batch_size,
     )
     body = format_chaos_report(report)
     if args.jsonl:
@@ -267,16 +274,77 @@ def cmd_chaos(args: argparse.Namespace) -> str:
     return body
 
 
+def _parse_batch_sizes(args: argparse.Namespace) -> Optional[List[int]]:
+    """The micro-batch sizes a ``bench`` invocation asked for, if any."""
+    sizes: List[int] = []
+    if args.batch_sizes:
+        try:
+            sizes = [
+                int(part)
+                for part in args.batch_sizes.split(",")
+                if part.strip()
+            ]
+        except ValueError:
+            raise CLIError(
+                f"--batch-sizes expects a comma-separated list of "
+                f"integers, got {args.batch_sizes!r}"
+            )
+    if args.batch_size is not None:
+        # A single --batch-size N measures 1 (the baseline) and N.
+        sizes = [1, args.batch_size]
+    if not sizes:
+        return None
+    for size in sizes:
+        if size < 1:
+            raise CLIError(f"batch sizes must be >= 1, got {size}")
+    return sizes
+
+
+def _run_batching_cmd(args: argparse.Namespace, sizes: List[int]) -> str:
+    """The per-tuple vs micro-batched variant of ``bench``."""
+    from repro.bench.batching import (
+        BATCHING_DEFAULT_ARRIVALS,
+        BATCHING_DEFAULT_OUT,
+        batching_to_json,
+        format_batching_report,
+        run_batching_bench,
+    )
+
+    out = args.out if args.out is not None else BATCHING_DEFAULT_OUT
+    _ensure_writable(out)
+    report = run_batching_bench(
+        batch_sizes=sizes,
+        arrivals=(
+            args.arrivals if args.arrivals else BATCHING_DEFAULT_ARRIVALS
+        ),
+    )
+    body = format_batching_report(report)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(batching_to_json(report))
+        body += f"\nwrote batching baseline to {out}"
+    return body
+
+
 def cmd_bench(args: argparse.Namespace) -> str:
-    """``bench``: serial-vs-sharded throughput on the 6-way workload."""
+    """``bench``: serial-vs-sharded throughput on the 6-way workload.
+
+    With ``--batch-size``/``--batch-sizes`` it instead measures
+    per-tuple vs micro-batched execution (same workload, same engine)
+    and writes ``BENCH_batching.json``.
+    """
     from repro.parallel.bench import (
         DEFAULT_ARRIVALS,
+        DEFAULT_OUT,
         bench_to_json,
         format_bench_report,
         run_parallel_bench,
     )
 
     _check_arrivals(args)
+    batch_sizes = _parse_batch_sizes(args)
+    if batch_sizes is not None:
+        return _run_batching_cmd(args, batch_sizes)
     try:
         shard_counts = tuple(
             int(part) for part in args.shards.split(",") if part.strip()
@@ -296,17 +364,18 @@ def cmd_bench(args: argparse.Namespace) -> str:
             f"--backend must be one of {list(BACKENDS)}, "
             f"got {args.backend!r}"
         )
-    _ensure_writable(args.out)
+    out = args.out if args.out is not None else DEFAULT_OUT
+    _ensure_writable(out)
     report = run_parallel_bench(
         shard_counts=shard_counts,
         arrivals=args.arrivals if args.arrivals else DEFAULT_ARRIVALS,
         backend=args.backend,
     )
     body = format_bench_report(report)
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
             handle.write(bench_to_json(report))
-        body += f"\nwrote bench baseline to {args.out}"
+        body += f"\nwrote bench baseline to {out}"
     return body
 
 
@@ -466,11 +535,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--jsonl", metavar="PATH", default=None,
         help="write the chaos summary + decision chronology here",
     )
+    chaos.add_argument(
+        "--batch-size", type=int, default=1, metavar="N",
+        help="drive both passes through micro-batches of N updates "
+             "(default 1 = per-update)",
+    )
     add_parallel_flags(chaos)
     chaos.set_defaults(handler=cmd_chaos)
 
     bench = sub.add_parser(
-        "bench", help="serial-vs-sharded throughput benchmark"
+        "bench",
+        help="serial-vs-sharded (or per-tuple vs batched) throughput "
+             "benchmark",
     )
     bench.add_argument(
         "--shards", default="1,2,4", metavar="N,N,...",
@@ -482,8 +558,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard backend: process (default) or serial",
     )
     bench.add_argument(
-        "--out", metavar="PATH", default="BENCH_parallel.json",
-        help="write the JSON baseline here (default BENCH_parallel.json)",
+        "--batch-size", type=int, default=None, metavar="N",
+        help="measure micro-batched execution at batch size N against "
+             "the per-tuple baseline (writes BENCH_batching.json)",
+    )
+    bench.add_argument(
+        "--batch-sizes", default=None, metavar="N,N,...",
+        help="comma-separated micro-batch sizes to measure "
+             "(e.g. 1,4,16,64; writes BENCH_batching.json)",
+    )
+    bench.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the JSON baseline here (default BENCH_parallel.json, "
+             "or BENCH_batching.json with --batch-size/--batch-sizes)",
     )
     bench.set_defaults(handler=cmd_bench)
     return parser

@@ -5,7 +5,8 @@ This is the main public entry point of the library: build one from a
 the update stream; it executes the stream join while adaptively ordering
 pipelines (A-Greedy), selecting caches, and allocating memory.
 
->>> engine = ACaching.for_workload(workload)
+>>> from repro.api import Session
+>>> engine = Session.adaptive(workload).plan
 >>> for update in workload.updates(100_000):
 ...     engine.process(update)
 >>> engine.throughput()
@@ -27,7 +28,7 @@ from repro.mjoin.executor import MJoinExecutor
 from repro.operators.base import ExecContext
 from repro.ordering.agreedy import AGreedyOrderer, OrderingConfig
 from repro.relations.predicates import JoinGraph
-from repro.streams.events import OutputDelta, Update
+from repro.streams.events import DeltaBatch, OutputDelta, Update, batched
 
 
 @dataclass
@@ -96,7 +97,20 @@ class ACaching:
     def for_workload(
         cls, workload, config: Optional[ACachingConfig] = None
     ) -> "ACaching":
-        """Build an engine configured for a synthetic workload."""
+        """Deprecated; build engines through :mod:`repro.api` instead.
+
+        .. deprecated::
+           Use ``Session.adaptive(workload, EngineConfig(tuning=...))``
+           or ``repro.api.build_adaptive_engine``.
+        """
+        import warnings
+
+        warnings.warn(
+            "ACaching.for_workload(...) is deprecated; build engines via "
+            "repro.api.Session.adaptive(workload, EngineConfig(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return cls(
             workload.graph,
             indexed_attributes=workload.indexed_attributes,
@@ -109,6 +123,25 @@ class ACaching:
     def process(self, update: Update) -> List[OutputDelta]:
         """Process one update and run the adaptive machinery hooks."""
         outputs = self.executor.process(update)
+        self._adaptivity_hooks()
+        return outputs
+
+    def process_batch(self, batch: DeltaBatch) -> List[List[OutputDelta]]:
+        """Process one micro-batch; returns per-update delta lists.
+
+        Join results and window contents are identical to per-update
+        execution (see :meth:`MJoinExecutor.process_batch`). The adaptive
+        machinery — reordering, re-optimization, memory enforcement — is
+        evaluated once per batch boundary instead of once per update; the
+        profiler still samples individual updates inside the batch. Which
+        caches and orders are chosen may therefore differ between batch
+        sizes, but those choices never affect the emitted deltas.
+        """
+        per_update = self.executor.process_batch(batch)
+        self._adaptivity_hooks()
+        return per_update
+
+    def _adaptivity_hooks(self) -> None:
         if self.orderer is not None:
             for owner in self.orderer.maybe_reorder():
                 self.reoptimizer.on_reorder(owner)
@@ -121,13 +154,19 @@ class ACaching:
         ):
             self._updates_at_memory_check = metrics.updates_processed
             self.reoptimizer.enforce_memory()
-        return outputs
 
-    def run(self, updates: Iterable[Update]) -> List[OutputDelta]:
+    def run(
+        self, updates: Iterable[Update], batch_size: int = 1
+    ) -> List[OutputDelta]:
         """Process a whole update sequence; returns all result deltas."""
         outputs: List[OutputDelta] = []
-        for update in updates:
-            outputs.extend(self.process(update))
+        if batch_size <= 1:
+            for update in updates:
+                outputs.extend(self.process(update))
+            return outputs
+        for batch in batched(updates, batch_size):
+            for per_update in self.process_batch(batch):
+                outputs.extend(per_update)
         return outputs
 
     # ------------------------------------------------------------------

@@ -44,6 +44,12 @@ class CostModel:
     cache_maintain: float = 1.2    # applying one maintenance insert/delete
     witness_count_probe: float = 4.0  # one index count for X⋉Y witness counts
 
+    # Micro-batch execution only (batch size > 1): reusing a memoized
+    # join-probe result is one hash of the already-assembled constraint
+    # tuple plus a bucket lookup — cheaper than re-probing the index and
+    # re-verifying residual predicates.
+    batch_memo_hit: float = 0.6
+
     bloom_hash: float = 0.15       # hash one profiled tuple into a Bloom filter
     profile_tuple: float = 0.4     # bookkeeping per profiled tuple per operator
 

@@ -16,7 +16,7 @@ from repro.core.wiring import CacheWiring
 from repro.errors import PlanError
 from repro.faults.resilience import ResilienceConfig, ResilienceController
 from repro.mjoin.executor import MJoinExecutor
-from repro.streams.events import Sign, Update
+from repro.streams.events import DeltaBatch, Sign, Update, batched
 from repro.streams.workloads import Workload
 
 
@@ -33,9 +33,13 @@ class StaticPlan:
         """Process one update through the fixed plan."""
         return self.executor.process(update)
 
-    def run(self, updates: Iterable[Update]):
+    def process_batch(self, batch: DeltaBatch):
+        """Process one micro-batch; returns per-update delta lists."""
+        return self.executor.process_batch(batch)
+
+    def run(self, updates: Iterable[Update], batch_size: int = 1):
         """Process a whole update sequence."""
-        return self.executor.run(updates)
+        return self.executor.run(updates, batch_size=batch_size)
 
     @property
     def ctx(self):
@@ -43,7 +47,7 @@ class StaticPlan:
         return self.executor.ctx
 
 
-def static_plan(
+def _build_static_plan(
     workload: Workload,
     orders: Optional[Dict[str, Sequence[str]]] = None,
     candidate_ids: Sequence[str] = (),
@@ -54,7 +58,9 @@ def static_plan(
     """Build an executor with exactly the named candidate caches wired in.
 
     Candidate ids follow :mod:`repro.core.candidates` (``"T:0-1p"``,
-    ``"R:0-1g"``, …); list them via :func:`available_candidates`.
+    ``"R:0-1g"``, …); list them via :func:`available_candidates`. This is
+    the construction core behind :func:`repro.api.build_static_plan` and
+    :meth:`repro.api.Session.static`; prefer those entry points.
     """
     executor = MJoinExecutor(
         workload.graph,
@@ -93,6 +99,38 @@ def static_plan(
         wiring=wiring,
         used=tuple(candidate_ids),
         resilience=controller,
+    )
+
+
+def static_plan(
+    workload: Workload,
+    orders: Optional[Dict[str, Sequence[str]]] = None,
+    candidate_ids: Sequence[str] = (),
+    global_quota: int = 8,
+    buckets: int = 512,
+    resilience: Optional[ResilienceConfig] = None,
+) -> StaticPlan:
+    """Deprecated keyword entry point; use :mod:`repro.api` instead.
+
+    .. deprecated::
+       Build static plans through ``Session.static(workload,
+       EngineConfig(...))`` or ``repro.api.build_static_plan``.
+    """
+    import warnings
+
+    warnings.warn(
+        "static_plan(...) is deprecated; build plans via "
+        "repro.api.Session.static(workload, EngineConfig(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_static_plan(
+        workload,
+        orders=orders,
+        candidate_ids=candidate_ids,
+        global_quota=global_quota,
+        buckets=buckets,
+        resilience=resilience,
     )
 
 
@@ -135,6 +173,7 @@ def run_with_series(
     x_of: Optional[Callable[[Update], bool]] = None,
     used_caches: Optional[Callable[[], Sequence[str]]] = None,
     memory: Optional[Callable[[], int]] = None,
+    batch_size: int = 1,
 ) -> List[SeriesPoint]:
     """Drive ``plan.process`` over ``updates``, sampling throughput.
 
@@ -144,53 +183,83 @@ def run_with_series(
     Each point also carries the window's cache hit rate and the
     adaptivity :class:`~repro.obs.decisions.DecisionRecord`s that fired
     inside it, so plots can annotate "cache X added here" markers.
+
+    With ``batch_size > 1`` updates are driven through
+    ``plan.process_batch`` in consecutive micro-batches (results are
+    identical; sampling windows are checked at batch boundaries). A
+    trailing partial window is always flushed as a final point so short
+    runs and non-divisible ``sample_every_updates`` aren't truncated.
     """
     series: List[SeriesPoint] = []
     ctx = plan.ctx
     resilience = getattr(plan, "resilience", None)
     x = 0
-    window_start_updates = ctx.metrics.updates_processed
-    window_start_time = ctx.clock.now_seconds
-    window_start_probes = ctx.metrics.cache_probes
-    window_start_hits = ctx.metrics.cache_hits
-    window_start_seq = ctx.obs.decisions.last_seq
-    window_start_shed = resilience.shed_total if resilience else 0
-    for update in updates:
-        plan.process(update)
-        if x_of is None or x_of(update):
-            x += 1
+    state = {
+        "updates": ctx.metrics.updates_processed,
+        "time": ctx.clock.now_seconds,
+        "probes": ctx.metrics.cache_probes,
+        "hits": ctx.metrics.cache_hits,
+        "seq": ctx.obs.decisions.last_seq,
+        "shed": resilience.shed_total if resilience else 0,
+    }
+
+    def emit_point() -> None:
         processed = ctx.metrics.updates_processed
-        if processed - window_start_updates >= sample_every_updates:
-            now = ctx.clock.now_seconds
-            span = max(1e-12, now - window_start_time)
-            probes = ctx.metrics.cache_probes - window_start_probes
-            hits = ctx.metrics.cache_hits - window_start_hits
-            decisions = tuple(ctx.obs.decisions.since(window_start_seq))
-            shed_now = resilience.shed_total if resilience else 0
-            shed_in_window = shed_now - window_start_shed
-            series.append(
-                SeriesPoint(
-                    x=x,
-                    updates=processed,
-                    window_throughput=(
-                        (processed - window_start_updates) / span
-                    ),
-                    cumulative_throughput=ctx.metrics.throughput(now),
-                    used_caches=tuple(used_caches()) if used_caches else (),
-                    memory_bytes=memory() if memory else 0,
-                    hit_rate=hits / probes if probes else 0.0,
-                    decisions=decisions,
-                    degraded=bool(
-                        resilience
-                        and (resilience.degraded or shed_in_window)
-                    ),
-                    shed_updates=shed_in_window,
-                )
+        now = ctx.clock.now_seconds
+        span = max(1e-12, now - state["time"])
+        probes = ctx.metrics.cache_probes - state["probes"]
+        hits = ctx.metrics.cache_hits - state["hits"]
+        decisions = tuple(ctx.obs.decisions.since(state["seq"]))
+        shed_now = resilience.shed_total if resilience else 0
+        shed_in_window = shed_now - state["shed"]
+        series.append(
+            SeriesPoint(
+                x=x,
+                updates=processed,
+                window_throughput=(processed - state["updates"]) / span,
+                cumulative_throughput=ctx.metrics.throughput(now),
+                used_caches=tuple(used_caches()) if used_caches else (),
+                memory_bytes=memory() if memory else 0,
+                hit_rate=hits / probes if probes else 0.0,
+                decisions=decisions,
+                degraded=bool(
+                    resilience
+                    and (resilience.degraded or shed_in_window)
+                ),
+                shed_updates=shed_in_window,
+                shard_count=1,
             )
-            window_start_updates = processed
-            window_start_time = now
-            window_start_probes = ctx.metrics.cache_probes
-            window_start_hits = ctx.metrics.cache_hits
-            window_start_seq = ctx.obs.decisions.last_seq
-            window_start_shed = shed_now
+        )
+        state["updates"] = processed
+        state["time"] = now
+        state["probes"] = ctx.metrics.cache_probes
+        state["hits"] = ctx.metrics.cache_hits
+        state["seq"] = ctx.obs.decisions.last_seq
+        state["shed"] = shed_now
+
+    if batch_size > 1:
+        for batch in batched(updates, batch_size):
+            plan.process_batch(batch)
+            if x_of is None:
+                x += len(batch)
+            else:
+                x += sum(1 for u in batch if x_of(u))
+            if (
+                ctx.metrics.updates_processed - state["updates"]
+                >= sample_every_updates
+            ):
+                emit_point()
+    else:
+        for update in updates:
+            plan.process(update)
+            if x_of is None or x_of(update):
+                x += 1
+            if (
+                ctx.metrics.updates_processed - state["updates"]
+                >= sample_every_updates
+            ):
+                emit_point()
+    # Flush the trailing partial window (if any updates landed in it).
+    if ctx.metrics.updates_processed > state["updates"]:
+        emit_point()
     return series

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.api import EngineConfig, build_adaptive_engine
 from repro.core.acaching import ACaching, ACachingConfig
 from repro.core.profiler import ProfilerConfig
 from repro.core.reoptimizer import ReoptimizerConfig
@@ -35,8 +36,8 @@ from repro.faults.resilience import ResilienceConfig
 from repro.faults.shedding import SheddingConfig
 from repro.ordering.agreedy import OrderingConfig
 from repro.parallel.engine import ParallelConfig, run_sharded
-from repro.parallel.spec import EngineSpec, ExperimentSpec
-from repro.streams.events import OutputDelta, canonical_delta
+from repro.parallel.spec import ExperimentSpec
+from repro.streams.events import OutputDelta, batched, canonical_delta
 from repro.streams.tuples import CompositeTuple, Row
 from repro.streams.workloads import (
     Workload,
@@ -166,7 +167,9 @@ def _chaos_config(resilience: Optional[ResilienceConfig]) -> ACachingConfig:
 
 
 def _engine(workload: Workload, resilience: Optional[ResilienceConfig]) -> ACaching:
-    return ACaching.for_workload(workload, _chaos_config(resilience))
+    return build_adaptive_engine(
+        workload, EngineConfig(tuning=_chaos_config(resilience))
+    )
 
 
 def _canonical(delta: OutputDelta) -> Tuple:
@@ -175,8 +178,16 @@ def _canonical(delta: OutputDelta) -> Tuple:
     return canonical_delta(delta)
 
 
-def _drive(engine: ACaching, updates: Iterator) -> Counter:
+def _drive(
+    engine: ACaching, updates: Iterator, batch_size: int = 1
+) -> Counter:
     outputs: Counter = Counter()
+    if batch_size > 1:
+        for batch in batched(updates, batch_size):
+            for deltas in engine.process_batch(batch):
+                for delta in deltas:
+                    outputs[_canonical(delta)] += 1
+        return outputs
     for update in updates:
         for delta in engine.process(update):
             outputs[_canonical(delta)] += 1
@@ -206,6 +217,7 @@ def _run_chaos_sharded(
     total: int,
     spec: FaultSpec,
     parallel: ParallelConfig,
+    batch_size: int = 1,
 ) -> ChaosReport:
     """The sharded chaos run: both the clean and the faulted pass go
     through the parallel engine, so resilience is exercised per shard and
@@ -221,8 +233,11 @@ def _run_chaos_sharded(
         ExperimentSpec(
             workload_factory=factory,
             arrivals=total,
-            engine=EngineSpec(kind="acaching", config=_chaos_config(None)),
+            engine=EngineConfig(
+                tuning=_chaos_config(None)
+            ).engine_spec("adaptive"),
             output_mode="canonical",
+            batch_size=batch_size,
         ),
         parallel,
     )
@@ -246,13 +261,14 @@ def _run_chaos_sharded(
         ExperimentSpec(
             workload_factory=factory,
             arrivals=total,
-            engine=EngineSpec(
-                kind="acaching", config=_chaos_config(resilience)
-            ),
+            engine=EngineConfig(
+                tuning=_chaos_config(resilience)
+            ).engine_spec("adaptive"),
             fault_spec=spec,
             fault_seed=seed,
             output_mode="canonical",
             poison_at=spec.poison_at,
+            batch_size=batch_size,
         ),
         parallel,
     )
@@ -293,8 +309,15 @@ def run_chaos(
     overrides: Optional[Dict[str, str]] = None,
     shards: int = 1,
     backend: str = "serial",
+    batch_size: int = 1,
 ) -> ChaosReport:
-    """Run one experiment clean and faulted; return the comparison."""
+    """Run one experiment clean and faulted; return the comparison.
+
+    ``batch_size > 1`` drives both passes through micro-batched
+    execution. Join results are per-update identical, but the faulted
+    comparison may legitimately drift slightly: load shedding triggers on
+    virtual time, which batching changes.
+    """
     exp = CHAOS_EXPERIMENTS.get(experiment)
     if exp is None:
         raise ResilienceError(
@@ -304,6 +327,10 @@ def run_chaos(
     total = arrivals if arrivals is not None else exp.arrivals
     if total <= 0:
         raise ResilienceError("arrivals must be positive")
+    if batch_size < 1:
+        raise ResilienceError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
     parallel = ParallelConfig(shards=shards, backend=backend)
 
     # Validate the fault schedule up front: a bad --faults value should
@@ -313,11 +340,15 @@ def run_chaos(
         spec = spec.with_overrides(overrides)
 
     if parallel.active:
-        return _run_chaos_sharded(experiment, exp, seed, total, spec, parallel)
+        return _run_chaos_sharded(
+            experiment, exp, seed, total, spec, parallel, batch_size
+        )
 
     # Clean run: ground truth, and the shedding budget's baseline.
     clean_engine = _engine(exp.build(total), None)
-    clean_outputs = _drive(clean_engine, exp.build(total).updates(total))
+    clean_outputs = _drive(
+        clean_engine, exp.build(total).updates(total), batch_size
+    )
     clean_ctx = clean_engine.ctx
     clean_cost = clean_ctx.clock.now_us / max(
         1, clean_ctx.metrics.updates_processed
@@ -341,10 +372,9 @@ def run_chaos(
     faulted_outputs: Counter = Counter()
     poisonings = 0
     processed = 0
-    for update in plan.updates(exp.build(total).updates(total)):
-        for delta in engine.process(update):
-            faulted_outputs[_canonical(delta)] += 1
-        processed += 1
+
+    def maybe_poison() -> None:
+        nonlocal poisonings
         if (
             spec.poison_at is not None
             and poisonings == 0
@@ -352,6 +382,22 @@ def run_chaos(
             and _poison_one_entry(engine)
         ):
             poisonings = 1
+
+    stream = plan.updates(exp.build(total).updates(total))
+    if batch_size > 1:
+        # Poisoning lands at the first batch boundary past poison_at.
+        for batch in batched(stream, batch_size):
+            for deltas in engine.process_batch(batch):
+                for delta in deltas:
+                    faulted_outputs[_canonical(delta)] += 1
+            processed += len(batch)
+            maybe_poison()
+    else:
+        for update in stream:
+            for delta in engine.process(update):
+                faulted_outputs[_canonical(delta)] += 1
+            processed += 1
+            maybe_poison()
 
     missing = clean_outputs - faulted_outputs
     extra = faulted_outputs - clean_outputs

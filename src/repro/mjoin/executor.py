@@ -16,12 +16,12 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanError
-from repro.operators.base import ExecContext
+from repro.operators.base import BatchProbeMemo, ExecContext
 from repro.operators.join_op import JoinOperator
 from repro.operators.pipeline import Pipeline, ProfileSample
 from repro.relations.predicates import JoinGraph
 from repro.relations.relation import Relation
-from repro.streams.events import OutputDelta, Sign, Update
+from repro.streams.events import DeltaBatch, OutputDelta, Sign, Update, batched
 from repro.streams.tuples import CompositeTuple
 
 ProfileGate = Callable[[str], bool]
@@ -139,13 +139,26 @@ class MJoinExecutor:
         profile = False
         if self.profile_gate is not None:
             profile = self.profile_gate(update.relation)
-        composites, sample = pipeline.process(
-            update.row, update.sign, self.ctx, profile=profile
-        )
+        memo = self.ctx.probe_memo
+        if profile and memo is not None:
+            # Profiled tuples measure the true cache-free operator costs
+            # (Appendix A); the batch memo must not shortcut them.
+            self.ctx.probe_memo = None
+        try:
+            composites, sample = pipeline.process(
+                update.row, update.sign, self.ctx, profile=profile
+            )
+        finally:
+            if profile and memo is not None:
+                self.ctx.probe_memo = memo
         if sample is not None and self.sample_sink is not None:
             self.ctx.metrics.profiled_tuples += 1
             self.sample_sink(update.relation, sample)
         self._apply_window_update(update)
+        if memo is not None:
+            # The window just changed: every memoized probe of this
+            # relation is now stale.
+            memo.invalidate(update.relation)
         cm = self.ctx.cost_model
         self.ctx.clock.charge(cm.output_emit * len(composites))
         self.ctx.metrics.updates_processed += 1
@@ -167,11 +180,39 @@ class MJoinExecutor:
             self.resilience.after_update()
         return [OutputDelta(c, update.sign) for c in composites]
 
-    def run(self, updates: Iterable[Update]) -> List[OutputDelta]:
+    def process_batch(self, batch: DeltaBatch) -> List[List[OutputDelta]]:
+        """Process one micro-batch; returns per-update delta lists.
+
+        Updates are processed strictly in order — a batch changes *how
+        much modeled work* execution charges (probe results with the same
+        constraint signature are shared until the probed window changes),
+        never *what* it computes, so the returned deltas and the window
+        contents are identical to per-update execution. A batch of size 1
+        runs the unmodified per-update path, charge for charge.
+        """
+        if len(batch) == 1:
+            return [self.process(batch[0])]
+        installed = self.ctx.probe_memo is None
+        if installed:
+            self.ctx.probe_memo = BatchProbeMemo()
+        try:
+            return [self.process(update) for update in batch]
+        finally:
+            if installed:
+                self.ctx.probe_memo = None
+
+    def run(
+        self, updates: Iterable[Update], batch_size: int = 1
+    ) -> List[OutputDelta]:
         """Process a whole update sequence; returns all result deltas."""
         outputs: List[OutputDelta] = []
-        for update in updates:
-            outputs.extend(self.process(update))
+        if batch_size <= 1:
+            for update in updates:
+                outputs.extend(self.process(update))
+            return outputs
+        for batch in batched(updates, batch_size):
+            for per_update in self.process_batch(batch):
+                outputs.extend(per_update)
         return outputs
 
     def _apply_window_update(self, update: Update) -> None:

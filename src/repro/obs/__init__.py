@@ -14,9 +14,10 @@ every :class:`~repro.operators.base.ExecContext`:
 Enabling for a run::
 
     from repro import obs
+    from repro.api import Session
 
     with obs.session() as active:
-        engine = ACaching.for_workload(workload)   # picks up the session
+        engine = Session.adaptive(workload).plan   # picks up the session
         engine.run(workload.updates(20_000))
     print(obs.export.observability_to_jsonl(active, engine.ctx.metrics))
 

@@ -91,10 +91,21 @@ class CacheUpdate:
         is_global = isinstance(self.cache, GlobalCache)
         obs = ctx.obs
         applied_count = 0
+        # Micro-batch mode: group same-key deltas behind one hash +
+        # bucket check; each applied delta still pays its own cost.
+        checked_keys = None
+        if ctx.probe_memo is not None and len(composites) > 1:
+            checked_keys = set()
         for composite in composites:
             # A call on an absent key is only a hash + bucket check
             # (ignored per Section 3.2); applying a delta costs more.
-            clock.charge(cm.cache_maintain_check)
+            if checked_keys is None:
+                clock.charge(cm.cache_maintain_check)
+            else:
+                entry_key = self.cache.maintenance_key(composite)
+                if entry_key not in checked_keys:
+                    checked_keys.add(entry_key)
+                    clock.charge(cm.cache_maintain_check)
             ctx.metrics.cache_maintenance_calls += 1
             if is_global:
                 if sign is Sign.INSERT:

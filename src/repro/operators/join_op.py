@@ -77,18 +77,44 @@ class JoinOperator:
     def apply(
         self, composites: Sequence[CompositeTuple], ctx: ExecContext
     ) -> List[CompositeTuple]:
-        """Join every input composite with the target relation."""
+        """Join every input composite with the target relation.
+
+        Inside a micro-batch (``ctx.probe_memo`` set) the match set for a
+        given constraint signature is computed once and reused — across
+        composites, updates, and pipelines — until the target's window
+        changes. The match set depends only on the target window and the
+        ``(target_position, value)`` constraint pairs, so a memo hit is
+        exact; reuse charges ``batch_memo_hit`` instead of the probe and
+        residual-verification costs.
+        """
         if self.relation is None:
             raise PlanError(f"operator for {self.target!r} is unbound")
         relation = self.relation
         clock, cm = ctx.clock, ctx.cost_model
+        memo = ctx.probe_memo
+        index_pred = self._pick_index_predicate(relation)
         outputs: List[CompositeTuple] = []
         for composite in composites:
-            index_pred = self._pick_index_predicate(relation)
-            if index_pred is not None:
-                matches = self._indexed_matches(composite, index_pred, ctx)
-            else:
-                matches = self._scan_matches(composite, ctx)
+            matches = None
+            signature = None
+            if memo is not None:
+                signature = tuple(sorted(
+                    (
+                        b.target_position,
+                        composite.value(b.prior_relation, b.prior_position),
+                    )
+                    for b in self._bound
+                ))
+                matches = memo.get(self.target, signature)
+                if matches is not None:
+                    clock.charge(cm.batch_memo_hit)
+            if matches is None:
+                if index_pred is not None:
+                    matches = self._indexed_matches(composite, index_pred, ctx)
+                else:
+                    matches = self._scan_matches(composite, ctx)
+                if memo is not None:
+                    memo.put(self.target, signature, matches)
             clock.charge(cm.per_match * len(matches))
             for row in matches:
                 outputs.append(composite.extended(self.target, row))

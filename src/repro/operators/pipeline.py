@@ -253,12 +253,22 @@ class Pipeline:
         )
         consumed_keys: set = set()
         checked_keys: set = set()
+        # Micro-batch mode: one hash + bucket charge per distinct probe
+        # key in this group — the probed values cannot change between two
+        # same-key probes of the same call, so the group shares one probe.
+        charged_keys: Optional[set] = (
+            set() if ctx.probe_memo is not None else None
+        )
         results: List[CompositeTuple] = []
         miss_groups: Dict[tuple, List[CompositeTuple]] = {}
         hit_count = 0
         for composite in composites:
-            clock.charge(cm.cache_probe)
             probe_key, values = cache.probe(composite, lookup.key)
+            if charged_keys is None:
+                clock.charge(cm.cache_probe)
+            elif probe_key not in charged_keys:
+                charged_keys.add(probe_key)
+                clock.charge(cm.cache_probe)
             if values is not None:
                 hit_count += 1
             ctx.metrics.record_probe(cache.name, hit=values is not None)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, List, Optional, Sequence
 
+from repro.api import EngineConfig
 from repro.core.profiler import ProfilerConfig
 from repro.core.reoptimizer import ReoptimizerConfig
 from repro.core.acaching import ACachingConfig
@@ -41,9 +42,9 @@ DEFAULT_SHARDS = (1, 2, 4)
 BENCH_RELATIONS = 6
 
 
-def bench_engine_spec() -> EngineSpec:
-    """The adaptive engine configuration every bench run uses."""
-    config = ACachingConfig(
+def bench_tuning() -> ACachingConfig:
+    """The adaptive tunables every bench run uses."""
+    return ACachingConfig(
         profiler=ProfilerConfig(
             window=6, profile_probability=0.05, bloom_window_tuples=256
         ),
@@ -55,7 +56,16 @@ def bench_engine_spec() -> EngineSpec:
         ordering=OrderingConfig(interval_updates=1500),
         adaptive_ordering=True,
     )
-    return EngineSpec(kind="acaching", config=config)
+
+
+def bench_engine_config(batch_size: int = 1) -> EngineConfig:
+    """The facade config every bench run builds its engine from."""
+    return EngineConfig(tuning=bench_tuning(), batch_size=batch_size)
+
+
+def bench_engine_spec() -> EngineSpec:
+    """The adaptive engine configuration every bench run uses."""
+    return bench_engine_config().engine_spec("adaptive")
 
 
 def bench_spec(arrivals: int) -> ExperimentSpec:

@@ -22,7 +22,7 @@ from repro.engine.runtime import SeriesPoint
 from repro.parallel.partitioner import scheme_for_workload
 from repro.parallel.shard import _memory_in_use, _used_caches
 from repro.parallel.spec import ExperimentSpec
-from repro.streams.events import Update
+from repro.streams.events import DeltaBatch, Update
 
 
 def run_series_sharded(
@@ -121,12 +121,34 @@ def run_series_sharded(
             window_start_seq[index] = ctx.obs.decisions.last_seq
             window_start_shed[index] = shed_now[index]
 
+    # Per-shard micro-batch buffers (spec.batch_size = 1 keeps the
+    # unbatched per-update path). All buffers drain before a sample is
+    # taken so every point still reflects a lockstep stream position.
+    pending: List[List[Update]] = [[] for _ in range(shards)]
+
+    def flush_shard(shard: int) -> None:
+        if pending[shard]:
+            plans[shard].process_batch(DeltaBatch(pending[shard]))
+            pending[shard].clear()
+
     for update in updates:
         for shard in scheme.shards_for(update):
-            plans[shard].process(update)
+            if spec.batch_size == 1:
+                plans[shard].process(update)
+            else:
+                pending[shard].append(update)
+                if len(pending[shard]) >= spec.batch_size:
+                    flush_shard(shard)
         source_processed += 1
         if x_of is None or x_of(update):
             x += 1
         if source_processed - window_start_source >= sample_every_updates:
+            for shard in range(shards):
+                flush_shard(shard)
             emit_point()
+    for shard in range(shards):
+        flush_shard(shard)
+    # Flush the trailing partial window (if any updates landed in it).
+    if source_processed > window_start_source:
+        emit_point()
     return series

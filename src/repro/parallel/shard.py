@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.faults.plan import FaultPlan
 from repro.parallel.partitioner import PartitionScheme, scheme_for_workload
 from repro.parallel.spec import ExperimentSpec
-from repro.streams.events import OutputDelta, Sign, canonical_delta
+from repro.streams.events import DeltaBatch, OutputDelta, Sign, canonical_delta
 
 # (source seq, emission index within that update, the delta itself)
 TaggedDelta = Tuple[int, int, OutputDelta]
@@ -156,28 +156,57 @@ def run_shard(
         else None
     )
 
+    def record(update, outputs) -> None:
+        nonlocal processed_here
+        processed_here += 1
+        if spec.output_mode == "deltas":
+            for index, delta in enumerate(outputs):
+                deltas.append((update.seq, index, delta))
+        elif canonical is not None:
+            for delta in outputs:
+                canonical[canonical_delta(delta)] += 1
+
+    def maybe_poison() -> None:
+        nonlocal poisonings
+        if (
+            poison_after is not None
+            and poisonings == 0
+            and processed_here >= poison_after
+            and _poison_one_entry(plan)
+        ):
+            poisonings = 1
+
+    # This shard's routed updates, grouped into consecutive micro-batches
+    # (spec.batch_size; 1 = the unbatched per-update path).
+    pending: List = []
+
+    def flush_pending() -> None:
+        if not pending:
+            return
+        batch = DeltaBatch(pending)
+        for update, outputs in zip(pending, plan.process_batch(batch)):
+            record(update, outputs)
+        pending.clear()
+        maybe_poison()
+
     for update in updates:
         if start_updates is None and arrivals_seen >= warmup_arrivals:
+            # Drain buffered pre-warmup updates so the measured span
+            # starts at a batch boundary.
+            flush_pending()
             start_updates = ctx.metrics.updates_processed
             start_time_us = ctx.clock.now_us
         if update.sign is Sign.INSERT:
             arrivals_seen += 1
         if shard in scheme.shards_for(update):
-            outputs = plan.process(update)
-            processed_here += 1
-            if spec.output_mode == "deltas":
-                for index, delta in enumerate(outputs):
-                    deltas.append((update.seq, index, delta))
-            elif canonical is not None:
-                for delta in outputs:
-                    canonical[canonical_delta(delta)] += 1
-            if (
-                poison_after is not None
-                and poisonings == 0
-                and processed_here >= poison_after
-                and _poison_one_entry(plan)
-            ):
-                poisonings = 1
+            if spec.batch_size == 1:
+                record(update, plan.process(update))
+                maybe_poison()
+            else:
+                pending.append(update)
+                if len(pending) >= spec.batch_size:
+                    flush_pending()
+    flush_pending()
 
     if start_updates is None:
         start_updates, start_time_us = 0, 0.0

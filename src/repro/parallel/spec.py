@@ -28,8 +28,8 @@ class EngineSpec:
     * ``"acaching"`` — the full adaptive engine (:class:`ACaching`),
       configured by ``config`` (None = defaults). Resilience rides inside
       the config.
-    * ``"static"`` — an MJoin with a fixed cache set
-      (:func:`repro.engine.runtime.static_plan`).
+    * ``"static"`` — an MJoin with a fixed cache set (what
+      :meth:`repro.api.Session.static` builds).
     * ``"mjoin"`` — a bare, policy-free :class:`MJoinExecutor`.
     * ``"xjoin"`` — an :class:`XJoinExecutor` over ``tree``.
     """
@@ -53,9 +53,9 @@ class EngineSpec:
                 config=self.config,
             )
         if self.kind == "static":
-            from repro.engine.runtime import static_plan
+            from repro.engine.runtime import _build_static_plan
 
-            return static_plan(
+            return _build_static_plan(
                 workload,
                 orders=self.orders,
                 candidate_ids=self.candidate_ids,
@@ -102,11 +102,16 @@ class ExperimentSpec:
     output_mode: str = "none"
     collect_windows: bool = False              # ship final window contents
     poison_at: Optional[int] = None            # per-shard cache poisoning
+    batch_size: int = 1                        # per-shard micro-batch size
 
     def __post_init__(self) -> None:
         if self.arrivals <= 0:
             raise ParallelError(
                 f"arrivals must be positive, got {self.arrivals}"
+            )
+        if self.batch_size < 1:
+            raise ParallelError(
+                f"batch_size must be >= 1, got {self.batch_size}"
             )
         if self.output_mode not in OUTPUT_MODES:
             raise ParallelError(

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.api import EngineConfig, build_adaptive_engine
 from repro.core.acaching import ACaching, ACachingConfig
 from repro.core.profiler import ProfilerConfig
 from repro.core.reoptimizer import ReoptimizerConfig
@@ -75,7 +76,13 @@ def _run_parallel(
     )
 
 
-def measured_run(plan, workload: Workload, arrivals: int, warmup_fraction: float = 0.4):
+def measured_run(
+    plan,
+    workload: Workload,
+    arrivals: int,
+    warmup_fraction: float = 0.4,
+    batch_size: int = 1,
+):
     """Run a plan over a workload and return steady-state throughput.
 
     The paper reports the *maximum load the system can handle*, a steady
@@ -84,21 +91,39 @@ def measured_run(plan, workload: Workload, arrivals: int, warmup_fraction: float
     selection), so the first ``warmup_fraction`` of arrivals is excluded
     from the measurement — overheads incurred after warm-up (profiling,
     re-optimization) still count, as in the paper.
+
+    ``batch_size > 1`` drives the plan through consecutive micro-batches
+    (``plan.process_batch``); the measured span starts at a batch
+    boundary so warmup exclusion stays exact.
     """
-    from repro.streams.events import Sign
+    from repro.streams.events import DeltaBatch, Sign
 
     ctx = plan.ctx
     warmup = int(arrivals * warmup_fraction)
     arrivals_seen = 0
     start_updates: Optional[int] = None
     start_time = 0.0
+    pending: List = []
+
+    def flush_pending() -> None:
+        if pending:
+            plan.process_batch(DeltaBatch(pending))
+            pending.clear()
+
     for update in workload.updates(arrivals):
         if start_updates is None and arrivals_seen >= warmup:
+            flush_pending()
             start_updates = ctx.metrics.updates_processed
             start_time = ctx.clock.now_seconds
-        plan.process(update)
+        if batch_size == 1:
+            plan.process(update)
+        else:
+            pending.append(update)
+            if len(pending) >= batch_size:
+                flush_pending()
         if update.sign is Sign.INSERT:
             arrivals_seen += 1  # each arrival yields exactly one insertion
+    flush_pending()
     if start_updates is None:
         start_updates, start_time = 0, 0.0
     span = max(1e-12, ctx.clock.now_seconds - start_time)
@@ -167,9 +192,11 @@ def run_mjoin(
             config = _tuning(adaptive_ordering=True)
             config.reoptimizer.reopt_interval_updates = None
             config.reoptimizer.reopt_interval_seconds = float("inf")
-            engine = EngineSpec(kind="acaching", config=config, orders=orders)
+            engine = EngineConfig(
+                orders=orders, tuning=config
+            ).engine_spec("adaptive")
         else:
-            engine = EngineSpec(kind="mjoin", orders=orders)
+            engine = EngineConfig(orders=orders).engine_spec("mjoin")
         return _run_parallel(
             "MJoin", workload_factory, arrivals, engine, parallel
         )
@@ -254,7 +281,7 @@ def best_xjoin(
             "XJoin",
             workload_factory,
             arrivals,
-            EngineSpec(kind="xjoin", tree=best_tree),
+            EngineConfig().engine_spec("xjoin", tree=best_tree),
             parallel,
         )
         result.detail["tree"] = repr(best_tree)
@@ -309,10 +336,10 @@ def run_acaching(
             label,
             workload_factory,
             arrivals,
-            EngineSpec(kind="acaching", config=config),
+            EngineConfig(tuning=config).engine_spec("adaptive"),
             parallel,
         )
-    engine = ACaching.for_workload(workload, config)
+    engine = build_adaptive_engine(workload, EngineConfig(tuning=config))
     steady = measured_run(engine, workload, arrivals)
     ctx = engine.executor.ctx
     if label is None:

@@ -202,7 +202,19 @@ class XJoinExecutor:
             self.resilience.after_update()
         return [OutputDelta(c, update.sign) for c in delta]
 
-    def run(self, updates: Iterable[Update]) -> List[OutputDelta]:
+    def process_batch(self, batch) -> List[List[OutputDelta]]:
+        """Process one micro-batch; returns per-update delta lists.
+
+        XJoin keeps no probe memo (its subresult stores already amortize
+        recomputation), so this is a plain in-order loop — provided for
+        interface parity with the MJoin/A-Caching engines so batched
+        drivers can run any engine kind.
+        """
+        return [self.process(update) for update in batch]
+
+    def run(
+        self, updates: Iterable[Update], batch_size: int = 1
+    ) -> List[OutputDelta]:
         """Process a whole update sequence; returns all result deltas."""
         outputs: List[OutputDelta] = []
         for update in updates:

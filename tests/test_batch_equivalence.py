@@ -1,0 +1,186 @@
+"""Property: micro-batched execution is byte-identical to per-update.
+
+The batching contract (ISSUE 4's hard guarantee): for any batch size,
+the emitted delta sequence — rids included, not just canonical values —
+and the final per-relation window contents equal the batch-1 run's,
+on the serial engine and on every sharded backend, including streams
+rewritten by a fault plan and engines hardened by guard + auditor
+resilience (no shedding: load shedding triggers on virtual *time*,
+which batching changes by design).
+"""
+
+from functools import partial
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import EngineConfig, Session, build_adaptive_engine
+from repro.faults.auditor import AuditorConfig
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.resilience import ResilienceConfig
+from repro.parallel.engine import ParallelConfig, run_sharded
+from repro.streams.workloads import fig9_workload, three_way_chain
+
+WORKLOADS = {
+    "chain": partial(
+        three_way_chain, t_multiplicity=4.0, window_r=48, window_s=48
+    ),
+    "star3": partial(fig9_workload, 3, window=24),
+    "star4": partial(fig9_workload, 4, window=24),
+}
+
+# Guard + auditor on, shedding off: the one resilience shape whose
+# decisions depend only on update contents and counts, never on time.
+NO_SHED_RESILIENCE = ResilienceConfig(
+    shedding=None,
+    auditor=AuditorConfig(audit_every_updates=150, entries_per_audit=4),
+)
+
+
+def exact_delta(delta):
+    """A rid-preserving identity for one emitted OutputDelta."""
+    composite = delta.composite
+    return (
+        delta.sign,
+        tuple(
+            (name, composite.row(name).rid, composite.row(name).values)
+            for name in sorted(composite.relations())
+        ),
+    )
+
+
+def window_contents(plan):
+    executor = getattr(plan, "executor", plan)
+    return {
+        name: sorted((row.rid, row.values) for row in relation.rows())
+        for name, relation in executor.relations.items()
+    }
+
+
+def serial_run(workload_key, arrivals, batch_size, fault_spec=None, seed=0,
+               resilience=None):
+    """One fresh engine driven at ``batch_size``; exact deltas + windows."""
+    workload = WORKLOADS[workload_key]()
+    engine = build_adaptive_engine(
+        workload, EngineConfig(resilience=resilience)
+    )
+    updates = workload.updates(arrivals)
+    if fault_spec is not None:
+        updates = FaultPlan(fault_spec, seed=seed).updates(updates)
+    deltas = [
+        exact_delta(d)
+        for d in engine.run(updates, batch_size=batch_size)
+    ]
+    return deltas, window_contents(engine)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    workload_key=st.sampled_from(sorted(WORKLOADS)),
+    batch_size=st.integers(min_value=2, max_value=97),
+    arrivals=st.integers(min_value=150, max_value=450),
+)
+def test_batched_serial_run_equals_per_update_run(
+    workload_key, batch_size, arrivals
+):
+    baseline = serial_run(workload_key, arrivals, 1)
+    batched = serial_run(workload_key, arrivals, batch_size)
+    assert batched == baseline
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    batch_size=st.integers(min_value=2, max_value=64),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_batched_equivalence_under_faults_and_resilience(batch_size, seed):
+    """Fault-rewritten stream + guard/auditor engine, still identical."""
+    fault_spec = FaultSpec(
+        duplicate_prob=0.08, orphan_delete_prob=0.05, corrupt_prob=0.04
+    )
+    baseline = serial_run(
+        "chain", 400, 1,
+        fault_spec=fault_spec, seed=seed, resilience=NO_SHED_RESILIENCE,
+    )
+    batched = serial_run(
+        "chain", 400, batch_size,
+        fault_spec=fault_spec, seed=seed, resilience=NO_SHED_RESILIENCE,
+    )
+    assert batched == baseline
+
+
+def sharded_observation(workload_key, arrivals, batch_size, shards, backend,
+                        fault_spec=None):
+    session = Session.adaptive(
+        WORKLOADS[workload_key],
+        EngineConfig(
+            batch_size=batch_size, shards=shards, parallel_backend=backend
+        ),
+    )
+    run = run_sharded(
+        session.experiment(
+            arrivals,
+            fault_spec=fault_spec,
+            output_mode="deltas",
+            collect_windows=True,
+        ),
+        session.config.parallel(),
+    )
+    deltas = [
+        (seq, index, exact_delta(delta))
+        for seq, index, delta in run.merged_deltas()
+    ]
+    return deltas, run.merged_windows()
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    workload_key=st.sampled_from(sorted(WORKLOADS)),
+    batch_size=st.integers(min_value=2, max_value=64),
+    shards=st.integers(min_value=1, max_value=3),
+)
+def test_batched_sharded_run_equals_per_update_run(
+    workload_key, batch_size, shards
+):
+    baseline = sharded_observation(workload_key, 300, 1, shards, "serial")
+    batched = sharded_observation(
+        workload_key, 300, batch_size, shards, "serial"
+    )
+    assert batched == baseline
+
+
+def test_batched_process_backend_equals_per_update_run():
+    """The process backend, with a fault-rewritten stream on top."""
+    fault_spec = FaultSpec(duplicate_prob=0.06, orphan_delete_prob=0.04)
+    baseline = sharded_observation(
+        "chain", 400, 1, 2, "process", fault_spec=fault_spec
+    )
+    batched = sharded_observation(
+        "chain", 400, 64, 2, "process", fault_spec=fault_spec
+    )
+    assert batched == baseline
+
+
+def test_batch_one_is_charge_identical_to_unbatched():
+    """batch_size=1 must not even differ in virtual cost (no memo)."""
+    wl_a = WORKLOADS["chain"]()
+    wl_b = WORKLOADS["chain"]()
+    a = build_adaptive_engine(wl_a, EngineConfig())
+    b = build_adaptive_engine(wl_b, EngineConfig(batch_size=1))
+    for update in wl_a.updates(300):
+        a.process(update)
+    b.run(wl_b.updates(300), batch_size=1)
+    assert a.ctx.clock.now_us == b.ctx.clock.now_us
+    assert a.ctx.metrics.updates_processed == b.ctx.metrics.updates_processed
