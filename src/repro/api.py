@@ -40,7 +40,7 @@ from typing import (
 
 from repro.core.acaching import ACaching, ACachingConfig
 from repro.core.reoptimizer import ReoptimizerConfig
-from repro.errors import PlanError
+from repro.errors import ConfigError, PlanError
 from repro.faults.resilience import ResilienceConfig
 from repro.streams.events import DeltaBatch, OutputDelta, Update
 from repro.streams.workloads import Workload
@@ -67,7 +67,10 @@ class EngineConfig:
     runs; ``tuning`` overrides the adaptive engine's full tunable set
     (profiler, re-optimizer, ordering) — when set, it wins over
     ``global_quota`` and ``resilience`` only where it explicitly
-    configures them.
+    configures them; ``wal_dir``/``checkpoint_interval``/
+    ``wal_fsync_every``/``cache_recovery`` journal runs for crash
+    recovery, and ``supervision`` runs shards under the restarting
+    supervisor.
     """
 
     orders: Optional[Dict[str, Tuple[str, ...]]] = None
@@ -81,6 +84,18 @@ class EngineConfig:
     obs_trace_jsonl: Optional[str] = None    # structured trace sink
     obs_metrics_prom: Optional[str] = None   # Prometheus metrics sink
     tuning: Optional[ACachingConfig] = None  # full adaptive tunables
+    # Durability (repro.recovery): ``wal_dir`` is the master switch —
+    # when set, serial runs journal every update to a WAL and checkpoint
+    # every ``checkpoint_interval`` processed updates, and sharded runs
+    # give each shard its own sub-journal for supervised restarts.
+    wal_dir: Optional[str] = None
+    checkpoint_interval: int = 1000
+    wal_fsync_every: int = 64                # WAL records per fsync batch
+    cache_recovery: str = "snapshot"         # or "rebuild" (drop caches)
+    # Supervised sharded execution: a SupervisionConfig turns run_sharded
+    # into a Supervisor run (heartbeats, backoff restarts, circuit
+    # breaker); None keeps the plain unsupervised backends.
+    supervision: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -93,6 +108,20 @@ class EngineConfig:
             raise PlanError(
                 f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
                 f"got {self.parallel_backend!r}"
+            )
+        if self.checkpoint_interval < 1:
+            raise ConfigError(
+                "checkpoint_interval must be >= 1, got "
+                f"{self.checkpoint_interval}"
+            )
+        if self.wal_fsync_every < 1:
+            raise ConfigError(
+                f"wal_fsync_every must be >= 1, got {self.wal_fsync_every}"
+            )
+        if self.cache_recovery not in ("snapshot", "rebuild"):
+            raise ConfigError(
+                "cache_recovery must be 'snapshot' or 'rebuild', got "
+                f"{self.cache_recovery!r}"
             )
         object.__setattr__(
             self, "candidate_ids", tuple(self.candidate_ids)
@@ -130,6 +159,20 @@ class EngineConfig:
 
         return ParallelConfig(
             shards=self.shards, backend=self.parallel_backend
+        )
+
+    def recovery(self):
+        """The :class:`~repro.recovery.manager.RecoveryConfig` this
+        config's durability knobs resolve to, or None with no ``wal_dir``."""
+        if self.wal_dir is None:
+            return None
+        from repro.recovery.manager import RecoveryConfig
+
+        return RecoveryConfig(
+            wal_dir=self.wal_dir,
+            checkpoint_interval=self.checkpoint_interval,
+            fsync_every=self.wal_fsync_every,
+            cache_mode=self.cache_recovery,
         )
 
     def engine_spec(self, kind: str = "adaptive", tree=None):
@@ -314,8 +357,93 @@ class Session:
             if arrivals is None:
                 raise PlanError("run() needs either updates or arrivals")
             updates = self.workload.updates(arrivals)
-        outputs = self.plan.run(
-            updates, batch_size=self.config.batch_size
+        if self.config.wal_dir is not None:
+            outputs = self._run_recorded(updates)
+        else:
+            outputs = self.plan.run(
+                updates, batch_size=self.config.batch_size
+            )
+        self._export_obs()
+        return outputs
+
+    def _run_recorded(
+        self, updates: Iterable[Update], skip_through: int = -1
+    ) -> List[OutputDelta]:
+        """Drive ``updates`` journaled: WAL every update, checkpoint at
+        update/flush boundaries. ``skip_through`` drops the prefix a
+        restore already covered (checkpoint + replayed WAL)."""
+        from repro.recovery.manager import Recorder
+
+        recorder = Recorder(self.plan, self.config.recovery())
+        outputs: List[OutputDelta] = []
+        pending: List[Update] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            last_seq = pending[-1].seq
+            for deltas in self.plan.process_batch(DeltaBatch(pending)):
+                outputs.extend(deltas)
+            recorder.mark_processed(len(pending))
+            pending.clear()
+            recorder.maybe_checkpoint(last_seq)
+
+        for update in updates:
+            if update.seq <= skip_through:
+                continue
+            recorder.log(update)
+            if self.config.batch_size == 1:
+                outputs.extend(self.plan.process(update))
+                recorder.mark_processed()
+                recorder.maybe_checkpoint(update.seq)
+            else:
+                pending.append(update)
+                if len(pending) >= self.config.batch_size:
+                    flush()
+        flush()
+        recorder.close()
+        return outputs
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def restore(self):
+        """Rebuild the engine from the config's journal directory.
+
+        Loads the newest valid checkpoint under ``wal_dir`` (skipping
+        corrupt/partial snapshots), replays the durable WAL suffix, and
+        swaps the session's plan for the restored engine. Returns the
+        :class:`~repro.recovery.manager.RecoveredState` so callers know
+        the seq to resume the source from.
+        """
+        from repro.recovery.manager import RecoveryManager
+
+        config = self.config.recovery()
+        if config is None:
+            raise ConfigError(
+                "restore() needs wal_dir set on the EngineConfig"
+            )
+        restored = RecoveryManager(config, builder=self._construct).restore()
+        self._plan = restored.plan
+        return restored
+
+    def resume(self, arrivals: int) -> List[OutputDelta]:
+        """Crash recovery in one call: restore, then finish the run.
+
+        Restores from ``wal_dir``, then re-feeds the deterministic
+        workload stream past the restored seq — journaling as it goes, so
+        a crash during resume is itself recoverable. Returns the deltas
+        produced from the restore point on (WAL replay + resumed source).
+        """
+        restored = self.restore()
+        outputs = [
+            delta for _seq, deltas in restored.replayed for delta in deltas
+        ]
+        outputs.extend(
+            self._run_recorded(
+                self.workload.updates(arrivals),
+                skip_through=restored.last_seq,
+            )
         )
         self._export_obs()
         return outputs
@@ -409,17 +537,33 @@ class Session:
         )
 
     def run_sharded(
-        self, arrivals: Optional[int] = None, **measurement
+        self, arrivals: Optional[int] = None, crashes=(), **measurement
     ):
-        """Run partitioned across the config's shards; a ParallelRun."""
+        """Run partitioned across the config's shards.
+
+        Returns a ParallelRun — or, when the config carries a
+        ``supervision`` policy, a :class:`~repro.parallel.supervisor.
+        SupervisedRun` (same merge API) executed under heartbeat
+        monitoring with per-shard checkpoint-resumed restarts.
+        ``crashes`` (:class:`WorkerCrash` specs) only applies to
+        supervised runs — it injects deterministic worker kills.
+        """
         from repro.parallel.engine import run_sharded
 
         if arrivals is None:
             raise PlanError("run_sharded() needs arrivals")
-        return run_sharded(
-            self.experiment(arrivals, **measurement),
-            self.config.parallel(),
-        )
+        spec = self.experiment(arrivals, **measurement)
+        if self.config.supervision is not None:
+            from repro.parallel.supervisor import Supervisor
+
+            return Supervisor(
+                self.config.supervision, recovery=self.config.recovery()
+            ).run(spec, self.config.shards, crashes=crashes)
+        if crashes:
+            raise ConfigError(
+                "crashes requires supervision set on the EngineConfig"
+            )
+        return run_sharded(spec, self.config.parallel())
 
     # ------------------------------------------------------------------
     # introspection / observability

@@ -8,8 +8,11 @@
     python -m repro demo --shards 2
     python -m repro trace fig12 --jsonl fig12-trace.jsonl
     python -m repro chaos fig12 --seed 11 --faults duplicate_prob=0.02
+    python -m repro chaos demo --crash torn_tail --cache-mode rebuild
+    python -m repro recover /tmp/crashed-journal
     python -m repro bench --shards 1,2,4 --out BENCH_parallel.json
     python -m repro bench --batch-sizes 1,4,16,64
+    python -m repro bench --recovery --fsync-every 64
 
 Arrival counts trade precision for time; the defaults match the
 benchmark suite's.
@@ -167,6 +170,8 @@ def cmd_list(_args: argparse.Namespace) -> str:
     lines.append("  table2            print the Table 2 parameters")
     lines.append("  demo              quick adaptive-vs-MJoin demonstration")
     lines.append("  chaos EXP         run an experiment under fault injection")
+    lines.append("  chaos EXP --crash kill a journaled run, recover, verify")
+    lines.append("  recover DIR       restore a crashed --crash journal")
     lines.append("  bench             serial-vs-sharded throughput benchmark")
     return "\n".join(lines)
 
@@ -245,16 +250,39 @@ def cmd_demo(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_crash_chaos(args: argparse.Namespace) -> str:
+    """The ``chaos EXP --crash KIND`` variant: kill, recover, verify."""
+    from repro.faults.crashes import format_crash_report, run_crash_chaos
+
+    parallel = _parallel_of(args)
+    report = run_crash_chaos(
+        args.experiment,
+        seed=args.seed,
+        arrivals=args.arrivals,
+        kind=args.crash,
+        cache_mode=args.cache_mode,
+        checkpoint_interval=args.checkpoint_interval,
+        fsync_every=args.fsync_every,
+        wal_dir=args.wal_dir,
+        shards=parallel.shards,
+        recover=not args.no_recover,
+    )
+    return format_crash_report(report)
+
+
 def cmd_chaos(args: argparse.Namespace) -> str:
     """``chaos EXP``: run one experiment under a seeded fault schedule."""
     from repro.faults.chaos import (
         chaos_to_jsonl,
         format_chaos_report,
+        format_dead_letters,
         parse_fault_overrides,
         run_chaos,
     )
 
     _check_arrivals(args)
+    if args.crash is not None:
+        return _cmd_crash_chaos(args)
     parallel = _parallel_of(args)
     _ensure_writable(args.jsonl)
     overrides = parse_fault_overrides(args.faults)
@@ -268,10 +296,19 @@ def cmd_chaos(args: argparse.Namespace) -> str:
         batch_size=args.batch_size,
     )
     body = format_chaos_report(report)
+    if args.dump_dead_letters:
+        body += "\n" + format_dead_letters(report)
     if args.jsonl:
         write_jsonl(args.jsonl, chaos_to_jsonl(report))
         body += f"\nwrote chaos JSONL to {args.jsonl}"
     return body
+
+
+def cmd_recover(args: argparse.Namespace) -> str:
+    """``recover DIR``: restore a crashed journal directory and verify."""
+    from repro.faults.crashes import format_crash_report, recover_and_verify
+
+    return format_crash_report(recover_and_verify(args.directory))
 
 
 def _parse_batch_sizes(args: argparse.Namespace) -> Optional[List[int]]:
@@ -326,12 +363,46 @@ def _run_batching_cmd(args: argparse.Namespace, sizes: List[int]) -> str:
     return body
 
 
+def _run_recovery_bench_cmd(args: argparse.Namespace) -> str:
+    """The durability-overhead variant of ``bench`` (``--recovery``)."""
+    from repro.bench.recovery import (
+        DEFAULT_CHECKPOINT_INTERVAL,
+        RECOVERY_DEFAULT_ARRIVALS,
+        RECOVERY_DEFAULT_OUT,
+        format_recovery_bench_report,
+        recovery_bench_to_json,
+        run_recovery_bench,
+    )
+
+    out = args.out if args.out is not None else RECOVERY_DEFAULT_OUT
+    _ensure_writable(out)
+    fsync_values = [args.fsync_every] if args.fsync_every else [64]
+    report = run_recovery_bench(
+        fsync_every_values=fsync_values,
+        arrivals=(
+            args.arrivals if args.arrivals else RECOVERY_DEFAULT_ARRIVALS
+        ),
+        checkpoint_interval=(
+            args.checkpoint_interval
+            if args.checkpoint_interval
+            else DEFAULT_CHECKPOINT_INTERVAL
+        ),
+    )
+    body = format_recovery_bench_report(report)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(recovery_bench_to_json(report))
+        body += f"\nwrote recovery baseline to {out}"
+    return body
+
+
 def cmd_bench(args: argparse.Namespace) -> str:
     """``bench``: serial-vs-sharded throughput on the 6-way workload.
 
     With ``--batch-size``/``--batch-sizes`` it instead measures
-    per-tuple vs micro-batched execution (same workload, same engine)
-    and writes ``BENCH_batching.json``.
+    per-tuple vs micro-batched execution (``BENCH_batching.json``); with
+    ``--recovery`` it measures WAL + checkpoint overhead against the
+    unjournaled baseline (``BENCH_recovery.json``).
     """
     from repro.parallel.bench import (
         DEFAULT_ARRIVALS,
@@ -342,6 +413,8 @@ def cmd_bench(args: argparse.Namespace) -> str:
     )
 
     _check_arrivals(args)
+    if args.recovery:
+        return _run_recovery_bench_cmd(args)
     batch_sizes = _parse_batch_sizes(args)
     if batch_sizes is not None:
         return _run_batching_cmd(args, batch_sizes)
@@ -540,8 +613,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive both passes through micro-batches of N updates "
              "(default 1 = per-update)",
     )
+    chaos.add_argument(
+        "--dump-dead-letters", action="store_true",
+        help="print every quarantined update the dead-letter buffer "
+             "retained",
+    )
+    chaos.add_argument(
+        "--crash", metavar="KIND", default=None,
+        help="crash-injection mode: kill a journaled run (at_event, "
+             "torn_tail, during_checkpoint), recover it, and verify the "
+             "result against a clean run",
+    )
+    chaos.add_argument(
+        "--cache-mode", default="snapshot", metavar="MODE",
+        help="checkpoint cache mode for --crash: snapshot (full engine) "
+             "or rebuild (windows only; caches re-converge)",
+    )
+    chaos.add_argument(
+        "--checkpoint-interval", type=int, default=500, metavar="N",
+        help="updates between checkpoints for --crash (default 500)",
+    )
+    chaos.add_argument(
+        "--fsync-every", type=int, default=32, metavar="N",
+        help="WAL records per fsync batch for --crash (default 32)",
+    )
+    chaos.add_argument(
+        "--wal-dir", metavar="DIR", default=None,
+        help="keep the --crash journal here (with a manifest.json for "
+             "`repro recover`) instead of a throwaway temp dir",
+    )
+    chaos.add_argument(
+        "--no-recover", action="store_true",
+        help="with --crash --wal-dir: stop after the kill, leaving a "
+             "genuinely crashed journal for `repro recover DIR`",
+    )
     add_parallel_flags(chaos)
     chaos.set_defaults(handler=cmd_chaos)
+
+    recover = sub.add_parser(
+        "recover",
+        help="restore a crashed --crash journal directory and verify it",
+    )
+    recover.add_argument(
+        "directory", metavar="DIR",
+        help="the --wal-dir a `chaos --crash` run journaled into",
+    )
+    recover.set_defaults(handler=cmd_recover)
 
     bench = sub.add_parser(
         "bench",
@@ -568,9 +685,23 @@ def build_parser() -> argparse.ArgumentParser:
              "(e.g. 1,4,16,64; writes BENCH_batching.json)",
     )
     bench.add_argument(
+        "--recovery", action="store_true",
+        help="measure WAL + checkpoint overhead vs the unjournaled "
+             "baseline (writes BENCH_recovery.json)",
+    )
+    bench.add_argument(
+        "--fsync-every", type=int, default=None, metavar="N",
+        help="with --recovery: WAL records per fsync batch (default 64)",
+    )
+    bench.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="N",
+        help="with --recovery: updates between checkpoints (default 1000)",
+    )
+    bench.add_argument(
         "--out", metavar="PATH", default=None,
         help="write the JSON baseline here (default BENCH_parallel.json, "
-             "or BENCH_batching.json with --batch-size/--batch-sizes)",
+             "BENCH_batching.json with --batch-sizes, or "
+             "BENCH_recovery.json with --recovery)",
     )
     bench.set_defaults(handler=cmd_bench)
     return parser

@@ -56,6 +56,15 @@ class CostModel:
     reoptimize_base: float = 200.0     # fixed cost of one re-optimization
     reoptimize_candidate: float = 5.0  # marginal cost per candidate examined
 
+    # Durability (repro.recovery): WAL appends are charged per update at
+    # ingress; the fsync cost is paid once per fsync batch (divide by the
+    # configured ``fsync_every``). Checkpoints charge a fixed base plus a
+    # per-row cost over every live window row captured in the snapshot.
+    wal_append: float = 0.4        # serialize + buffer one update record
+    wal_fsync: float = 25.0        # flush + fsync one WAL batch
+    checkpoint_base: float = 150.0  # open/serialize/rename one snapshot
+    checkpoint_row: float = 0.05    # capture one live window row
+
 
 class VirtualClock:
     """Accumulates charged microseconds; ``now`` is virtual time."""

@@ -35,8 +35,23 @@ class WorkloadError(ReproError):
     """A synthetic workload specification was inconsistent."""
 
 
+class ConfigError(ReproError, ValueError):
+    """A construction-time tunable was out of range.
+
+    Subclasses ``ValueError`` as well, so callers that predate the
+    :class:`ReproError` hierarchy (and the tests that pin their
+    behavior) keep working, while the CLI's uniform ReproError ->
+    ``exit 1`` mapping applies. Messages always name the offending
+    field.
+    """
+
+
 class ResilienceError(ReproError):
     """A fault-injection or degradation configuration was invalid."""
+
+
+class RecoveryError(ReproError):
+    """A checkpoint, WAL, or restore operation could not proceed."""
 
 
 class ParallelError(ReproError):

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.errors import PlanError
+from repro.errors import ConfigError, PlanError
 from repro.obs.decisions import COHERENCE_DETACH, COHERENCE_REBUILD
 
 
@@ -52,7 +52,10 @@ class CoherenceAuditor:
         self.executor = executor
         self.config = config if config is not None else AuditorConfig()
         if self.config.audit_every_updates <= 0:
-            raise ValueError("audit cadence must be positive")
+            raise ConfigError(
+                "auditor audit_every_updates must be positive, got "
+                f"{self.config.audit_every_updates}"
+            )
         self.wiring = None
         # The re-optimizer (when adaptive): keeps its candidate-state
         # machine consistent with auditor-driven detach/attach.

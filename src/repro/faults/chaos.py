@@ -121,6 +121,9 @@ class ChaosReport:
     clean_throughput: float = 0.0
     faulted_throughput: float = 0.0
     decisions: List[Dict[str, object]] = field(default_factory=list)
+    # Quarantined updates the dead-letter buffer retained, in global seq
+    # order (``repro chaos --dump-dead-letters`` prints them).
+    dead_letters: List[object] = field(default_factory=list)
 
     @property
     def discrepancy(self) -> int:
@@ -299,6 +302,7 @@ def _run_chaos_sharded(
         clean_throughput=clean.stats.modeled_throughput,
         faulted_throughput=faulted.stats.modeled_throughput,
         decisions=[],
+        dead_letters=faulted.merged_dead_letters(),
     )
 
 
@@ -419,6 +423,11 @@ def run_chaos(
         ),
         faulted_throughput=ctx.metrics.throughput(ctx.clock.now_seconds),
         decisions=[r.to_dict() for r in ctx.obs.decisions.entries()],
+        dead_letters=(
+            list(engine.resilience.guard.dead_letters.entries())
+            if engine.resilience.guard is not None
+            else []
+        ),
     )
 
 
@@ -469,6 +478,23 @@ def format_chaos_report(report: ChaosReport) -> str:
         f"  throughput: clean {report.clean_throughput:,.0f}/s, "
         f"faulted {report.faulted_throughput:,.0f}/s"
     )
+    return "\n".join(lines)
+
+
+def format_dead_letters(report: ChaosReport) -> str:
+    """The retained quarantined updates, one line each, oldest first."""
+    lines = [
+        f"dead letters ({len(report.dead_letters)} retained):",
+    ]
+    if not report.dead_letters:
+        lines.append("  (none)")
+        return "\n".join(lines)
+    for entry in report.dead_letters:
+        sign = "+" if entry.sign == "INSERT" else "-"
+        lines.append(
+            f"  seq={entry.seq:<8} {sign}∆{entry.relation:<4} "
+            f"rid={entry.rid:<12} {entry.reason}"
+        )
     return "\n".join(lines)
 
 

@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
+from repro.errors import ConfigError
 from repro.obs.decisions import QUARANTINE
 from repro.relations.relation import Relation
 from repro.streams.events import Sign, Update
@@ -50,7 +51,9 @@ class DeadLetterBuffer:
 
     def __init__(self, capacity: int = 256):
         if capacity <= 0:
-            raise ValueError("dead-letter capacity must be positive")
+            raise ConfigError(
+                f"dead_letter_capacity must be positive, got {capacity}"
+            )
         self.capacity = capacity
         self._entries: Deque[QuarantinedUpdate] = deque(maxlen=capacity)
         self.total = 0

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
+from repro.errors import ConfigError
 from repro.obs.decisions import SHED_START, SHED_STOP
 from repro.streams.events import Sign, Update
 
@@ -37,9 +38,15 @@ class LoadShedder:
     def __init__(self, config: Optional[SheddingConfig] = None):
         self.config = config if config is not None else SheddingConfig()
         if self.config.window_updates <= 0:
-            raise ValueError("shedding window must be positive")
+            raise ConfigError(
+                "shedding window_updates must be positive, got "
+                f"{self.config.window_updates}"
+            )
         if not 0.0 < self.config.shed_fraction <= 1.0:
-            raise ValueError("shed_fraction must be in (0, 1]")
+            raise ConfigError(
+                "shedding shed_fraction must be in (0, 1], got "
+                f"{self.config.shed_fraction}"
+            )
         self.degraded = False
         self.shed_by_stream: Dict[str, int] = {}
         self.shed_total = 0

@@ -38,6 +38,12 @@ SHED_START = "shed_start"              # overload detector began dropping load
 SHED_STOP = "shed_stop"                # overload cleared; shedding ended
 COHERENCE_DETACH = "coherence_detach"      # auditor dropped a poisoned cache
 COHERENCE_REBUILD = "coherence_rebuild"    # auditor re-attach after quarantine
+# Recovery actions (repro.recovery + parallel supervision): checkpoints,
+# restores, and worker restarts land in the same chronological log.
+CHECKPOINT = "checkpoint"              # snapshot written at an update seq
+RECOVER = "recover"                    # restore from checkpoint + WAL replay
+WORKER_RESTART = "worker_restart"      # supervisor restarted a shard worker
+WORKER_FALLBACK = "worker_fallback"    # circuit breaker: shard ran serially
 
 
 @dataclass(frozen=True)

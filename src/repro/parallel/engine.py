@@ -129,6 +129,16 @@ class ParallelRun:
             [result.resilience_summary for result in self.results]
         )
 
+    def merged_dead_letters(self) -> List[object]:
+        """Every retained quarantined update, in global seq order."""
+        merged = [
+            entry
+            for result in self.results
+            for entry in result.dead_letters
+        ]
+        merged.sort(key=lambda entry: entry.seq)
+        return merged
+
 
 def count_source_updates(spec: ExperimentSpec) -> int:
     """How many updates the (possibly faulted) global stream contains."""

@@ -14,14 +14,18 @@ to restore the global arrival order.
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.faults.plan import FaultPlan
 from repro.parallel.partitioner import PartitionScheme, scheme_for_workload
 from repro.parallel.spec import ExperimentSpec
 from repro.streams.events import DeltaBatch, OutputDelta, Sign, canonical_delta
+
+# Exit status a deliberately killed worker dies with (crash injection).
+KILL_EXIT_CODE = 23
 
 # (source seq, emission index within that update, the delta itself)
 TaggedDelta = Tuple[int, int, OutputDelta]
@@ -63,6 +67,9 @@ class ShardResult:
     canonical: Optional[Counter] = None
     windows: Optional[Dict[str, List[Tuple[int, tuple]]]] = None
     resilience_summary: Optional[Dict[str, object]] = None
+    # Quarantined updates retained by this shard's dead-letter buffer
+    # (``repro chaos --dump-dead-letters`` surfaces them merged).
+    dead_letters: List[object] = field(default_factory=list)
 
 
 def _relations_of(plan):
@@ -119,17 +126,45 @@ def run_shard(
     shard: int,
     shard_count: int,
     scheme: Optional[PartitionScheme] = None,
+    recovery=None,
+    progress: Optional[Callable[[int], None]] = None,
+    kill_after: Optional[int] = None,
 ) -> ShardResult:
     """Execute shard ``shard`` of ``shard_count`` for one experiment.
 
     This is the module-level worker the process backend maps over; it is
     also what the in-process ``serial-shards`` backend calls directly, so
     the two backends run byte-identical computations.
+
+    With a :class:`~repro.recovery.manager.RecoveryConfig` in
+    ``recovery`` the shard journals its routed sub-stream to a WAL and
+    checkpoints at batch boundaries — and, before running, *restores*:
+    whatever checkpoint + WAL suffix survives in the config's directory
+    is loaded and replayed, and processing resumes past it. A fresh
+    directory degenerates to a normal full run, so supervised restarts
+    just call this function again with the same config.
+
+    ``progress`` is invoked with the shard's processed-update count after
+    every update (the supervisor throttles it into heartbeats).
+    ``kill_after`` hard-kills the process (``os._exit``) once that count
+    is reached — crash injection, only ever passed to worker processes.
     """
     workload = spec.workload_factory()
     if scheme is None:
         scheme = scheme_for_workload(workload, shard_count)
-    plan = spec.engine.build(workload)
+
+    restored = None
+    recorder = None
+    if recovery is not None:
+        from repro.recovery.manager import Recorder, RecoveryManager
+
+        manager = RecoveryManager(
+            recovery, builder=lambda: spec.engine.build(workload)
+        )
+        restored = manager.restore()
+        plan = restored.plan
+    else:
+        plan = spec.engine.build(workload)
     ctx = plan.ctx
 
     updates = workload.updates(spec.arrivals)
@@ -148,6 +183,8 @@ def run_shard(
     )
     processed_here = 0
     poisonings = 0
+    resume_seq = -1                    # skip source updates <= this
+    checkpoint_seq = -1                # arrivals <= this already counted
     # Per-shard poisoning point: the serial harness poisons after N
     # processed updates; a shard sees roughly 1/n of them.
     poison_after = (
@@ -156,15 +193,21 @@ def run_shard(
         else None
     )
 
-    def record(update, outputs) -> None:
+    def record(update_seq: int, outputs) -> None:
         nonlocal processed_here
         processed_here += 1
         if spec.output_mode == "deltas":
             for index, delta in enumerate(outputs):
-                deltas.append((update.seq, index, delta))
+                deltas.append((update_seq, index, delta))
         elif canonical is not None:
             for delta in outputs:
                 canonical[canonical_delta(delta)] += 1
+        if progress is not None:
+            progress(processed_here)
+        if kill_after is not None and processed_here >= kill_after:
+            # Crash injection: die the way a real fault would — no
+            # flush, no atexit, losing every un-fsynced WAL byte.
+            os._exit(KILL_EXIT_CODE)
 
     def maybe_poison() -> None:
         nonlocal poisonings
@@ -176,6 +219,41 @@ def run_shard(
         ):
             poisonings = 1
 
+    def runner_state() -> dict:
+        """Shard bookkeeping a checkpoint must carry so a restart's
+        ShardResult is complete, not just post-restore."""
+        return {
+            "deltas": list(deltas),
+            "canonical": dict(canonical) if canonical is not None else None,
+            "processed_here": processed_here,
+            "arrivals_seen": arrivals_seen,
+            "poisonings": poisonings,
+            "warmup_done": start_updates is not None,
+            "start_updates": start_updates if start_updates else 0,
+            "start_time_us": start_time_us,
+        }
+
+    if restored is not None:
+        state = restored.runner_state or {}
+        deltas = list(state.get("deltas", ()))
+        if canonical is not None and state.get("canonical"):
+            canonical.update(state["canonical"])
+        processed_here = state.get("processed_here", 0)
+        arrivals_seen = state.get("arrivals_seen", 0)
+        poisonings = state.get("poisonings", 0)
+        if state.get("warmup_done"):
+            start_updates = state.get("start_updates", 0)
+            start_time_us = state.get("start_time_us", 0.0)
+        checkpoint_seq = restored.checkpoint_seq
+        resume_seq = restored.last_seq
+        # The WAL suffix was already replayed through the plan inside
+        # restore(); fold its outputs into the shard's tally.
+        for seq, outputs in restored.replayed:
+            record(seq, outputs)
+        maybe_poison()
+        recorder = Recorder(plan, recovery)
+        recorder.mark_processed(len(restored.replayed))
+
     # This shard's routed updates, grouped into consecutive micro-batches
     # (spec.batch_size; 1 = the unbatched per-update path).
     pending: List = []
@@ -184,12 +262,23 @@ def run_shard(
         if not pending:
             return
         batch = DeltaBatch(pending)
+        last_seq = pending[-1].seq
         for update, outputs in zip(pending, plan.process_batch(batch)):
-            record(update, outputs)
+            record(update.seq, outputs)
         pending.clear()
         maybe_poison()
+        if recorder is not None:
+            recorder.mark_processed(len(batch))
+            recorder.maybe_checkpoint(last_seq, runner_state())
 
     for update in updates:
+        if update.seq <= resume_seq:
+            # Restored region: replayed (or checkpoint-covered) already.
+            # Arrivals at or before the checkpoint were counted in the
+            # restored tally; the replay span's still need counting.
+            if update.seq > checkpoint_seq and update.sign is Sign.INSERT:
+                arrivals_seen += 1
+            continue
         if start_updates is None and arrivals_seen >= warmup_arrivals:
             # Drain buffered pre-warmup updates so the measured span
             # starts at a batch boundary.
@@ -199,14 +288,21 @@ def run_shard(
         if update.sign is Sign.INSERT:
             arrivals_seen += 1
         if shard in scheme.shards_for(update):
+            if recorder is not None:
+                recorder.log(update)
             if spec.batch_size == 1:
-                record(update, plan.process(update))
+                record(update.seq, plan.process(update))
                 maybe_poison()
+                if recorder is not None:
+                    recorder.mark_processed()
+                    recorder.maybe_checkpoint(update.seq, runner_state())
             else:
                 pending.append(update)
                 if len(pending) >= spec.batch_size:
                     flush_pending()
     flush_pending()
+    if recorder is not None:
+        recorder.close()
 
     if start_updates is None:
         start_updates, start_time_us = 0, 0.0
@@ -245,10 +341,16 @@ def run_shard(
             for name, relation in _relations_of(plan).items()
         }
     summary = resilience.summary() if resilience else None
+    dead_letters = (
+        list(resilience.guard.dead_letters.entries())
+        if resilience is not None and resilience.guard is not None
+        else []
+    )
     return ShardResult(
         stats=stats,
         deltas=deltas,
         canonical=canonical,
         windows=windows,
         resilience_summary=summary,
+        dead_letters=dead_letters,
     )

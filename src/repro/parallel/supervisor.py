@@ -1,0 +1,401 @@
+"""Supervised parallel execution: heartbeats, restarts, circuit breaker.
+
+The plain process backend maps shards over a :class:`multiprocessing.
+Pool` and dies with its slowest worker. The :class:`Supervisor` replaces
+that with one monitored :class:`multiprocessing.Process` per shard:
+
+* each worker streams per-shard **heartbeats** (its processed-update
+  count) over a pipe; a worker that stops beating for
+  ``heartbeat_timeout_s`` is declared hung and killed;
+* a dead or hung worker is **restarted with bounded exponential
+  backoff** (``min(backoff_max_s, backoff_base_s * 2**(n-1))``); with a
+  per-shard :class:`~repro.recovery.manager.RecoveryConfig` the restart
+  *resumes from the shard's last checkpoint* — :func:`run_shard`'s
+  restore path — instead of recomputing from scratch;
+* after ``max_restarts`` failed restarts the shard trips a **circuit
+  breaker**: the supervisor stops burning processes and runs that shard
+  serially in-parent (still resuming from its checkpoint), so a
+  poisoned shard degrades the run instead of hanging it.
+
+Deliberate crash injection for tests and the chaos CLI is a
+:class:`WorkerCrash`: kill shard ``shard`` after ``after_updates``
+processed updates, for the first ``attempts`` spawn attempts. Because a
+restart resumes deterministic work, the merged output of a crashed-and-
+recovered run is identical to a clean sharded run — the property
+``tests/test_supervisor.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, ParallelError
+from repro.obs.decisions import WORKER_FALLBACK, WORKER_RESTART, DecisionLog
+from repro.parallel.engine import ParallelRun, count_source_updates
+from repro.parallel.partitioner import scheme_for_workload
+from repro.parallel.shard import ShardResult, run_shard
+from repro.parallel.spec import ExperimentSpec
+from repro.parallel.stats import StatsMerger
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Heartbeat cadence, hang detection, and restart policy."""
+
+    heartbeat_every_updates: int = 500   # worker -> parent cadence
+    heartbeat_timeout_s: float = 30.0    # silence => declared hung
+    max_restarts: int = 3                # per shard, then circuit-break
+    backoff_base_s: float = 0.05         # first restart delay
+    backoff_max_s: float = 2.0           # exponential backoff ceiling
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_every_updates < 1:
+            raise ConfigError(
+                "supervision heartbeat_every_updates must be >= 1, got "
+                f"{self.heartbeat_every_updates}"
+            )
+        if self.heartbeat_timeout_s <= 0:
+            raise ConfigError(
+                "supervision heartbeat_timeout_s must be positive, got "
+                f"{self.heartbeat_timeout_s}"
+            )
+        if self.max_restarts < 0:
+            raise ConfigError(
+                "supervision max_restarts must be >= 0, got "
+                f"{self.max_restarts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigError(
+                "supervision backoff_base_s/backoff_max_s must be >= 0"
+            )
+
+    def backoff_s(self, restart: int) -> float:
+        """Delay before restart number ``restart`` (1-based)."""
+        return min(
+            self.backoff_max_s,
+            self.backoff_base_s * (2 ** max(0, restart - 1)),
+        )
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Deterministic crash injection for one shard's worker."""
+
+    shard: int
+    after_updates: int     # processed-update count the worker dies at
+    attempts: int = 1      # spawn attempts that carry the kill
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ConfigError(f"crash shard must be >= 0, got {self.shard}")
+        if self.after_updates < 1:
+            raise ConfigError(
+                "crash after_updates must be >= 1, got "
+                f"{self.after_updates}"
+            )
+        if self.attempts < 1:
+            raise ConfigError(
+                f"crash attempts must be >= 1, got {self.attempts}"
+            )
+
+
+@dataclass
+class SupervisedRun:
+    """A merged sharded run plus its supervision history."""
+
+    run: ParallelRun
+    restarts: Dict[int, int] = field(default_factory=dict)  # shard -> count
+    fallbacks: List[int] = field(default_factory=list)      # circuit-broken
+    decisions: List[Dict[str, object]] = field(default_factory=list)
+
+    # Delegate the merge API so a SupervisedRun drops in anywhere a
+    # ParallelRun does (Session.run, the chaos harness, tests).
+    @property
+    def stats(self):
+        return self.run.stats
+
+    @property
+    def results(self) -> List[ShardResult]:
+        return self.run.results
+
+    @property
+    def scheme(self):
+        return self.run.scheme
+
+    def merged_deltas(self):
+        return self.run.merged_deltas()
+
+    def merged_canonical(self):
+        return self.run.merged_canonical()
+
+    def merged_windows(self):
+        return self.run.merged_windows()
+
+    def merged_resilience_summary(self):
+        return self.run.merged_resilience_summary()
+
+    def merged_dead_letters(self):
+        return self.run.merged_dead_letters()
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(self.restarts.values())
+
+
+def _supervised_worker(
+    conn, spec, shard, shard_count, recovery, kill_after, heartbeat_every
+) -> None:
+    """Worker entry point: run the shard, streaming heartbeats back."""
+
+    def progress(processed: int) -> None:
+        if processed % heartbeat_every == 0:
+            try:
+                conn.send(("hb", processed))
+            except (BrokenPipeError, OSError):  # parent gone; keep working
+                pass
+
+    try:
+        result = run_shard(
+            spec,
+            shard,
+            shard_count,
+            recovery=recovery,
+            progress=progress,
+            kill_after=kill_after,
+        )
+        conn.send(("ok", result))
+    except Exception as error:  # surfaced to the parent as a failure
+        try:
+            conn.send(("err", f"{type(error).__name__}: {error}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class _ShardState:
+    """Parent-side bookkeeping for one supervised shard."""
+
+    __slots__ = (
+        "shard", "process", "conn", "spawns", "restarts", "result",
+        "failure", "last_beat", "next_spawn_at", "fallback",
+    )
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self.process = None
+        self.conn = None
+        self.spawns = 0            # total worker processes started
+        self.restarts = 0          # spawns beyond the first
+        self.result: Optional[ShardResult] = None
+        self.failure: Optional[str] = None
+        self.last_beat = 0.0
+        self.next_spawn_at = 0.0
+        self.fallback = False
+
+
+class Supervisor:
+    """Runs an experiment sharded under restartable worker processes."""
+
+    def __init__(
+        self,
+        supervision: Optional[SupervisionConfig] = None,
+        recovery=None,
+    ):
+        self.supervision = (
+            supervision if supervision is not None else SupervisionConfig()
+        )
+        # A run-level RecoveryConfig; each shard journals under
+        # ``<wal_dir>/shard-<i>``. None disables durable restarts (a
+        # restarted shard recomputes from scratch — still correct, the
+        # work is deterministic, just slower).
+        self.recovery = recovery
+        self.decisions = DecisionLog()
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _shard_recovery(self, shard: int):
+        if self.recovery is None:
+            return None
+        return self.recovery.for_shard(shard)
+
+    def _spawn(self, spec, state: _ShardState, shards: int, crash) -> None:
+        import multiprocessing
+
+        state.spawns += 1
+        kill_after = None
+        if crash is not None and state.spawns <= crash.attempts:
+            kill_after = crash.after_updates
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+        process = multiprocessing.Process(
+            target=_supervised_worker,
+            args=(
+                child_conn,
+                spec,
+                state.shard,
+                shards,
+                self._shard_recovery(state.shard),
+                kill_after,
+                self.supervision.heartbeat_every_updates,
+            ),
+        )
+        process.daemon = True
+        process.start()
+        child_conn.close()
+        state.process = process
+        state.conn = parent_conn
+        state.last_beat = time.monotonic()
+
+    def _reap(self, state: _ShardState) -> None:
+        if state.conn is not None:
+            state.conn.close()
+            state.conn = None
+        if state.process is not None:
+            state.process.join(timeout=5.0)
+            state.process = None
+
+    def _drain(self, state: _ShardState) -> None:
+        """Pull every queued message off one shard's pipe."""
+        while state.conn is not None and state.conn.poll(0):
+            try:
+                kind, value = state.conn.recv()
+            except (EOFError, OSError):
+                return
+            if kind == "hb":
+                state.last_beat = time.monotonic()
+            elif kind == "ok":
+                state.result = value
+            elif kind == "err":
+                state.failure = value
+
+    def _on_failure(self, spec, state: _ShardState, shards, crash) -> None:
+        reason = state.failure or (
+            f"worker exited with code "
+            f"{state.process.exitcode if state.process else '?'}"
+        )
+        state.failure = None
+        self._reap(state)
+        if state.restarts >= self.supervision.max_restarts:
+            # Circuit breaker: stop burning processes; run the shard
+            # serially in-parent, resuming from its last checkpoint.
+            state.fallback = True
+            self.decisions.record(
+                time.monotonic() * 1e6,
+                WORKER_FALLBACK,
+                f"shard-{state.shard}",
+                reason=(
+                    f"{reason}; {state.restarts} restarts exhausted, "
+                    f"degrading to in-parent serial execution"
+                ),
+            )
+            state.result = run_shard(
+                spec,
+                state.shard,
+                shards,
+                recovery=self._shard_recovery(state.shard),
+            )
+            return
+        state.restarts += 1
+        delay = self.supervision.backoff_s(state.restarts)
+        state.next_spawn_at = time.monotonic() + delay
+        self.decisions.record(
+            time.monotonic() * 1e6,
+            WORKER_RESTART,
+            f"shard-{state.shard}",
+            reason=(
+                f"{reason}; restart {state.restarts}/"
+                f"{self.supervision.max_restarts} in {delay:.3f}s"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # the supervised run
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: ExperimentSpec,
+        shards: int,
+        crashes: Sequence[WorkerCrash] = (),
+    ) -> SupervisedRun:
+        """Fan out, supervise to completion, merge — never hang."""
+        if shards < 1:
+            raise ParallelError(f"shard count must be >= 1, got {shards}")
+        crash_by_shard = {crash.shard: crash for crash in crashes}
+        for crash in crashes:
+            if crash.shard >= shards:
+                raise ParallelError(
+                    f"crash targets shard {crash.shard}, run has {shards}"
+                )
+        scheme = scheme_for_workload(spec.workload_factory(), shards)
+        started = time.perf_counter()
+        states = [_ShardState(shard) for shard in range(shards)]
+        for state in states:
+            self._spawn(spec, state, shards, crash_by_shard.get(state.shard))
+
+        timeout = self.supervision.heartbeat_timeout_s
+        while any(state.result is None for state in states):
+            for state in states:
+                if state.result is not None:
+                    continue
+                if state.process is None:
+                    if time.monotonic() >= state.next_spawn_at:
+                        self._spawn(
+                            spec, state, shards,
+                            crash_by_shard.get(state.shard),
+                        )
+                    continue
+                self._drain(state)
+                if state.result is not None:
+                    self._reap(state)
+                    continue
+                if state.failure is not None:
+                    self._on_failure(
+                        spec, state, shards, crash_by_shard.get(state.shard)
+                    )
+                elif not state.process.is_alive():
+                    self._drain(state)  # the pipe may hold a final "ok"
+                    if state.result is None:
+                        self._on_failure(
+                            spec, state, shards,
+                            crash_by_shard.get(state.shard),
+                        )
+                    else:
+                        self._reap(state)
+                elif time.monotonic() - state.last_beat > timeout:
+                    state.process.terminate()
+                    state.failure = (
+                        f"no heartbeat for {timeout:.1f}s; worker killed"
+                    )
+                    self._on_failure(
+                        spec, state, shards, crash_by_shard.get(state.shard)
+                    )
+            time.sleep(0.005)
+
+        wall = time.perf_counter() - started
+        results = [state.result for state in states]
+        source_updates = count_source_updates(spec)
+        stats = StatsMerger().merge(
+            [result.stats for result in results],
+            source_updates=source_updates,
+        )
+        run = ParallelRun(
+            scheme=scheme,
+            backend="supervised",
+            results=results,
+            stats=stats,
+            source_updates=source_updates,
+            wall_seconds=wall,
+        )
+        return SupervisedRun(
+            run=run,
+            restarts={
+                state.shard: state.restarts
+                for state in states
+                if state.restarts
+            },
+            fallbacks=[state.shard for state in states if state.fallback],
+            decisions=[r.to_dict() for r in self.decisions.entries()],
+        )

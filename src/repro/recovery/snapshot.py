@@ -1,0 +1,142 @@
+"""Versioned, checksummed checkpoint snapshots and their on-disk store.
+
+A snapshot is a single file::
+
+    ACKPT <version> <payload-length> <sha256-hex>\\n
+    <pickled payload bytes>
+
+The header is ASCII so a truncated or garbled file fails fast; the
+SHA-256 digest covers the whole payload, so a checkpoint cut mid-write
+by a crash (or corrupted on disk) is detected and *skipped*, never
+loaded. The :class:`CheckpointStore` names files by the update seq they
+capture and always falls back past invalid files to the newest valid
+one — the recovery guarantee the torn-write tests pin down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import RecoveryError
+
+MAGIC = b"ACKPT"
+VERSION = 1
+
+_NAME = re.compile(r"^ckpt-(\d{12})\.snap$")
+
+
+def encode_snapshot(payload: object) -> bytes:
+    """Serialize one checkpoint payload into the container format."""
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(data).hexdigest()
+    header = b"%s %d %d %s\n" % (
+        MAGIC, VERSION, len(data), digest.encode("ascii"),
+    )
+    return header + data
+
+
+def decode_snapshot(data: bytes) -> object:
+    """Validate and deserialize one snapshot; RecoveryError if invalid."""
+    newline = data.find(b"\n")
+    if newline < 0:
+        raise RecoveryError("snapshot has no header line")
+    parts = data[:newline].split(b" ")
+    if len(parts) != 4 or parts[0] != MAGIC:
+        raise RecoveryError("snapshot header is malformed")
+    try:
+        version = int(parts[1])
+        length = int(parts[2])
+    except ValueError:
+        raise RecoveryError("snapshot header is malformed") from None
+    if version != VERSION:
+        raise RecoveryError(
+            f"snapshot version {version} is not supported (want {VERSION})"
+        )
+    payload = data[newline + 1:]
+    if len(payload) != length:
+        raise RecoveryError(
+            f"snapshot payload is {len(payload)} bytes, header says {length}"
+        )
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    if digest != parts[3]:
+        raise RecoveryError("snapshot checksum mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        raise RecoveryError(f"snapshot payload unpicklable: {error}") from None
+
+
+class CheckpointStore:
+    """Checkpoint files in one directory, named by captured update seq."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+
+    def path_for(self, seq: int) -> str:
+        return os.path.join(self.directory, f"ckpt-{seq:012d}.snap")
+
+    def write(self, seq: int, payload: object) -> str:
+        """Persist one checkpoint; returns its path.
+
+        Written straight to the final name (no tempfile + rename) so a
+        kill mid-write leaves exactly the partial file a real crash
+        would — which recovery must, and does, skip via the checksum.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(seq)
+        with open(path, "wb") as handle:
+            handle.write(encode_snapshot(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        return path
+
+    def seqs(self) -> List[int]:
+        """Captured seqs of every checkpoint file present, ascending."""
+        if not os.path.isdir(self.directory):
+            return []
+        found = []
+        for name in os.listdir(self.directory):
+            match = _NAME.match(name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def load(self, seq: int) -> object:
+        """Decode the checkpoint for ``seq`` (RecoveryError if invalid)."""
+        path = self.path_for(seq)
+        try:
+            with open(path, "rb") as handle:
+                return decode_snapshot(handle.read())
+        except OSError as error:
+            raise RecoveryError(f"cannot read {path}: {error}") from None
+
+    def latest_valid(self) -> Tuple[int, Optional[object], int]:
+        """``(seq, payload, skipped)`` of the newest loadable checkpoint.
+
+        Scans newest-first, skipping every corrupt/partial file; returns
+        ``(0, None, skipped)`` when no checkpoint survives.
+        """
+        skipped = 0
+        for seq in reversed(self.seqs()):
+            try:
+                return seq, self.load(seq), skipped
+            except RecoveryError:
+                skipped += 1
+        return 0, None, skipped
+
+    def prune(self, keep: int) -> None:
+        """Drop all but the newest ``keep`` checkpoint files."""
+        if keep < 1:
+            return
+        for seq in self.seqs()[:-keep]:
+            try:
+                os.remove(self.path_for(seq))
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CheckpointStore({self.directory!r}, seqs={self.seqs()})"

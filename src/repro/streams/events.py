@@ -11,6 +11,7 @@ from __future__ import annotations
 from enum import IntEnum
 from typing import Iterable, Iterator, NamedTuple, Tuple
 
+from repro.errors import ConfigError
 from repro.streams.tuples import Row
 
 # Size of one input tuple in bytes, as fixed by the paper's experimental
@@ -71,7 +72,9 @@ class DeltaBatch:
     def __init__(self, updates: Iterable[Update]):
         self.updates: Tuple[Update, ...] = tuple(updates)
         if not self.updates:
-            raise ValueError("a DeltaBatch must contain at least one update")
+            raise ConfigError(
+                "DeltaBatch.updates must contain at least one update"
+            )
 
     def __len__(self) -> int:
         return len(self.updates)
@@ -103,7 +106,7 @@ def batched(updates: Iterable[Update], size: int) -> Iterator[DeltaBatch]:
     singleton batch per update (per-update execution semantics).
     """
     if size < 1:
-        raise ValueError(f"batch size must be >= 1, got {size}")
+        raise ConfigError(f"batch size must be >= 1, got {size}")
     chunk: list = []
     for update in updates:
         chunk.append(update)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional
 
+from repro.errors import ConfigError
 from repro.streams.events import Sign, Update
 from repro.streams.tuples import Row, RowFactory
 
@@ -28,7 +29,7 @@ class CountWindow:
         rows: Optional[RowFactory] = None,
     ):
         if size < 1:
-            raise ValueError("window size must be >= 1")
+            raise ConfigError(f"window size must be >= 1, got {size}")
         self.relation = relation
         self.size = size
         self._rows = rows if rows is not None else RowFactory()
@@ -75,7 +76,7 @@ class TimeWindow:
         rows: Optional[RowFactory] = None,
     ):
         if span <= 0:
-            raise ValueError("window span must be positive")
+            raise ConfigError(f"window span must be positive, got {span}")
         self.relation = relation
         self.span = span
         self._rows = rows if rows is not None else RowFactory()

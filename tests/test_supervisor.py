@@ -1,0 +1,135 @@
+"""Supervised parallel execution: restarts, backoff, circuit breaker.
+
+The supervisor's contract is that worker failure is invisible in the
+output: a crashed shard worker is restarted from its checkpoint (or,
+past ``max_restarts``, re-run serially in the parent) and the merged
+result is identical to an undisturbed sharded run.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.api import EngineConfig, Session
+from repro.errors import ConfigError
+from repro.obs.decisions import WORKER_FALLBACK, WORKER_RESTART
+from repro.parallel.engine import ParallelConfig, run_sharded
+from repro.parallel.supervisor import (
+    SupervisionConfig,
+    Supervisor,
+    SupervisedRun,
+    WorkerCrash,
+)
+from repro.streams.workloads import fig9_workload
+
+FACTORY = partial(fig9_workload, 3, window=24)
+ARRIVALS = 600
+SHARDS = 2
+
+FAST_SUPERVISION = SupervisionConfig(
+    heartbeat_every_updates=50,
+    backoff_base_s=0.01,
+    backoff_max_s=0.05,
+)
+
+
+def _spec():
+    return Session.adaptive(FACTORY, EngineConfig(shards=SHARDS)).experiment(
+        ARRIVALS, output_mode="canonical", collect_windows=True
+    )
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return run_sharded(_spec(), ParallelConfig(shards=SHARDS, backend="serial"))
+
+
+def test_no_crashes_matches_plain_sharded(clean):
+    run = Supervisor(FAST_SUPERVISION).run(_spec(), SHARDS)
+    assert isinstance(run, SupervisedRun)
+    assert run.total_restarts == 0 and run.fallbacks == []
+    assert run.merged_canonical() == clean.merged_canonical()
+    assert run.merged_windows() == clean.merged_windows()
+
+
+def test_crashed_worker_restarts_and_output_is_identical(tmp_path, clean):
+    recovery = EngineConfig(
+        shards=SHARDS, wal_dir=str(tmp_path), checkpoint_interval=100
+    ).recovery()
+    run = Supervisor(FAST_SUPERVISION, recovery=recovery).run(
+        _spec(), SHARDS, crashes=[WorkerCrash(shard=1, after_updates=80)]
+    )
+    assert run.restarts == {1: 1}
+    assert run.fallbacks == []
+    assert [d["action"] for d in run.decisions] == [WORKER_RESTART]
+    assert run.merged_canonical() == clean.merged_canonical()
+    assert run.merged_windows() == clean.merged_windows()
+
+
+def test_repeated_crashes_trip_circuit_breaker_to_serial(tmp_path, clean):
+    supervision = SupervisionConfig(
+        heartbeat_every_updates=50,
+        max_restarts=2,
+        backoff_base_s=0.01,
+        backoff_max_s=0.05,
+    )
+    recovery = EngineConfig(
+        shards=SHARDS, wal_dir=str(tmp_path), checkpoint_interval=100
+    ).recovery()
+    run = Supervisor(supervision, recovery=recovery).run(
+        _spec(),
+        SHARDS,
+        crashes=[WorkerCrash(shard=0, after_updates=60, attempts=99)],
+    )
+    assert run.restarts == {0: 2}
+    assert run.fallbacks == [0]
+    assert [d["action"] for d in run.decisions] == [
+        WORKER_RESTART,
+        WORKER_RESTART,
+        WORKER_FALLBACK,
+    ]
+    assert run.merged_canonical() == clean.merged_canonical()
+    assert run.merged_windows() == clean.merged_windows()
+
+
+def test_backoff_is_bounded_exponential():
+    config = SupervisionConfig(backoff_base_s=0.05, backoff_max_s=0.4)
+    assert config.backoff_s(1) == pytest.approx(0.05)
+    assert config.backoff_s(2) == pytest.approx(0.10)
+    assert config.backoff_s(3) == pytest.approx(0.20)
+    assert config.backoff_s(4) == pytest.approx(0.40)
+    assert config.backoff_s(10) == pytest.approx(0.40)  # capped
+
+
+@pytest.mark.parametrize(
+    "kwargs, needle",
+    [
+        (dict(heartbeat_every_updates=0), "heartbeat_every_updates"),
+        (dict(heartbeat_timeout_s=0), "heartbeat_timeout_s"),
+        (dict(max_restarts=-1), "max_restarts"),
+        (dict(backoff_base_s=-0.1), "backoff_base_s"),
+        (dict(backoff_max_s=-1.0), "backoff_max_s"),
+    ],
+)
+def test_supervision_config_validation(kwargs, needle):
+    with pytest.raises(ConfigError) as err:
+        SupervisionConfig(**kwargs)
+    assert needle in str(err.value)
+
+
+def test_worker_crash_validation():
+    with pytest.raises(ConfigError):
+        WorkerCrash(shard=-1, after_updates=5)
+    with pytest.raises(ConfigError):
+        WorkerCrash(shard=0, after_updates=0)
+    with pytest.raises(ConfigError):
+        WorkerCrash(shard=0, after_updates=5, attempts=0)
+
+
+def test_session_facade_requires_supervision_for_crashes():
+    session = Session.adaptive(FACTORY, EngineConfig(shards=SHARDS))
+    with pytest.raises(ConfigError):
+        session.run_sharded(
+            arrivals=ARRIVALS,
+            crashes=[WorkerCrash(shard=0, after_updates=10)],
+        )
