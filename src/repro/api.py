@@ -83,6 +83,13 @@ class EngineConfig:
     parallel_backend: str = "serial"
     obs_trace_jsonl: Optional[str] = None    # structured trace sink
     obs_metrics_prom: Optional[str] = None   # Prometheus metrics sink
+    # Wall-clock span profiling: ``profile`` attaches a SpanProfiler to
+    # the session's runs (dual-clock spans, folded stacks); ``obs_flame``
+    # additionally writes the folded-stack file there after each run.
+    # Sharded runs collect per-worker telemetry and merge it under
+    # ``shard`` labels in the prom/flame sinks.
+    profile: bool = False
+    obs_flame: Optional[str] = None          # folded-stack flamegraph sink
     tuning: Optional[ACachingConfig] = None  # full adaptive tunables
     # Durability (repro.recovery): ``wal_dir`` is the master switch —
     # when set, serial runs journal every update to a WAL and checkpoint
@@ -266,6 +273,9 @@ class Session:
             self.workload = workload
         self._plan = None
         self._obs = None
+        # Merged cross-shard telemetry of the last sharded run (set by
+        # run_sharded when the spec collected observability).
+        self.last_telemetry = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -294,12 +304,23 @@ class Session:
             self._plan = self._build_plan()
         return self._plan
 
+    def _wants_profiler(self) -> bool:
+        return self.config.profile or bool(self.config.obs_flame)
+
+    def _wants_obs(self) -> bool:
+        return bool(
+            self.config.obs_trace_jsonl
+            or self.config.obs_metrics_prom
+            or self._wants_profiler()
+        )
+
     def _build_plan(self):
-        sinks = self.config.obs_trace_jsonl or self.config.obs_metrics_prom
-        if sinks:
+        if self._wants_obs():
             from repro import obs
 
-            self._obs = obs.Observability.tracing()
+            self._obs = obs.Observability.tracing(
+                profile=self._wants_profiler()
+            )
             with obs.session(self._obs):
                 return self._construct()
         return self._construct()
@@ -357,14 +378,20 @@ class Session:
             if arrivals is None:
                 raise PlanError("run() needs either updates or arrivals")
             updates = self.workload.updates(arrivals)
-        if self.config.wal_dir is not None:
-            outputs = self._run_recorded(updates)
+        plan = self.plan
+        profiler = self._obs.profiler if self._obs is not None else None
+        if profiler is not None and profiler.enabled:
+            with profiler.span("run", clock=plan.ctx.clock):
+                outputs = self._run_serial(updates)
         else:
-            outputs = self.plan.run(
-                updates, batch_size=self.config.batch_size
-            )
+            outputs = self._run_serial(updates)
         self._export_obs()
         return outputs
+
+    def _run_serial(self, updates: Iterable[Update]) -> List[OutputDelta]:
+        if self.config.wal_dir is not None:
+            return self._run_recorded(updates)
+        return self.plan.run(updates, batch_size=self.config.batch_size)
 
     def _run_recorded(
         self, updates: Iterable[Update], skip_through: int = -1
@@ -524,10 +551,14 @@ class Session:
         ``measurement`` kwargs (``warmup_fraction``, ``fault_spec``,
         ``output_mode``, ``collect_windows``, ...) pass straight through;
         the engine, batch size, and workload factory come from the
-        session.
+        session. When the config carries obs sinks or profiling, workers
+        default to collecting telemetry (``collect_obs``/``profile``) so
+        sharded runs feed the same sinks serial runs do.
         """
         from repro.parallel.spec import ExperimentSpec
 
+        measurement.setdefault("collect_obs", self._wants_obs())
+        measurement.setdefault("profile", self._wants_profiler())
         return ExperimentSpec(
             workload_factory=self._require_factory(),
             arrivals=arrivals,
@@ -556,14 +587,19 @@ class Session:
         if self.config.supervision is not None:
             from repro.parallel.supervisor import Supervisor
 
-            return Supervisor(
+            run = Supervisor(
                 self.config.supervision, recovery=self.config.recovery()
             ).run(spec, self.config.shards, crashes=crashes)
-        if crashes:
-            raise ConfigError(
-                "crashes requires supervision set on the EngineConfig"
-            )
-        return run_sharded(spec, self.config.parallel())
+        else:
+            if crashes:
+                raise ConfigError(
+                    "crashes requires supervision set on the EngineConfig"
+                )
+            run = run_sharded(spec, self.config.parallel())
+        if spec.collect_obs or spec.profile:
+            self.last_telemetry = run.merged_telemetry()
+            self._export_merged_obs(self.last_telemetry)
+        return run
 
     # ------------------------------------------------------------------
     # introspection / observability
@@ -580,6 +616,16 @@ class Session:
             return tuple(used())
         fixed = getattr(self.plan, "used", None)
         return tuple(fixed) if fixed else ()
+
+    def profile_snapshot(self):
+        """The serial profiler's state, or None when not profiling.
+
+        For sharded runs use ``last_telemetry.profile`` instead (the
+        merged, shard-prefixed snapshot).
+        """
+        if self._obs is None or not self._obs.profiler.enabled:
+            return None
+        return self._obs.profiler.snapshot()
 
     def _export_obs(self) -> None:
         """Flush configured obs sinks (idempotent; overwrites)."""
@@ -602,6 +648,34 @@ class Session:
                 self.config.obs_metrics_prom,
                 registry_to_prometheus(self._obs.registry, metrics),
             )
+        if self.config.obs_flame and self._obs.profiler.enabled:
+            from repro.obs.profile import write_folded
+
+            write_folded(
+                self.config.obs_flame, self._obs.profiler.snapshot()
+            )
+
+    def _export_merged_obs(self, telemetry) -> None:
+        """Flush a sharded run's merged telemetry to the obs sinks."""
+        import json
+
+        from repro.obs.export import write_jsonl
+        from repro.obs.profile import write_folded
+
+        if self.config.obs_trace_jsonl:
+            write_jsonl(
+                self.config.obs_trace_jsonl,
+                "\n".join(
+                    json.dumps(record, sort_keys=True, default=str)
+                    for record in telemetry.chronology()
+                ),
+            )
+        if self.config.obs_metrics_prom:
+            write_jsonl(
+                self.config.obs_metrics_prom, telemetry.to_prometheus()
+            )
+        if self.config.obs_flame and telemetry.profile is not None:
+            write_folded(self.config.obs_flame, telemetry.profile)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

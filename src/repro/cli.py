@@ -13,6 +13,9 @@
     python -m repro bench --shards 1,2,4 --out BENCH_parallel.json
     python -m repro bench --batch-sizes 1,4,16,64
     python -m repro bench --recovery --fsync-every 64
+    python -m repro bench --wall --out BENCH_wall.json
+    python -m repro profile fig9-6way --arrivals 2000 --flame f.txt
+    python -m repro profile fig9-6way --shards 4 --prometheus m.prom
 
 Arrival counts trade precision for time; the defaults match the
 benchmark suite's.
@@ -32,6 +35,14 @@ Observability: ``trace`` runs one experiment with the structured tracer
 enabled and prints an event summary; ``--obs-jsonl PATH`` on ``figure``,
 ``spectrum``, and ``demo`` writes the merged trace + decision chronology
 of the run as JSONL (see docs/observability.md).
+
+Profiling: ``profile EXP`` runs one experiment with the dual-clock span
+profiler on and prints a wall-time hotspot table; ``--flame`` writes
+folded stacks for flamegraphs, ``--pstats`` a pstats-loadable dump, and
+``--shards N`` merges per-worker telemetry under ``shard`` labels.
+``bench --wall`` measures serial vs batched vs sharded wall throughput
+plus the profiler's own overhead and writes the BENCH_wall.json baseline
+that ``benchmarks/check_wall_regression.py`` gates against.
 """
 
 from __future__ import annotations
@@ -59,6 +70,15 @@ FIGURES: Dict[str, str] = {
     "fig10": "varying join cost (nested-loop |S| sweep)",
     "fig12": "adaptivity to a 20x rate burst on ∆R",
     "fig13": "adaptivity to the available memory (point D8)",
+}
+
+#: Workloads ``profile`` can span-profile: the demo chain plus the
+#: fig9 star at three widths (the bench workload family).
+PROFILE_EXPERIMENTS: Dict[str, int] = {
+    "demo": 0,          # three-way chain; 0 = not a star width
+    "fig9-3way": 3,
+    "fig9-6way": 6,
+    "fig9-9way": 9,
 }
 
 
@@ -173,6 +193,11 @@ def cmd_list(_args: argparse.Namespace) -> str:
     lines.append("  chaos EXP --crash kill a journaled run, recover, verify")
     lines.append("  recover DIR       restore a crashed --crash journal")
     lines.append("  bench             serial-vs-sharded throughput benchmark")
+    lines.append("  bench --wall      wall-clock + profiler-overhead benchmark")
+    lines.append(
+        "  profile EXP       span-profile one experiment "
+        f"({', '.join(sorted(PROFILE_EXPERIMENTS))})"
+    )
     return "\n".join(lines)
 
 
@@ -396,28 +421,8 @@ def _run_recovery_bench_cmd(args: argparse.Namespace) -> str:
     return body
 
 
-def cmd_bench(args: argparse.Namespace) -> str:
-    """``bench``: serial-vs-sharded throughput on the 6-way workload.
-
-    With ``--batch-size``/``--batch-sizes`` it instead measures
-    per-tuple vs micro-batched execution (``BENCH_batching.json``); with
-    ``--recovery`` it measures WAL + checkpoint overhead against the
-    unjournaled baseline (``BENCH_recovery.json``).
-    """
-    from repro.parallel.bench import (
-        DEFAULT_ARRIVALS,
-        DEFAULT_OUT,
-        bench_to_json,
-        format_bench_report,
-        run_parallel_bench,
-    )
-
-    _check_arrivals(args)
-    if args.recovery:
-        return _run_recovery_bench_cmd(args)
-    batch_sizes = _parse_batch_sizes(args)
-    if batch_sizes is not None:
-        return _run_batching_cmd(args, batch_sizes)
+def _parse_shard_counts(args: argparse.Namespace) -> tuple:
+    """The shard counts a ``bench`` invocation asked for."""
     try:
         shard_counts = tuple(
             int(part) for part in args.shards.split(",") if part.strip()
@@ -432,11 +437,72 @@ def cmd_bench(args: argparse.Namespace) -> str:
     for count in shard_counts:
         if count < 1:
             raise CLIError(f"shard counts must be >= 1, got {count}")
+    return shard_counts
+
+
+def _run_wall_bench_cmd(args: argparse.Namespace) -> str:
+    """The wall-clock + profiler-overhead variant of ``bench`` (--wall)."""
+    from repro.bench.wall import (
+        WALL_DEFAULT_ARRIVALS,
+        WALL_DEFAULT_OUT,
+        WALL_DEFAULT_REPEATS,
+        format_wall_report,
+        run_wall_bench,
+        wall_to_json,
+    )
+
+    out = args.out if args.out is not None else WALL_DEFAULT_OUT
+    _ensure_writable(out)
+    repeats = args.repeats if args.repeats else WALL_DEFAULT_REPEATS
+    if repeats < 1:
+        raise CLIError(f"--repeats must be >= 1, got {repeats}")
+    report = run_wall_bench(
+        arrivals=args.arrivals if args.arrivals else WALL_DEFAULT_ARRIVALS,
+        repeats=repeats,
+        # The sharded point runs at the largest requested shard count.
+        shards=max(_parse_shard_counts(args)),
+        backend=args.backend,
+    )
+    body = format_wall_report(report)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(wall_to_json(report))
+        body += f"\nwrote wall baseline to {out}"
+    return body
+
+
+def cmd_bench(args: argparse.Namespace) -> str:
+    """``bench``: serial-vs-sharded throughput on the 6-way workload.
+
+    With ``--batch-size``/``--batch-sizes`` it instead measures
+    per-tuple vs micro-batched execution (``BENCH_batching.json``); with
+    ``--recovery`` it measures WAL + checkpoint overhead against the
+    unjournaled baseline (``BENCH_recovery.json``); with ``--wall`` it
+    measures real wall throughput and the span profiler's overhead
+    (``BENCH_wall.json``).
+    """
+    from repro.parallel.bench import (
+        DEFAULT_ARRIVALS,
+        DEFAULT_OUT,
+        bench_to_json,
+        format_bench_report,
+        run_parallel_bench,
+    )
+
+    _check_arrivals(args)
     if args.backend not in BACKENDS:
         raise CLIError(
             f"--backend must be one of {list(BACKENDS)}, "
             f"got {args.backend!r}"
         )
+    if args.recovery:
+        return _run_recovery_bench_cmd(args)
+    if args.wall:
+        return _run_wall_bench_cmd(args)
+    batch_sizes = _parse_batch_sizes(args)
+    if batch_sizes is not None:
+        return _run_batching_cmd(args, batch_sizes)
+    shard_counts = _parse_shard_counts(args)
     out = args.out if args.out is not None else DEFAULT_OUT
     _ensure_writable(out)
     report = run_parallel_bench(
@@ -450,6 +516,157 @@ def cmd_bench(args: argparse.Namespace) -> str:
             handle.write(bench_to_json(report))
         body += f"\nwrote bench baseline to {out}"
     return body
+
+
+def _profile_workload(name: str):
+    """The workload factory behind one ``profile`` experiment name."""
+    from functools import partial
+
+    from repro.streams.workloads import fig9_workload, three_way_chain
+
+    if name not in PROFILE_EXPERIMENTS:
+        raise CLIError(
+            f"unknown profile experiment {name!r}; "
+            f"available: {sorted(PROFILE_EXPERIMENTS)}"
+        )
+    relations = PROFILE_EXPERIMENTS[name]
+    if relations:
+        return partial(fig9_workload, relations, window=48)
+    return partial(
+        three_way_chain, t_multiplicity=5.0, window_r=96, window_s=96
+    )
+
+
+def _profile_tuning():
+    """Adaptive tunables for ``profile`` runs.
+
+    Faster-adapting than the bench's: a sharded run hands each worker a
+    stream ``shards``× thinner, and under the bench intervals the
+    per-shard statistics profiler starves before the re-optimizer ever
+    installs a cache (the 4-shard point of BENCH_parallel.json sits at
+    hit rate 0.0 for exactly this reason). Shorter profiling/re-opt
+    intervals keep caches engaging at profiling scales so the per-shard
+    probe/hit counters show the imbalance instead of a wall of zeros.
+    """
+    from repro.core.acaching import ACachingConfig
+    from repro.core.profiler import ProfilerConfig
+    from repro.core.reoptimizer import ReoptimizerConfig
+    from repro.ordering.agreedy import OrderingConfig
+
+    return ACachingConfig(
+        profiler=ProfilerConfig(
+            window=6, profile_probability=0.3, bloom_window_tuples=256
+        ),
+        reoptimizer=ReoptimizerConfig(
+            reopt_interval_updates=300,
+            profiling_phase_updates=100,
+            global_quota=6,
+        ),
+        ordering=OrderingConfig(interval_updates=400),
+        adaptive_ordering=True,
+    )
+
+
+def _hotspot_lines(snapshot) -> List[str]:
+    """The span hotspot table ``profile`` prints."""
+    from repro.bench.wall import hotspot_table
+
+    lines = [
+        f"{'span':<24} | {'count':>7} | {'self ms':>8} | "
+        f"{'p50 us':>7} | {'p95 us':>8} | {'p99 us':>8} | {'virt ms':>8}"
+    ]
+    for row in hotspot_table(snapshot):
+        lines.append(
+            f"{row['span']:<24} | {row['count']:>7,} | "
+            f"{row['self_ms']:>8.1f} | {row['p50_us']:>7.1f} | "
+            f"{row['p95_us']:>8.1f} | {row['p99_us']:>8.1f} | "
+            f"{row['virtual_ms']:>8.1f}"
+        )
+    return lines
+
+
+def cmd_profile(args: argparse.Namespace) -> str:
+    """``profile EXP``: run one experiment under the span profiler.
+
+    Serial runs report where the wall time went (hotspot table, folded
+    stacks, span coverage of the measured wall time); ``--shards N``
+    runs partitioned, merges each worker's telemetry under ``shard``
+    labels, and reports per-shard cache behaviour — the view that makes
+    profiler starvation on a hot shard observable.
+    """
+    import time as _time
+
+    from repro.api import EngineConfig, Session
+    from repro.obs.profile import write_pstats
+
+    _check_arrivals(args)
+    parallel = _parallel_of(args)
+    if args.batch_size < 1:
+        raise CLIError(f"--batch-size must be >= 1, got {args.batch_size}")
+    for path in (args.flame, args.pstats, args.prometheus):
+        _ensure_writable(path)
+    factory = _profile_workload(args.experiment)
+    arrivals = args.arrivals if args.arrivals else 4_000
+    config = EngineConfig(
+        profile=True,
+        batch_size=args.batch_size,
+        shards=parallel.shards,
+        parallel_backend=parallel.backend,
+        tuning=_profile_tuning(),
+        obs_flame=args.flame,
+        obs_metrics_prom=args.prometheus,
+    )
+    session = Session.adaptive(factory, config)
+    lines: List[str] = []
+    if parallel.active:
+        run = session.run_sharded(arrivals=arrivals, output_mode="none")
+        snapshot = session.last_telemetry.profile
+        lines.append(
+            f"profiled {args.experiment} — {arrivals} arrivals, "
+            f"{parallel.shards} shards ({parallel.backend} backend), "
+            f"{run.wall_seconds:.2f}s wall"
+        )
+        lines.append(
+            f"{'shard':>5} | {'updates':>8} | {'outputs':>8} | "
+            f"{'probes':>8} | {'hits':>8} | {'hit %':>6} | {'virtual s':>9}"
+        )
+        for result in run.results:
+            stats = result.stats
+            rate = (
+                stats.cache_hits / stats.cache_probes
+                if stats.cache_probes
+                else 0.0
+            )
+            lines.append(
+                f"{stats.shard:>5} | {stats.updates_processed:>8,} | "
+                f"{stats.outputs_emitted:>8,} | {stats.cache_probes:>8,} | "
+                f"{stats.cache_hits:>8,} | {rate:>6.1%} | "
+                f"{stats.clock_us / 1e6:>9.3f}"
+            )
+    else:
+        session.plan  # build the engine before the wall timer starts
+        started = _time.perf_counter()
+        session.run(arrivals=arrivals)
+        wall = _time.perf_counter() - started
+        snapshot = session.profile_snapshot()
+        coverage = snapshot.root_self_ns("run") / (wall * 1e9)
+        lines.append(
+            f"profiled {args.experiment} — {arrivals} arrivals, "
+            f"{wall:.2f}s wall"
+        )
+        lines.append(
+            f"span coverage: run-rooted spans account for {coverage:.1%} "
+            f"of the measured wall time"
+        )
+    lines.extend(_hotspot_lines(snapshot))
+    if args.flame:
+        lines.append(f"wrote folded stacks to {args.flame}")
+    if args.prometheus:
+        lines.append(f"wrote Prometheus metrics to {args.prometheus}")
+    if args.pstats:
+        write_pstats(args.pstats, snapshot)
+        lines.append(f"wrote pstats profile to {args.pstats}")
+    return "\n".join(lines)
 
 
 TRACEABLE = tuple(sorted(FIGURES)) + ("demo",)
@@ -690,6 +907,16 @@ def build_parser() -> argparse.ArgumentParser:
              "baseline (writes BENCH_recovery.json)",
     )
     bench.add_argument(
+        "--wall", action="store_true",
+        help="measure real wall-clock throughput (serial vs batched vs "
+             "sharded) plus the span profiler's overhead "
+             "(writes BENCH_wall.json)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="with --wall: repeats per mode, median reported (default 3)",
+    )
+    bench.add_argument(
         "--fsync-every", type=int, default=None, metavar="N",
         help="with --recovery: WAL records per fsync batch (default 64)",
     )
@@ -704,6 +931,35 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_recovery.json with --recovery)",
     )
     bench.set_defaults(handler=cmd_bench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one experiment under the dual-clock span profiler",
+    )
+    # Name validated in the handler for the library's one-line error.
+    profile.add_argument("experiment", metavar="EXP")
+    profile.add_argument("--arrivals", type=int, default=None)
+    profile.add_argument(
+        "--batch-size", type=int, default=1, metavar="N",
+        help="drive the run in micro-batches of N updates (default 1)",
+    )
+    profile.add_argument(
+        "--flame", metavar="PATH", default=None,
+        help="write folded stacks here (flamegraph.pl / inferno input); "
+             "sharded runs prefix each stack with its shard",
+    )
+    profile.add_argument(
+        "--pstats", metavar="PATH", default=None,
+        help="write a pstats-loadable dump here "
+             "(python -m pstats PATH, or pstats.Stats(PATH))",
+    )
+    profile.add_argument(
+        "--prometheus", metavar="PATH", default=None,
+        help="write the metrics dump here (sharded runs label every "
+             "per-shard series shard=\"N\")",
+    )
+    add_parallel_flags(profile)
+    profile.set_defaults(handler=cmd_profile)
     return parser
 
 

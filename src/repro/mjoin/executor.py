@@ -134,7 +134,12 @@ class MJoinExecutor:
         if self.resilience is not None and not self.resilience.admit(update):
             return []
         obs = self.ctx.obs
+        prof = obs.profiler
         started_us = self.ctx.clock.now_us if obs.enabled else 0.0
+        if prof.enabled:
+            prof.begin(
+                "update:" + update.relation, self.ctx.clock.now_us
+            )
         pipeline = self.pipelines[update.relation]
         profile = False
         if self.profile_gate is not None:
@@ -163,6 +168,8 @@ class MJoinExecutor:
         self.ctx.clock.charge(cm.output_emit * len(composites))
         self.ctx.metrics.updates_processed += 1
         self.ctx.metrics.outputs_emitted += len(composites)
+        if prof.enabled:
+            prof.end(self.ctx.clock.now_us)
         if obs.enabled:
             now_us = self.ctx.clock.now_us
             obs.registry.histogram(
@@ -192,6 +199,9 @@ class MJoinExecutor:
         """
         if len(batch) == 1:
             return [self.process(batch[0])]
+        prof = self.ctx.obs.profiler
+        if prof.enabled:
+            prof.begin("batch", self.ctx.clock.now_us)
         installed = self.ctx.probe_memo is None
         if installed:
             self.ctx.probe_memo = BatchProbeMemo()
@@ -200,6 +210,8 @@ class MJoinExecutor:
         finally:
             if installed:
                 self.ctx.probe_memo = None
+            if prof.enabled:
+                prof.end(self.ctx.clock.now_us)
 
     def run(
         self, updates: Iterable[Update], batch_size: int = 1

@@ -34,6 +34,12 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional, Union
 
 from repro.obs.decisions import DecisionLog, DecisionRecord
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullSpanProfiler,
+    ProfileSnapshot,
+    SpanProfiler,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
@@ -44,13 +50,16 @@ class Observability:
 
     ``enabled`` gates everything with per-update cost (trace emission,
     per-operator histograms); the decision log stays live regardless
-    because decisions are rare and always worth keeping.
+    because decisions are rare and always worth keeping. ``profiler``
+    carries its own ``enabled`` flag (checked separately on hot paths)
+    so wall-clock span profiling can run with or without tracing.
     """
 
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: Union[Tracer, NullTracer] = NULL_TRACER
     decisions: DecisionLog = field(default_factory=DecisionLog)
     enabled: bool = False
+    profiler: Union[SpanProfiler, NullSpanProfiler] = NULL_PROFILER
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -62,13 +71,20 @@ class Observability:
         cls,
         capacity_per_kind: int = 4096,
         decision_capacity: int = 4096,
+        profile: bool = False,
     ) -> "Observability":
-        """A fully enabled session (live tracer, detailed metrics)."""
+        """A fully enabled session (live tracer, detailed metrics).
+
+        ``profile=True`` additionally attaches a live
+        :class:`~repro.obs.profile.SpanProfiler` recording dual-clock
+        spans into folded stacks and latency aggregates.
+        """
         return cls(
             registry=MetricsRegistry(),
             tracer=Tracer(capacity_per_kind=capacity_per_kind),
             decisions=DecisionLog(capacity=decision_capacity),
             enabled=True,
+            profiler=SpanProfiler() if profile else NULL_PROFILER,
         )
 
 
@@ -122,9 +138,13 @@ __all__ = [
     "DecisionLog",
     "DecisionRecord",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "NullSpanProfiler",
     "NullTracer",
     "Observability",
+    "ProfileSnapshot",
+    "SpanProfiler",
     "TraceEvent",
     "Tracer",
     "activate",

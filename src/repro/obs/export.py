@@ -76,11 +76,31 @@ def observability_to_jsonl(observability, metrics=None) -> str:
 # ----------------------------------------------------------------------
 # Prometheus-style text exposition
 # ----------------------------------------------------------------------
-def _format_labels(labels) -> str:
-    if not labels:
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec: ``\\``, ``"``, LF."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels, le: Optional[str] = None) -> str:
+    """Canonical label rendering: sorted labels, ``le`` always last.
+
+    ``labels`` are (name, value) pairs (already sorted by the registry);
+    histograms pass the bucket bound via ``le`` so every sample of a
+    family orders its labels identically.
+    """
+    parts = [
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels)
+    ]
+    if le is not None:
+        parts.append(f'le="{le}"')
+    if not parts:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
-    return "{" + inner + "}"
+    return "{" + ",".join(parts) + "}"
 
 
 def _format_value(value: float) -> str:
@@ -91,35 +111,81 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+# HELP strings for well-known families; anything else gets a generic one.
+METRIC_HELP: Dict[str, str] = {
+    "repro_updates_processed_total": "Stream updates fully processed",
+    "repro_outputs_emitted_total": "Result deltas emitted",
+    "repro_cache_probes_total": "Individual cache probe lookups",
+    "repro_cache_hits_total": "Cache probes that hit",
+    "repro_cache_creates_total": "Cache entries created on miss",
+    "repro_cache_maintenance_calls_total": "Cache maintenance tap runs",
+    "repro_profiled_tuples_total": "Tuples run in profile mode",
+    "repro_reoptimizations_total": "Re-optimizer invocations",
+    "repro_caches_added_total": "Caches attached by the re-optimizer",
+    "repro_caches_dropped_total": "Caches detached by the re-optimizer",
+    "repro_cache_hit_rate": "Cache hits over probes for the run",
+    "repro_cache_hits": "Per-cache hit counts",
+    "repro_cache_probe_batch_total": "Cache probe batches (one per lookup)",
+    "repro_cache_probed_total": "Composites probed against a cache",
+    "repro_cache_hit_total": "Per-cache composite-level hits",
+    "repro_cache_create_total": "Per-cache entry creations",
+    "repro_operator_us": "Per-operator virtual time per invocation (us)",
+    "repro_pipeline_update_us": "Per-update virtual latency (us)",
+    "repro_xjoin_update_us": "XJoin per-update virtual latency (us)",
+    "repro_xjoin_memory_bytes": "XJoin materialized subresult bytes",
+}
+
+
+def _family_header(
+    lines: List[str], seen: set, name: str, family_type: str
+) -> None:
+    """Emit ``# HELP``/``# TYPE`` once per metric family."""
+    if name in seen:
+        return
+    seen.add(name)
+    help_text = METRIC_HELP.get(name, f"repro metric {name}")
+    lines.append(f"# HELP {name} {_escape_help(help_text)}")
+    lines.append(f"# TYPE {name} {family_type}")
+
+
 def registry_to_prometheus(
     registry: MetricsRegistry, metrics=None
 ) -> str:
     """Render the registry in Prometheus text exposition format.
 
     ``metrics`` (a legacy ``Metrics`` bag), when given, is ingested first
-    so the dump subsumes the flat counters too.
+    so the dump subsumes the flat counters too. Label values are escaped
+    per the exposition spec, every family carries ``# HELP``/``# TYPE``
+    header lines, and label order is canonical across a family (sorted,
+    with histogram ``le`` always last).
     """
     if metrics is not None:
         registry.ingest_metrics(metrics)
     lines: List[str] = []
+    seen: set = set()
     for counter in registry.counters():
+        _family_header(lines, seen, counter.name, "counter")
         lines.append(
             f"{counter.name}{_format_labels(counter.labels)} "
             f"{_format_value(counter.value)}"
         )
     for gauge in registry.gauges():
+        _family_header(lines, seen, gauge.name, "gauge")
         lines.append(
             f"{gauge.name}{_format_labels(gauge.labels)} "
             f"{_format_value(gauge.value)}"
         )
     for histogram in registry.histograms():
-        base = dict(histogram.labels)
+        # One TYPE line covers the whole _bucket/_sum/_count family.
+        _family_header(lines, seen, histogram.name, "histogram")
         for bound, cumulative in histogram.cumulative_counts():
-            labels = dict(base)
-            labels["le"] = _format_value(bound)
             lines.append(
                 f"{histogram.name}_bucket"
-                f"{_format_labels(tuple(sorted(labels.items())))} "
+                f"{_format_labels(histogram.labels, le=_format_value(bound))} "
                 f"{cumulative}"
             )
         lines.append(

@@ -50,6 +50,12 @@ class Pipeline:
     def __init__(self, owner: str, operators: Sequence[JoinOperator]):
         self.owner = owner
         self.operators: List[JoinOperator] = list(operators)
+        # Span names precomputed per slot (reorders build a new Pipeline,
+        # so this stays correct for the pipeline's lifetime).
+        self._op_span_names: Tuple[str, ...] = tuple(
+            f"op:{owner}.{position}:{op.target}"
+            for position, op in enumerate(self.operators)
+        )
         self._lookups: Dict[int, CacheLookup] = {}
         self._updates: Dict[int, List[CacheUpdate]] = defaultdict(list)
         self._blooms: Dict[int, List[BloomLookup]] = defaultdict(list)
@@ -180,6 +186,7 @@ class Pipeline:
         nops = len(self.operators)
         sample = ProfileSample() if profile else None
         detail = ctx.obs.enabled
+        prof = ctx.obs.profiler
         composites: List[CompositeTuple] = [CompositeTuple.of(self.owner, row)]
         position = 0
         while position <= nops:
@@ -204,8 +211,12 @@ class Pipeline:
                 started = ctx.clock.now_us
                 if profile:
                     ctx.clock.charge(ctx.cost_model.profile_tuple)
+                if prof.enabled:
+                    prof.begin(self._op_span_names[position], started)
                 composites = self.operators[position].apply(composites, ctx)
                 elapsed = ctx.clock.now_us - started
+                if prof.enabled:
+                    prof.end(ctx.clock.now_us)
                 if profile:
                     sample.taus.append(elapsed)
                 if detail:
@@ -242,6 +253,9 @@ class Pipeline:
         """Probe the cache for each composite; compute misses per key."""
         clock, cm = ctx.clock, ctx.cost_model
         cache = lookup.cache
+        prof = ctx.obs.profiler
+        if prof.enabled:
+            prof.begin("cache_probe:" + cache.name, clock.now_us)
         # Globally-consistent caches anchored on this pipeline's relation:
         # a deletion that is the last owner-side witness of its key must
         # consume the probed entry (and not create one on a miss), or
@@ -284,6 +298,8 @@ class Pipeline:
             clock.charge(cm.cache_hit_tuple * len(values))
             for segment_composite in values:
                 results.append(composite.merge(segment_composite))
+        if prof.enabled:
+            prof.end(clock.now_us)
         obs = ctx.obs
         if obs.enabled and composites:
             labels = {"cache": cache.name}
@@ -306,6 +322,8 @@ class Pipeline:
                 misses=len(composites) - hit_count,
                 sign=sign.name,
             )
+        if prof.enabled and miss_groups:
+            prof.begin("cache_store:" + cache.name, clock.now_us)
         for probe_key, group in miss_groups.items():
             if probe_key in consumed_keys:
                 # Compute through the operators without creating an entry:
@@ -345,6 +363,8 @@ class Pipeline:
                     clock.charge(cm.cache_hit_tuple * len(segment_parts))
                 for part in segment_parts:
                     results.append(member.merge(part))
+        if prof.enabled and miss_groups:
+            prof.end(clock.now_us)
         return results
 
     def __repr__(self) -> str:

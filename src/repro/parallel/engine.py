@@ -139,6 +139,24 @@ class ParallelRun:
         merged.sort(key=lambda entry: entry.seq)
         return merged
 
+    def merged_telemetry(self):
+        """Worker observability merged under ``shard`` labels.
+
+        Returns a :class:`~repro.obs.merge.MergedTelemetry` — one global
+        registry where every per-shard counter also appears labelled
+        ``shard="N"`` — or raises when the run was not executed with
+        ``collect_obs``/``profile`` on its :class:`ExperimentSpec`.
+        """
+        from repro.obs.merge import merge_telemetry
+
+        snapshots = [result.telemetry for result in self.results]
+        if any(snapshot is None for snapshot in snapshots):
+            raise ParallelError(
+                "shard run did not collect telemetry "
+                "(ExperimentSpec.collect_obs/profile=False)"
+            )
+        return merge_telemetry(snapshots)
+
 
 def count_source_updates(spec: ExperimentSpec) -> int:
     """How many updates the (possibly faulted) global stream contains."""

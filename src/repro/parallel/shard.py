@@ -70,6 +70,10 @@ class ShardResult:
     # Quarantined updates retained by this shard's dead-letter buffer
     # (``repro chaos --dump-dead-letters`` surfaces them merged).
     dead_letters: List[object] = field(default_factory=list)
+    # Full worker observability state (a TelemetrySnapshot) when the
+    # spec asked for it (collect_obs/profile); rides the same pickle
+    # paths (pool.map and the Supervisor pipe) as everything above.
+    telemetry: Optional[object] = None
 
 
 def _relations_of(plan):
@@ -136,6 +140,14 @@ def run_shard(
     also what the in-process ``serial-shards`` backend calls directly, so
     the two backends run byte-identical computations.
 
+    With ``spec.collect_obs`` (or ``spec.profile``) the whole shard runs
+    under its own enabled :class:`~repro.obs.Observability` session —
+    engines built here adopt it via the ExecContext default factory — and
+    the worker's registry/tracer/decisions/profiler state comes back as a
+    :class:`~repro.obs.merge.TelemetrySnapshot` on the result. The
+    observability layer never touches the virtual clock, so telemetry
+    collection cannot change outputs or modeled costs.
+
     With a :class:`~repro.recovery.manager.RecoveryConfig` in
     ``recovery`` the shard journals its routed sub-stream to a WAL and
     checkpoints at batch boundaries — and, before running, *restores*:
@@ -149,6 +161,29 @@ def run_shard(
     ``kill_after`` hard-kills the process (``os._exit``) once that count
     is reached — crash injection, only ever passed to worker processes.
     """
+    if not (spec.collect_obs or spec.profile):
+        return _run_shard(
+            spec, shard, shard_count, scheme, recovery, progress, kill_after
+        )
+    from repro import obs as obs_api
+
+    worker_obs = obs_api.Observability.tracing(profile=spec.profile)
+    with obs_api.session(worker_obs):
+        return _run_shard(
+            spec, shard, shard_count, scheme, recovery, progress, kill_after
+        )
+
+
+def _run_shard(
+    spec: ExperimentSpec,
+    shard: int,
+    shard_count: int,
+    scheme: Optional[PartitionScheme] = None,
+    recovery=None,
+    progress: Optional[Callable[[int], None]] = None,
+    kill_after: Optional[int] = None,
+) -> ShardResult:
+    """The body of :func:`run_shard` (observability session pre-applied)."""
     workload = spec.workload_factory()
     if scheme is None:
         scheme = scheme_for_workload(workload, shard_count)
@@ -271,6 +306,9 @@ def run_shard(
             recorder.mark_processed(len(batch))
             recorder.maybe_checkpoint(last_seq, runner_state())
 
+    prof = ctx.obs.profiler
+    if prof.enabled:
+        prof.begin("run", ctx.clock.now_us)
     for update in updates:
         if update.seq <= resume_seq:
             # Restored region: replayed (or checkpoint-covered) already.
@@ -301,6 +339,8 @@ def run_shard(
                 if len(pending) >= spec.batch_size:
                     flush_pending()
     flush_pending()
+    if prof.enabled:
+        prof.end(ctx.clock.now_us)
     if recorder is not None:
         recorder.close()
 
@@ -346,6 +386,13 @@ def run_shard(
         if resilience is not None and resilience.guard is not None
         else []
     )
+    telemetry = None
+    if spec.collect_obs or spec.profile:
+        from repro.obs.merge import collect_telemetry
+
+        telemetry = collect_telemetry(
+            ctx.obs, metrics=metrics, shard=shard
+        )
     return ShardResult(
         stats=stats,
         deltas=deltas,
@@ -353,4 +400,5 @@ def run_shard(
         windows=windows,
         resilience_summary=summary,
         dead_letters=dead_letters,
+        telemetry=telemetry,
     )

@@ -103,6 +103,12 @@ class ExperimentSpec:
     collect_windows: bool = False              # ship final window contents
     poison_at: Optional[int] = None            # per-shard cache poisoning
     batch_size: int = 1                        # per-shard micro-batch size
+    # Telemetry: collect_obs runs each worker under a full Observability
+    # session and ships its registry/tracer/decision state back on the
+    # ShardResult; profile additionally attaches a live SpanProfiler
+    # (implies collect_obs for the return path).
+    collect_obs: bool = False
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.arrivals <= 0:

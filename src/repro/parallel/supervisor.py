@@ -139,6 +139,9 @@ class SupervisedRun:
     def merged_dead_letters(self):
         return self.run.merged_dead_letters()
 
+    def merged_telemetry(self):
+        return self.run.merged_telemetry()
+
     @property
     def total_restarts(self) -> int:
         return sum(self.restarts.values())

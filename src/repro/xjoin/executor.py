@@ -148,7 +148,10 @@ class XJoinExecutor:
             return []
         clock, cm = self.ctx.clock, self.ctx.cost_model
         obs = self.ctx.obs
+        prof = obs.profiler
         started_us = clock.now_us if obs.enabled else 0.0
+        if prof.enabled:
+            prof.begin("update:" + update.relation, clock.now_us)
         leaf: JoinTree = Leaf(update.relation)
         delta: List[CompositeTuple] = [
             CompositeTuple.of(update.relation, update.row)
@@ -185,6 +188,8 @@ class XJoinExecutor:
         current = self.memory_in_use()
         if current > self.peak_memory_bytes:
             self.peak_memory_bytes = current
+        if prof.enabled:
+            prof.end(clock.now_us)
         if obs.enabled:
             now_us = clock.now_us
             obs.registry.histogram(

@@ -257,9 +257,14 @@ class TestExport:
         text = registry_to_prometheus(registry)
         assert 'repro_x_total{cache="c"} 2' in text
         assert "repro_mem_bytes 4096" in text
-        assert 'repro_op_us_bucket{le="10",pipeline="T"} 1' in text
-        assert 'repro_op_us_bucket{le="+Inf",pipeline="T"} 1' in text
+        # Canonical family label order: sorted labels, ``le`` last.
+        assert 'repro_op_us_bucket{pipeline="T",le="10"} 1' in text
+        assert 'repro_op_us_bucket{pipeline="T",le="+Inf"} 1' in text
         assert 'repro_op_us_count{pipeline="T"} 1' in text
+        assert "# TYPE repro_x_total counter" in text
+        assert "# HELP repro_x_total" in text
+        assert "# TYPE repro_mem_bytes gauge" in text
+        assert "# TYPE repro_op_us histogram" in text
 
     def test_prometheus_ingests_metrics(self):
         registry = MetricsRegistry()

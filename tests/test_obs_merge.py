@@ -1,0 +1,165 @@
+"""Cross-shard telemetry merge: the sharded view must mean the serial one.
+
+The contract: merging four workers' registries yields the same global
+totals a serial run reports, every shard stays visible under its own
+``shard`` label, the hit rate is recomputed from global sums (never
+averaged across shards), and histograms/events merge element-wise into
+one chronology.
+"""
+
+from functools import partial
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import FaultSpec
+from repro.obs.export import registry_to_prometheus
+from repro.obs.merge import TelemetrySnapshot, merge_telemetry
+from repro.obs.registry import MetricsRegistry
+from repro.parallel.engine import ParallelConfig, run_sharded
+from repro.parallel.spec import EngineSpec, ExperimentSpec
+from repro.streams.workloads import fig9_workload
+
+# Fully partitioned star (one attribute class, nothing broadcast): every
+# update lands on exactly one shard, so merged totals equal serial ones
+# exactly, not just approximately.
+STAR = partial(fig9_workload, 4, window=24)
+
+TOTALS = ("repro_updates_processed_total", "repro_outputs_emitted_total")
+
+
+def telemetry_spec(arrivals, fault_seed=None):
+    return ExperimentSpec(
+        workload_factory=STAR,
+        arrivals=arrivals,
+        engine=EngineSpec(kind="acaching"),
+        output_mode="none",
+        collect_obs=True,
+        fault_spec=(
+            FaultSpec(duplicate_prob=0.06, orphan_delete_prob=0.04)
+            if fault_seed is not None
+            else None
+        ),
+        fault_seed=fault_seed if fault_seed is not None else 0,
+    )
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_four_shard_merge_equals_serial_totals(seed):
+    spec = telemetry_spec(400, fault_seed=seed)
+    serial = run_sharded(spec, ParallelConfig(shards=1)).merged_telemetry()
+    sharded = run_sharded(
+        spec, ParallelConfig(shards=4, backend="serial")
+    ).merged_telemetry()
+    for name in TOTALS:
+        assert sharded.registry.value(name) == serial.registry.value(name)
+    dump = sharded.to_prometheus()
+    for shard in range(4):
+        assert f'shard="{shard}"' in dump
+    assert sharded.shards == [0, 1, 2, 3]
+
+
+def test_shard_labelled_series_sum_to_the_global_one():
+    spec = telemetry_spec(600)
+    run = run_sharded(spec, ParallelConfig(shards=4, backend="serial"))
+    merged = run.merged_telemetry()
+    for name in TOTALS:
+        per_shard = [
+            merged.registry.value(name, {"shard": str(shard)})
+            for shard in range(4)
+        ]
+        assert None not in per_shard
+        assert sum(per_shard) == merged.registry.value(name)
+    # The registry agrees with the ShardStats the engine already merges.
+    assert merged.registry.value("repro_updates_processed_total") == sum(
+        result.stats.updates_processed for result in run.results
+    )
+
+
+def test_single_shard_runs_stay_unlabelled():
+    spec = telemetry_spec(200)
+    merged = run_sharded(spec, ParallelConfig(shards=1)).merged_telemetry()
+    assert 'shard="' not in merged.to_prometheus()
+
+
+def test_hit_rate_is_recomputed_from_global_sums_not_averaged():
+    starved = TelemetrySnapshot(
+        shard=0,
+        gauges=[
+            ("repro_cache_probes_total", (), 900.0),
+            ("repro_cache_hits_total", (), 90.0),
+            ("repro_cache_hit_rate", (), 0.1),
+        ],
+    )
+    lucky = TelemetrySnapshot(
+        shard=1,
+        gauges=[
+            ("repro_cache_probes_total", (), 100.0),
+            ("repro_cache_hits_total", (), 90.0),
+            ("repro_cache_hit_rate", (), 0.9),
+        ],
+    )
+    merged = merge_telemetry([starved, lucky])
+    # Averaging the per-shard ratios would claim 0.5; the truth is 0.18.
+    assert merged.registry.value("repro_cache_hit_rate") == pytest.approx(
+        180.0 / 1000.0
+    )
+    assert merged.registry.value(
+        "repro_cache_probes_total", {"shard": "0"}
+    ) == 900.0
+
+
+def test_level_gauges_take_the_worst_shard_not_the_sum():
+    low = TelemetrySnapshot(shard=0, gauges=[("repro_mem_bytes", (), 10.0)])
+    high = TelemetrySnapshot(shard=1, gauges=[("repro_mem_bytes", (), 64.0)])
+    merged = merge_telemetry([low, high])
+    assert merged.registry.value("repro_mem_bytes") == 64.0
+
+
+def test_histograms_merge_element_wise():
+    base = {
+        "name": "repro_op_us",
+        "labels": (),
+        "buckets": (10.0, 100.0),
+        "counts": [1, 2],
+        "inf_count": 1,
+        "sum": 500.0,
+        "count": 4,
+    }
+    merged = merge_telemetry([
+        TelemetrySnapshot(shard=0, histograms=[dict(base)]),
+        TelemetrySnapshot(
+            shard=1,
+            histograms=[
+                dict(base, counts=[3, 0], inf_count=0, sum=20.0, count=3)
+            ],
+        ),
+    ])
+    histogram = merged.registry.histogram(
+        "repro_op_us", buckets=(10.0, 100.0)
+    )
+    assert list(histogram.counts) == [4, 2]
+    assert histogram.inf_count == 1
+    assert histogram.count == 7
+    assert histogram.sum == pytest.approx(520.0)
+
+
+def test_events_gain_shard_keys_and_merge_chronologically():
+    late = TelemetrySnapshot(shard=1, events=[{"t_us": 5.0, "kind": "x"}])
+    early = TelemetrySnapshot(shard=0, events=[{"t_us": 2.0, "kind": "x"}])
+    merged = merge_telemetry([late, early])
+    assert [event["shard"] for event in merged.events] == [0, 1]
+    assert [record["t_us"] for record in merged.chronology()] == [2.0, 5.0]
+
+
+def test_prometheus_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total", {"q": 'a"b\\c\nd'}).inc()
+    dump = registry_to_prometheus(registry)
+    assert r'q="a\"b\\c\nd"' in dump
