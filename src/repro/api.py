@@ -103,6 +103,13 @@ class EngineConfig:
     # into a Supervisor run (heartbeats, backoff restarts, circuit
     # breaker); None keeps the plain unsupervised backends.
     supervision: Optional[object] = None
+    # Load-shedder trigger clock: when True, the shedder measures real
+    # elapsed time per update instead of the virtual clock. Live services
+    # want this (virtual cost can look fine while the machine drowns);
+    # reproducibility suites must not (wall-clock shedding is
+    # nondeterministic, so batch-equivalence and recovery byte-identity
+    # only hold with the default False).
+    shed_wall_clock: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -130,6 +137,22 @@ class EngineConfig:
                 "cache_recovery must be 'snapshot' or 'rebuild', got "
                 f"{self.cache_recovery!r}"
             )
+        if self.shed_wall_clock:
+            resilience = (
+                self.resilience if self.resilience is not None
+                else ResilienceConfig()
+            )
+            if resilience.shedding is None:
+                raise ConfigError(
+                    "shed_wall_clock requires shedding enabled; the "
+                    "resilience config has shedding=None"
+                )
+            if not resilience.shedding.wall_clock:
+                resilience = replace(
+                    resilience,
+                    shedding=replace(resilience.shedding, wall_clock=True),
+                )
+            object.__setattr__(self, "resilience", resilience)
         object.__setattr__(
             self, "candidate_ids", tuple(self.candidate_ids)
         )

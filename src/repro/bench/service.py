@@ -1,0 +1,384 @@
+"""The service-layer benchmark (``repro bench --service``).
+
+Unlike the engine benches, which run in deterministic virtual time, this
+one measures the real thing: a :class:`~repro.service.server.
+ServiceThread` on a loopback socket, a client pushing update batches over
+HTTP, and a WebSocket subscriber timestamping every result delta. Three
+scenarios, one report:
+
+* **clean** — a sustainable load; measures sustained updates/sec at the
+  socket and the p50/p99 ingest→delta latency seen by the subscriber;
+* **overload** — offered load far above the per-tenant admission rate;
+  measures how many batches the token bucket turned away (429s *before*
+  any queue overflow) and asserts that every *acknowledged* update was
+  processed — overload sheds offered work, never accepted work;
+* **kill_recover** — ingest, ``kill()`` mid-stream (journals truncated
+  to the last fsync, no goodbyes), restart from the same ``wal_root``;
+  measures recovery wall time and asserts the recovered delta log is
+  byte-identical to the pre-kill log over every acknowledged update.
+
+Writes ``BENCH_service.json``; the committed baseline is what the CI
+service-smoke job and the README quote.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.server import ServiceThread
+
+SERVICE_SCHEMA_VERSION = 1
+SERVICE_DEFAULT_OUT = "BENCH_service.json"
+SERVICE_DEFAULT_BATCHES = 150
+SERVICE_BATCH_ARRIVALS = 9
+
+_SPEC = {
+    "kind": "chain",
+    "params": {"window_r": 32, "window_s": 32, "window_t": 32},
+}
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's measurements."""
+
+    name: str
+    batches_sent: int
+    batches_acked: int
+    batches_rejected: int            # 429/503 before queue overflow
+    updates_acked: int
+    wall_seconds: float
+    updates_per_second: float        # acked updates / wall
+    delta_latency_p50_ms: Optional[float] = None
+    delta_latency_p99_ms: Optional[float] = None
+    acked_update_loss: int = 0       # MUST be 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ServiceBenchReport:
+    batches: int
+    batch_arrivals: int
+    scenarios: List[ScenarioResult] = field(default_factory=list)
+
+
+def _arrivals(value: int, count: int) -> List[tuple]:
+    """``count`` arrivals in matching R/S/T triples, so joins produce."""
+    out = []
+    for i in range(count):
+        v = value + i // 3
+        relation = ("R", "S", "T")[i % 3]
+        row = {"R": (v,), "S": (v, v), "T": (v,)}[relation]
+        out.append((relation, row))
+    return out
+
+
+def _percentile(samples: List[float], fraction: float) -> Optional[float]:
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class _LatencySubscriber:
+    """Background WS reader mapping delta seq -> arrival wall time."""
+
+    def __init__(self, client: ServiceClient, query: str):
+        self.arrival_s: Dict[int, float] = {}
+        self._sub = client.subscribe(query)
+        self._thread = threading.Thread(target=self._reader, daemon=True)
+        self._thread.start()
+
+    def _reader(self) -> None:
+        for frame in self._sub:
+            if frame.get("type") != "deltas":
+                continue
+            now = time.monotonic()
+            for entry in frame.get("entries", ()):
+                self.arrival_s.setdefault(entry["seq"], now)
+
+    def close(self) -> None:
+        self._sub.close()
+        self._thread.join(timeout=5.0)
+
+
+def _wait_processed(client: ServiceClient, query: str,
+                    timeout_s: float = 60.0) -> dict:
+    deadline = time.monotonic() + timeout_s
+    while True:
+        status = client.status(query)
+        if status["processed_seq"] >= status["acked_seq"]:
+            return status
+        if time.monotonic() > deadline:
+            return status
+        time.sleep(0.05)
+
+
+def _run_clean(batches: int, batch_arrivals: int,
+               wal_root: str) -> ScenarioResult:
+    thread = ServiceThread(ServiceConfig(wal_root=wal_root))
+    url = thread.start()
+    try:
+        client = ServiceClient(url)
+        client.register("bench", _SPEC)
+        subscriber = _LatencySubscriber(client, "bench")
+        send_s: Dict[int, float] = {}   # seq -> batch-send wall time
+        acked = updates = 0
+        started = time.monotonic()
+        value = 0
+        for _ in range(batches):
+            sent_at = time.monotonic()
+            status, payload = client.ingest(
+                "bench", _arrivals(value, batch_arrivals)
+            )
+            value += batch_arrivals
+            if status == 202:
+                acked += 1
+                updates += payload["updates"]
+                for seq in range(payload["seq_first"],
+                                 payload["seq_last"] + 1):
+                    send_s[seq] = sent_at
+        final = _wait_processed(client, "bench")
+        wall = time.monotonic() - started
+        time.sleep(0.3)  # let the last delta frames land
+        subscriber.close()
+        latencies_ms = [
+            (subscriber.arrival_s[seq] - sent) * 1e3
+            for seq, sent in send_s.items()
+            if seq in subscriber.arrival_s
+        ]
+        loss = final["acked_seq"] - final["processed_seq"]
+        client.drain()
+        return ScenarioResult(
+            name="clean",
+            batches_sent=batches,
+            batches_acked=acked,
+            batches_rejected=client.throttled,
+            updates_acked=updates,
+            wall_seconds=round(wall, 4),
+            updates_per_second=round(updates / wall, 1) if wall else 0.0,
+            delta_latency_p50_ms=(
+                round(_percentile(latencies_ms, 0.50), 3)
+                if latencies_ms else None
+            ),
+            delta_latency_p99_ms=(
+                round(_percentile(latencies_ms, 0.99), 3)
+                if latencies_ms else None
+            ),
+            acked_update_loss=max(0, loss),
+            extra={"deltas_timed": len(latencies_ms)},
+        )
+    finally:
+        thread.stop()
+
+
+def _run_overload(batches: int, batch_arrivals: int,
+                  wal_root: str) -> ScenarioResult:
+    # A tenant rate far below the offered load: the token bucket must
+    # turn the excess away with 429s while the queue never overflows.
+    config = ServiceConfig(
+        wal_root=wal_root,
+        tenant_rate=400.0,
+        tenant_burst=200.0,
+        queue_capacity_updates=2048,
+    )
+    thread = ServiceThread(config)
+    url = thread.start()
+    try:
+        client = ServiceClient(url)
+        client.register("bench", _SPEC)
+        acked = rejected = updates = 0
+        started = time.monotonic()
+        value = 0
+        for _ in range(batches):
+            status, payload = client.ingest(
+                "bench", _arrivals(value, batch_arrivals), retry=False
+            )
+            value += batch_arrivals
+            if status == 202:
+                acked += 1
+                updates += payload["updates"]
+            elif status in (429, 503):
+                rejected += 1
+        final = _wait_processed(client, "bench")
+        wall = time.monotonic() - started
+        loss = final["acked_seq"] - final["processed_seq"]
+        host_status = client.status("bench")
+        client.drain()
+        return ScenarioResult(
+            name="overload",
+            batches_sent=batches,
+            batches_acked=acked,
+            batches_rejected=rejected,
+            updates_acked=updates,
+            wall_seconds=round(wall, 4),
+            updates_per_second=round(updates / wall, 1) if wall else 0.0,
+            acked_update_loss=max(0, loss),
+            extra={
+                "admission": host_status["admission"],
+                "tier_after": host_status["tier"],
+            },
+        )
+    finally:
+        thread.stop()
+
+
+def _run_kill_recover(batches: int, batch_arrivals: int,
+                      wal_root: str) -> ScenarioResult:
+    config = ServiceConfig(wal_root=wal_root, checkpoint_interval=200)
+    thread = ServiceThread(config)
+    url = thread.start()
+    client = ServiceClient(url)
+    client.register("bench", _SPEC)
+    acked = updates = 0
+    value = 0
+    started = time.monotonic()
+    for _ in range(batches):
+        status, payload = client.ingest(
+            "bench", _arrivals(value, batch_arrivals)
+        )
+        value += batch_arrivals
+        if status == 202:
+            acked += 1
+            updates += payload["updates"]
+    pre = _wait_processed(client, "bench")
+    acked_seq = pre["acked_seq"]
+    before = {
+        e["seq"]: e["deltas"]
+        for e in client.results("bench", since_seq=-1, limit=100_000)["entries"]
+        if e["seq"] <= acked_seq
+    }
+    thread.kill()
+
+    recover_started = time.monotonic()
+    thread2 = ServiceThread(ServiceConfig(wal_root=wal_root,
+                                          checkpoint_interval=200))
+    url2 = thread2.start()
+    recover_wall = time.monotonic() - recover_started
+    try:
+        client2 = ServiceClient(url2)
+        post = _wait_processed(client2, "bench")
+        after = {
+            e["seq"]: e["deltas"]
+            for e in client2.results(
+                "bench", since_seq=-1, limit=100_000
+            )["entries"]
+            if e["seq"] <= acked_seq
+        }
+        identical = before == after
+        loss = acked_seq - post["processed_seq"]
+        wall = time.monotonic() - started
+        client2.drain()
+        return ScenarioResult(
+            name="kill_recover",
+            batches_sent=batches,
+            batches_acked=acked,
+            batches_rejected=client.throttled,
+            updates_acked=updates,
+            wall_seconds=round(wall, 4),
+            updates_per_second=round(updates / wall, 1) if wall else 0.0,
+            acked_update_loss=max(0, loss),
+            extra={
+                "recovery_seconds": round(recover_wall, 4),
+                "acked_deltas_byte_identical": identical,
+                "acked_entries_compared": len(before),
+                "replayed_updates": post["replayed_updates"],
+                "resumed": post["resumed"],
+            },
+        )
+    finally:
+        thread2.stop()
+
+
+def run_service_bench(
+    batches: int = SERVICE_DEFAULT_BATCHES,
+    batch_arrivals: int = SERVICE_BATCH_ARRIVALS,
+) -> ServiceBenchReport:
+    """Run all three scenarios in fresh temp journals."""
+    if batches < 10:
+        raise ConfigError(f"service bench batches must be >= 10, got {batches}")
+    if batch_arrivals < 1:
+        raise ConfigError(
+            f"service bench batch_arrivals must be >= 1, got {batch_arrivals}"
+        )
+    report = ServiceBenchReport(batches=batches, batch_arrivals=batch_arrivals)
+    root = tempfile.mkdtemp(prefix="repro-service-bench-")
+    try:
+        report.scenarios.append(
+            _run_clean(batches, batch_arrivals, os.path.join(root, "clean"))
+        )
+        report.scenarios.append(
+            _run_overload(
+                batches, batch_arrivals, os.path.join(root, "overload")
+            )
+        )
+        report.scenarios.append(
+            _run_kill_recover(
+                batches, batch_arrivals, os.path.join(root, "kill")
+            )
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return report
+
+
+def service_bench_to_json(report: ServiceBenchReport) -> str:
+    payload = {
+        "kind": "service_bench",
+        "schema_version": SERVICE_SCHEMA_VERSION,
+        "batches": report.batches,
+        "batch_arrivals": report.batch_arrivals,
+        "scenarios": [
+            {
+                "name": s.name,
+                "batches_sent": s.batches_sent,
+                "batches_acked": s.batches_acked,
+                "batches_rejected": s.batches_rejected,
+                "updates_acked": s.updates_acked,
+                "wall_seconds": s.wall_seconds,
+                "updates_per_second": s.updates_per_second,
+                "delta_latency_p50_ms": s.delta_latency_p50_ms,
+                "delta_latency_p99_ms": s.delta_latency_p99_ms,
+                "acked_update_loss": s.acked_update_loss,
+                **({"extra": s.extra} if s.extra else {}),
+            }
+            for s in report.scenarios
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def format_service_bench_report(report: ServiceBenchReport) -> str:
+    lines = [
+        f"service bench: {report.batches} batches x "
+        f"{report.batch_arrivals} arrivals"
+    ]
+    for s in report.scenarios:
+        lines.append(
+            f"  {s.name:<13} acked {s.batches_acked}/{s.batches_sent} "
+            f"(rejected {s.batches_rejected}), "
+            f"{s.updates_per_second:,.0f} upd/s, "
+            f"p99 delta "
+            + (f"{s.delta_latency_p99_ms:.1f}ms"
+               if s.delta_latency_p99_ms is not None else "n/a")
+            + f", acked loss {s.acked_update_loss}"
+        )
+        if s.name == "kill_recover":
+            lines.append(
+                f"  {'':13} recovery {s.extra['recovery_seconds']}s, "
+                f"byte-identical="
+                f"{s.extra['acked_deltas_byte_identical']} over "
+                f"{s.extra['acked_entries_compared']} entries"
+            )
+    return "\n".join(lines)

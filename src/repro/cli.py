@@ -48,6 +48,7 @@ that ``benchmarks/check_wall_regression.py`` gates against.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -295,8 +296,33 @@ def _cmd_crash_chaos(args: argparse.Namespace) -> str:
     return format_crash_report(report)
 
 
+def _cmd_service_chaos(args: argparse.Namespace) -> str:
+    """``chaos service``: hostile clients against a live server."""
+    from repro.faults.service_chaos import (
+        ServiceChaosConfig,
+        format_service_chaos_report,
+        run_service_chaos,
+        verify_service_chaos,
+    )
+
+    config = ServiceChaosConfig(
+        seed=args.seed,
+        honest_batches=args.arrivals if args.arrivals else 60,
+    )
+    report = run_service_chaos(config)
+    body = format_service_chaos_report(report)
+    if args.jsonl:
+        write_jsonl(args.jsonl, json.dumps(report.to_dict()) + "\n")
+        body += f"\nwrote chaos JSONL to {args.jsonl}"
+    verify_service_chaos(report)
+    return body
+
+
 def cmd_chaos(args: argparse.Namespace) -> str:
     """``chaos EXP``: run one experiment under a seeded fault schedule."""
+    if args.experiment == "service":
+        _ensure_writable(args.jsonl)
+        return _cmd_service_chaos(args)
     from repro.faults.chaos import (
         chaos_to_jsonl,
         format_chaos_report,
@@ -471,6 +497,74 @@ def _run_wall_bench_cmd(args: argparse.Namespace) -> str:
     return body
 
 
+def _run_service_bench_cmd(args: argparse.Namespace) -> str:
+    """The ``bench --service`` variant: real sockets, three scenarios."""
+    from repro.bench.service import (
+        SERVICE_DEFAULT_BATCHES,
+        SERVICE_DEFAULT_OUT,
+        format_service_bench_report,
+        run_service_bench,
+        service_bench_to_json,
+    )
+
+    batches = args.batches if args.batches else SERVICE_DEFAULT_BATCHES
+    out = args.out if args.out is not None else SERVICE_DEFAULT_OUT
+    _ensure_writable(out)
+    report = run_service_bench(batches=batches)
+    body = format_service_bench_report(report)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(service_bench_to_json(report))
+        body += f"\nwrote service baseline to {out}"
+    return body
+
+
+def cmd_serve(args: argparse.Namespace) -> str:
+    """``serve``: run the service until SIGINT/SIGTERM, then drain.
+
+    Bind failures surface as the library's one-line ``error:`` (exit 1);
+    a delivered signal drains every query (checkpoint + WAL close) and
+    exits 0 — acknowledged updates are durable either way.
+    """
+    import signal
+    import threading
+
+    from repro.service import ServiceConfig, ServiceThread
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        wal_root=args.wal_root,
+        checkpoint_interval=args.checkpoint_interval,
+        tenant_rate=args.tenant_rate,
+        queue_capacity_updates=args.queue_capacity,
+    )
+    thread = ServiceThread(config)
+    url = thread.start()
+    stop = threading.Event()
+
+    def _on_signal(_signum, _frame) -> None:
+        stop.set()
+
+    previous = {
+        signal.SIGINT: signal.signal(signal.SIGINT, _on_signal),
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _on_signal),
+    }
+    durability = (
+        f"journaling under {args.wal_root}" if args.wal_root
+        else "in-memory (no --wal-root: no durability)"
+    )
+    print(f"serving at {url} — {durability}; SIGINT/SIGTERM drains",
+          flush=True)
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        thread.stop()
+    return f"drained and stopped {url}"
+
+
 def cmd_bench(args: argparse.Namespace) -> str:
     """``bench``: serial-vs-sharded throughput on the 6-way workload.
 
@@ -495,6 +589,8 @@ def cmd_bench(args: argparse.Namespace) -> str:
             f"--backend must be one of {list(BACKENDS)}, "
             f"got {args.backend!r}"
         )
+    if args.service:
+        return _run_service_bench_cmd(args)
     if args.recovery:
         return _run_recovery_bench_cmd(args)
     if args.wall:
@@ -925,12 +1021,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --recovery: updates between checkpoints (default 1000)",
     )
     bench.add_argument(
+        "--service", action="store_true",
+        help="benchmark the streaming service over a real socket: clean "
+             "vs overloaded vs kill-then-recover (writes "
+             "BENCH_service.json)",
+    )
+    bench.add_argument(
+        "--batches", type=int, default=None, metavar="N",
+        help="with --service: ingest batches per scenario (default 150)",
+    )
+    bench.add_argument(
         "--out", metavar="PATH", default=None,
         help="write the JSON baseline here (default BENCH_parallel.json, "
-             "BENCH_batching.json with --batch-sizes, or "
-             "BENCH_recovery.json with --recovery)",
+             "BENCH_batching.json with --batch-sizes, "
+             "BENCH_recovery.json with --recovery, or "
+             "BENCH_service.json with --service)",
     )
     bench.set_defaults(handler=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming ingestion service (HTTP + WebSocket)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8734,
+        help="bind port; 0 picks an ephemeral port (default 8734)",
+    )
+    serve.add_argument(
+        "--wal-root", metavar="DIR", default=None,
+        help="journal queries under DIR/<query>/ and resume them on "
+             "restart (no DIR = in-memory only, no durability)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=int, default=1000, metavar="N",
+        help="updates between checkpoints per query (default 1000)",
+    )
+    serve.add_argument(
+        "--tenant-rate", type=float, default=50_000.0, metavar="R",
+        help="admission token-bucket refill, updates/sec per tenant "
+             "(default 50000)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=8192, metavar="N",
+        help="bounded ingress queue capacity in updates (default 8192)",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     profile = sub.add_parser(
         "profile",

@@ -60,3 +60,7 @@ class ParallelError(ReproError):
 
 class CLIError(ReproError):
     """A command-line argument was out of range or named nothing known."""
+
+
+class ServiceError(ReproError):
+    """The streaming service could not bind, start, or serve a request."""

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
 from repro.errors import ConfigError
-from repro.obs.decisions import QUARANTINE
+from repro.obs.decisions import DEAD_LETTER_OVERFLOW, QUARANTINE
 from repro.relations.relation import Relation
 from repro.streams.events import Sign, Update
 
@@ -129,6 +129,21 @@ class IngressGuard:
         return None
 
     def _quarantine(self, update: Update, reason: str, ctx) -> str:
+        at_capacity = len(self.dead_letters) == self.dead_letters.capacity
+        if at_capacity:
+            # The buffer is about to evict its oldest entry. The drop is
+            # itself a decision worth auditing: quarantined evidence is
+            # being discarded to bound memory.
+            oldest = self.dead_letters.entries()[0]
+            ctx.obs.decisions.record(
+                ctx.clock.now_us,
+                DEAD_LETTER_OVERFLOW,
+                f"∆{oldest.relation}",
+                reason=(
+                    f"buffer at {self.dead_letters.capacity}; dropped "
+                    f"oldest rid={oldest.rid} ({oldest.reason})"
+                ),
+            )
         self.dead_letters.add(
             QuarantinedUpdate(
                 relation=update.relation,

@@ -1,0 +1,384 @@
+"""Service-layer chaos: hostile clients against a live streaming server.
+
+``repro chaos service --seed N`` boots a real :class:`~repro.service.
+server.ServiceThread` on an ephemeral port and attacks it three ways
+while a well-behaved workload keeps flowing:
+
+* **slow clients** — sockets that trickle a request head byte by byte
+  (or stall completely) to hold server-side readers hostage; the header
+  deadline must 408 them without starving honest requests;
+* **disconnect storms** — waves of connections (plain and mid-subscribe)
+  that vanish without ceremony; the server must reap them without
+  leaking subscribers or wedging the worker;
+* **poison batches** — malformed JSON, unknown relations, wrong
+  arities, absurd Content-Lengths, and NaN payloads. The first four are
+  the HTTP layer's problem (4xx); NaN passes the wire checks and must
+  be quarantined by the engine's ingress guard instead of killing the
+  worker.
+
+The verdict is behavioral: after the storm, the service must still be
+ready, every acknowledged (202) update must survive into
+``processed_seq``, and the honest client's retry discipline must have
+absorbed any transient 429/503s. All randomness flows from one seeded
+``random.Random``, so a failing run replays exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ResilienceError
+from repro.service.client import RetryPolicy, ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.server import ServiceThread
+
+__all__ = [
+    "ServiceChaosConfig",
+    "ServiceChaosReport",
+    "format_service_chaos_report",
+    "run_service_chaos",
+]
+
+
+@dataclass(frozen=True)
+class ServiceChaosConfig:
+    """Attack intensities for one chaos run."""
+
+    seed: int = 0
+    honest_batches: int = 60          # well-behaved ingest batches
+    batch_arrivals: int = 6           # arrivals per honest batch
+    slow_clients: int = 4             # tricklers + stallers
+    disconnect_waves: int = 3
+    connections_per_wave: int = 8
+    poison_batches: int = 12
+    header_deadline_s: float = 0.5    # tight, so slow clients 408 fast
+    queue_capacity_updates: int = 4096
+
+
+@dataclass
+class ServiceChaosReport:
+    """What the storm did and how the service held up."""
+
+    seed: int
+    honest_acked: int = 0             # 202-acknowledged honest batches
+    honest_throttled: int = 0         # 429/503 absorbed by retries
+    honest_failed: int = 0            # honest batches lost for good
+    slow_client_408s: int = 0
+    slow_client_other: int = 0
+    disconnects: int = 0
+    poison_rejected_4xx: int = 0      # stopped at the HTTP layer
+    poison_accepted: int = 0          # reached the engine (NaN case)
+    quarantined: int = 0              # engine-side guard dead-letters
+    engine_errors: int = 0
+    acked_seq: int = -1
+    processed_seq: int = -1
+    ready_after: bool = False
+    drained: bool = False
+    tier_after: str = ""
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def survived(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "honest_acked": self.honest_acked,
+            "honest_throttled": self.honest_throttled,
+            "honest_failed": self.honest_failed,
+            "slow_client_408s": self.slow_client_408s,
+            "slow_client_other": self.slow_client_other,
+            "disconnects": self.disconnects,
+            "poison_rejected_4xx": self.poison_rejected_4xx,
+            "poison_accepted": self.poison_accepted,
+            "quarantined": self.quarantined,
+            "engine_errors": self.engine_errors,
+            "acked_seq": self.acked_seq,
+            "processed_seq": self.processed_seq,
+            "ready_after": self.ready_after,
+            "drained": self.drained,
+            "tier_after": self.tier_after,
+            "survived": self.survived,
+            "failures": list(self.failures),
+        }
+
+
+_CHAIN_SPEC = {
+    "kind": "chain",
+    "params": {"window_r": 32, "window_s": 32, "window_t": 32},
+}
+
+
+def _slow_client(host: str, port: int, rng: random.Random,
+                 report: ServiceChaosReport) -> None:
+    """Trickle a request head; expect the header deadline to 408 us."""
+    try:
+        sock = socket.create_connection((host, port), timeout=5.0)
+    except OSError:
+        report.slow_client_other += 1
+        return
+    try:
+        head = b"GET /healthz HTTP/1.1\r\nHost: chaos\r\n"
+        # Send a prefix, then stall past the header deadline.
+        cut = rng.randrange(1, len(head))
+        sock.sendall(head[:cut])
+        sock.settimeout(5.0)
+        data = b""
+        try:
+            while b"\r\n\r\n" not in data:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                data += chunk
+        except socket.timeout:
+            pass
+        if b" 408 " in data:
+            report.slow_client_408s += 1
+        else:
+            report.slow_client_other += 1
+    except OSError:
+        report.slow_client_other += 1
+    finally:
+        sock.close()
+
+
+def _disconnect_wave(host: str, port: int, query: str, n: int,
+                     rng: random.Random,
+                     report: ServiceChaosReport) -> None:
+    """Open n connections (some mid-request, some mid-subscribe), drop all."""
+    socks = []
+    for i in range(n):
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+        except OSError:
+            continue
+        mode = rng.randrange(3)
+        try:
+            if mode == 0:
+                # Vanish before sending anything.
+                pass
+            elif mode == 1:
+                # Vanish mid-request-head.
+                sock.sendall(b"POST /v1/queries/"
+                             + query.encode() + b"/ingest HTTP/1.1\r\n")
+            else:
+                # Complete a WS handshake, then vanish mid-stream.
+                sock.sendall(
+                    (
+                        f"GET /v1/queries/{query}/subscribe HTTP/1.1\r\n"
+                        f"Host: chaos\r\n"
+                        "Upgrade: websocket\r\n"
+                        "Connection: Upgrade\r\n"
+                        "Sec-WebSocket-Key: Y2hhb3MtY2hhb3MtY2hhb3M=\r\n"
+                        "Sec-WebSocket-Version: 13\r\n\r\n"
+                    ).encode("latin-1")
+                )
+        except OSError:
+            pass
+        socks.append(sock)
+    for sock in socks:
+        # Abort, don't linger: RST instead of FIN where the stack allows.
+        try:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                b"\x01\x00\x00\x00\x00\x00\x00\x00",
+            )
+        except OSError:
+            pass
+        sock.close()
+        report.disconnects += 1
+
+
+_POISON_BODIES = [
+    b"{not json at all",
+    b"[]",
+    b'{"arrivals": "nope"}',
+    b'{"arrivals": []}',
+    b'{"arrivals": [["Z", [1]]]}',                  # unknown relation
+    b'{"arrivals": [["R", [1, 2, 3, 4]]]}',         # arity mismatch
+    b'{"arrivals": [["R", [true]]]}',               # bool is not a value
+    b'{"arrivals": [["R", [NaN]]]}',                # passes wire, guard's job
+]
+
+
+def _poison_batch(client: ServiceClient, query: str, body: bytes,
+                  report: ServiceChaosReport) -> None:
+    import http.client
+
+    connection = http.client.HTTPConnection(
+        client.host, client.port, timeout=10.0
+    )
+    try:
+        connection.request(
+            "POST", f"/v1/queries/{query}/ingest", body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        response.read()
+        if 400 <= response.status < 500:
+            report.poison_rejected_4xx += 1
+        elif response.status == 202:
+            report.poison_accepted += 1
+        else:
+            report.failures.append(
+                f"poison batch answered {response.status}: {body[:40]!r}"
+            )
+    except OSError as exc:
+        report.failures.append(f"poison batch transport error: {exc}")
+    finally:
+        connection.close()
+
+
+def run_service_chaos(
+    config: Optional[ServiceChaosConfig] = None,
+    wal_root: Optional[str] = None,
+) -> ServiceChaosReport:
+    """Boot a service, attack it, verify it survived. See module doc."""
+    config = config if config is not None else ServiceChaosConfig()
+    rng = random.Random(config.seed)
+    report = ServiceChaosReport(seed=config.seed)
+    if wal_root is None:
+        wal_root = tempfile.mkdtemp(prefix="repro-service-chaos-")
+    service_config = ServiceConfig(
+        wal_root=wal_root,
+        header_deadline_s=config.header_deadline_s,
+        queue_capacity_updates=config.queue_capacity_updates,
+    )
+    thread = ServiceThread(service_config)
+    url = thread.start()
+    host, port = thread.config.host, thread.port
+    try:
+        client = ServiceClient(
+            url, retry=RetryPolicy(max_retries=6, seed=config.seed)
+        )
+        client.register("chaos", _CHAIN_SPEC)
+
+        poison_iter = iter(
+            _POISON_BODIES[i % len(_POISON_BODIES)]
+            for i in range(config.poison_batches)
+        )
+        slow_left = config.slow_clients
+        waves_left = config.disconnect_waves
+        value = 0
+        for batch_index in range(config.honest_batches):
+            # Interleave attacks between honest batches, seeded order.
+            roll = rng.random()
+            if slow_left and roll < 0.25:
+                slow_left -= 1
+                _slow_client(host, port, rng, report)
+            elif waves_left and roll < 0.45:
+                waves_left -= 1
+                _disconnect_wave(
+                    host, port, "chaos", config.connections_per_wave,
+                    rng, report,
+                )
+            if batch_index % 5 == 0:
+                poison = next(poison_iter, None)
+                if poison is not None:
+                    _poison_batch(client, "chaos", poison, report)
+            arrivals = []
+            for i in range(config.batch_arrivals):
+                if i % 3 == 0:
+                    value += 1
+                relation = ("R", "S", "T")[i % 3]
+                row = {
+                    "R": (value,), "S": (value, value), "T": (value,)
+                }[relation]
+                arrivals.append((relation, row))
+            try:
+                status, payload = client.ingest("chaos", arrivals)
+            except ServiceError:
+                report.honest_failed += 1
+                continue
+            if status == 202:
+                report.honest_acked += 1
+            else:
+                report.honest_failed += 1
+        # Fire any poison bodies the interleave did not reach.
+        for poison in poison_iter:
+            _poison_batch(client, "chaos", poison, report)
+        for _ in range(slow_left):
+            _slow_client(host, port, rng, report)
+        for _ in range(waves_left):
+            _disconnect_wave(
+                host, port, "chaos", config.connections_per_wave, rng, report
+            )
+        report.honest_throttled = client.throttled
+
+        # Let the worker catch up, then interrogate the survivor.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            status_payload = client.status("chaos")
+            if status_payload["processed_seq"] >= status_payload["acked_seq"]:
+                break
+            time.sleep(0.1)
+        status_payload = client.status("chaos")
+        report.acked_seq = status_payload["acked_seq"]
+        report.processed_seq = status_payload["processed_seq"]
+        report.engine_errors = status_payload["engine_errors"]
+        report.tier_after = status_payload["tier"]
+        shedding = status_payload.get("shedding") or {}
+        report.quarantined = shedding.get("quarantined", 0)
+        ready, _ = client.readyz()
+        report.ready_after = ready
+
+        if report.processed_seq < report.acked_seq:
+            report.failures.append(
+                f"acknowledged updates lost: processed_seq "
+                f"{report.processed_seq} < acked_seq {report.acked_seq}"
+            )
+        if not ready:
+            report.failures.append("service not ready after the storm")
+        if report.honest_failed:
+            report.failures.append(
+                f"{report.honest_failed} honest batches failed despite retries"
+            )
+        if report.poison_accepted and not report.quarantined:
+            report.failures.append(
+                "NaN poison was accepted but never quarantined by the guard"
+            )
+        drained = client.drain()
+        report.drained = all(drained.get("drained", {}).values())
+        if not report.drained:
+            report.failures.append("drain did not empty every queue")
+    finally:
+        thread.stop()
+    return report
+
+
+def format_service_chaos_report(report: ServiceChaosReport) -> str:
+    lines = [
+        f"service chaos (seed {report.seed}): "
+        + ("SURVIVED" if report.survived else "FAILED"),
+        f"  honest batches    acked {report.honest_acked}, "
+        f"throttle-retries {report.honest_throttled}, "
+        f"failed {report.honest_failed}",
+        f"  slow clients      408s {report.slow_client_408s}, "
+        f"other {report.slow_client_other}",
+        f"  disconnect storm  {report.disconnects} connections dropped",
+        f"  poison batches    4xx {report.poison_rejected_4xx}, "
+        f"accepted {report.poison_accepted}, "
+        f"quarantined {report.quarantined}, "
+        f"engine errors {report.engine_errors}",
+        f"  after the storm   ready={report.ready_after} "
+        f"tier={report.tier_after} acked_seq={report.acked_seq} "
+        f"processed_seq={report.processed_seq} drained={report.drained}",
+    ]
+    for failure in report.failures:
+        lines.append(f"  FAILURE: {failure}")
+    return "\n".join(lines)
+
+
+def verify_service_chaos(report: ServiceChaosReport) -> None:
+    """Raise :class:`ResilienceError` if the service did not survive."""
+    if not report.survived:
+        raise ResilienceError(
+            "service chaos failures: " + "; ".join(report.failures)
+        )

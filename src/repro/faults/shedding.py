@@ -13,6 +13,7 @@ the bounded log.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
@@ -23,13 +24,23 @@ from repro.streams.events import Sign, Update
 
 @dataclass(frozen=True)
 class SheddingConfig:
-    """Overload budget and response."""
+    """Overload budget and response.
+
+    With ``wall_clock`` set, the per-update cost is measured in real
+    elapsed microseconds (``perf_counter``) instead of the virtual
+    clock. That makes the trigger track *actual* machine lag — what a
+    live service cares about — at the price of determinism: identical
+    runs may shed different updates. Batch-equivalence and recovery
+    byte-identity guarantees therefore only hold with the default
+    virtual-clock trigger (see ``docs/robustness.md``).
+    """
 
     budget_us_per_update: float = 400.0  # virtual µs per admitted update
     window_updates: int = 200            # averaging window
     shed_fraction: float = 0.5           # inserts dropped while degraded
     recover_windows: int = 2             # consecutive good windows to exit
     recover_factor: float = 0.8          # hysteresis: good = below this × budget
+    wall_clock: bool = False             # measure real time, not virtual
 
 
 class LoadShedder:
@@ -83,9 +94,14 @@ class LoadShedder:
             ).inc()
         return True
 
+    def _now_us(self, ctx) -> float:
+        if self.config.wall_clock:
+            return time.perf_counter_ns() / 1000.0
+        return ctx.clock.now_us
+
     def after_update(self, ctx) -> None:
         """Account one admitted update; check the window budget."""
-        now_us = ctx.clock.now_us
+        now_us = self._now_us(ctx)
         if self._window_started_us is None:
             self._window_started_us = now_us
         self._window_updates += 1

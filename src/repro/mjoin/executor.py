@@ -140,36 +140,41 @@ class MJoinExecutor:
             prof.begin(
                 "update:" + update.relation, self.ctx.clock.now_us
             )
-        pipeline = self.pipelines[update.relation]
-        profile = False
-        if self.profile_gate is not None:
-            profile = self.profile_gate(update.relation)
-        memo = self.ctx.probe_memo
-        if profile and memo is not None:
-            # Profiled tuples measure the true cache-free operator costs
-            # (Appendix A); the batch memo must not shortcut them.
-            self.ctx.probe_memo = None
         try:
-            composites, sample = pipeline.process(
-                update.row, update.sign, self.ctx, profile=profile
-            )
-        finally:
+            pipeline = self.pipelines[update.relation]
+            profile = False
+            if self.profile_gate is not None:
+                profile = self.profile_gate(update.relation)
+            memo = self.ctx.probe_memo
             if profile and memo is not None:
-                self.ctx.probe_memo = memo
-        if sample is not None and self.sample_sink is not None:
-            self.ctx.metrics.profiled_tuples += 1
-            self.sample_sink(update.relation, sample)
-        self._apply_window_update(update)
-        if memo is not None:
-            # The window just changed: every memoized probe of this
-            # relation is now stale.
-            memo.invalidate(update.relation)
-        cm = self.ctx.cost_model
-        self.ctx.clock.charge(cm.output_emit * len(composites))
-        self.ctx.metrics.updates_processed += 1
-        self.ctx.metrics.outputs_emitted += len(composites)
-        if prof.enabled:
-            prof.end(self.ctx.clock.now_us)
+                # Profiled tuples measure the true cache-free operator
+                # costs (Appendix A); the batch memo must not shortcut
+                # them.
+                self.ctx.probe_memo = None
+            try:
+                composites, sample = pipeline.process(
+                    update.row, update.sign, self.ctx, profile=profile
+                )
+            finally:
+                if profile and memo is not None:
+                    self.ctx.probe_memo = memo
+            if sample is not None and self.sample_sink is not None:
+                self.ctx.metrics.profiled_tuples += 1
+                self.sample_sink(update.relation, sample)
+            self._apply_window_update(update)
+            if memo is not None:
+                # The window just changed: every memoized probe of this
+                # relation is now stale.
+                memo.invalidate(update.relation)
+            cm = self.ctx.cost_model
+            self.ctx.clock.charge(cm.output_emit * len(composites))
+            self.ctx.metrics.updates_processed += 1
+            self.ctx.metrics.outputs_emitted += len(composites)
+        finally:
+            # The span must close even when the pipeline raises (a poison
+            # update must not leave the profiler stack unbalanced).
+            if prof.enabled:
+                prof.end(self.ctx.clock.now_us)
         if obs.enabled:
             now_us = self.ctx.clock.now_us
             obs.registry.histogram(

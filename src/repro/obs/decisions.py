@@ -44,6 +44,11 @@ CHECKPOINT = "checkpoint"              # snapshot written at an update seq
 RECOVER = "recover"                    # restore from checkpoint + WAL replay
 WORKER_RESTART = "worker_restart"      # supervisor restarted a shard worker
 WORKER_FALLBACK = "worker_fallback"    # circuit breaker: shard ran serially
+# Service actions (repro.service): the ingestion server's own overload
+# ladder and lifecycle events join the same chronological log.
+TIER_CHANGE = "tier_change"            # degradation ladder moved a step
+DRAIN = "drain"                        # server began (or finished) draining
+DEAD_LETTER_OVERFLOW = "dead_letter_overflow"  # quarantine dropped its oldest
 
 
 @dataclass(frozen=True)

@@ -213,10 +213,16 @@ class Pipeline:
                     ctx.clock.charge(ctx.cost_model.profile_tuple)
                 if prof.enabled:
                     prof.begin(self._op_span_names[position], started)
-                composites = self.operators[position].apply(composites, ctx)
+                try:
+                    composites = self.operators[position].apply(
+                        composites, ctx
+                    )
+                finally:
+                    # Close the span on the exception path too, or a
+                    # failing operator leaves the profiler stack open.
+                    if prof.enabled:
+                        prof.end(ctx.clock.now_us)
                 elapsed = ctx.clock.now_us - started
-                if prof.enabled:
-                    prof.end(ctx.clock.now_us)
                 if profile:
                     sample.taus.append(elapsed)
                 if detail:
@@ -276,30 +282,35 @@ class Pipeline:
         results: List[CompositeTuple] = []
         miss_groups: Dict[tuple, List[CompositeTuple]] = {}
         hit_count = 0
-        for composite in composites:
-            probe_key, values = cache.probe(composite, lookup.key)
-            if charged_keys is None:
-                clock.charge(cm.cache_probe)
-            elif probe_key not in charged_keys:
-                charged_keys.add(probe_key)
-                clock.charge(cm.cache_probe)
-            if values is not None:
-                hit_count += 1
-            ctx.metrics.record_probe(cache.name, hit=values is not None)
-            if check_witnesses is not None and probe_key not in checked_keys:
-                checked_keys.add(probe_key)
-                clock.charge(cm.index_probe)
-                if check_witnesses(probe_key) <= 1:
-                    consumed_keys.add(probe_key)
-                    cache.invalidate(probe_key)
-            if values is None:
-                miss_groups.setdefault(probe_key, []).append(composite)
-                continue
-            clock.charge(cm.cache_hit_tuple * len(values))
-            for segment_composite in values:
-                results.append(composite.merge(segment_composite))
-        if prof.enabled:
-            prof.end(clock.now_us)
+        try:
+            for composite in composites:
+                probe_key, values = cache.probe(composite, lookup.key)
+                if charged_keys is None:
+                    clock.charge(cm.cache_probe)
+                elif probe_key not in charged_keys:
+                    charged_keys.add(probe_key)
+                    clock.charge(cm.cache_probe)
+                if values is not None:
+                    hit_count += 1
+                ctx.metrics.record_probe(cache.name, hit=values is not None)
+                if (
+                    check_witnesses is not None
+                    and probe_key not in checked_keys
+                ):
+                    checked_keys.add(probe_key)
+                    clock.charge(cm.index_probe)
+                    if check_witnesses(probe_key) <= 1:
+                        consumed_keys.add(probe_key)
+                        cache.invalidate(probe_key)
+                if values is None:
+                    miss_groups.setdefault(probe_key, []).append(composite)
+                    continue
+                clock.charge(cm.cache_hit_tuple * len(values))
+                for segment_composite in values:
+                    results.append(composite.merge(segment_composite))
+        finally:
+            if prof.enabled:
+                prof.end(clock.now_us)
         obs = ctx.obs
         if obs.enabled and composites:
             labels = {"cache": cache.name}
@@ -324,6 +335,27 @@ class Pipeline:
             )
         if prof.enabled and miss_groups:
             prof.begin("cache_store:" + cache.name, clock.now_us)
+        try:
+            self._fill_misses(
+                lookup, miss_groups, consumed_keys, results, ctx
+            )
+        finally:
+            if prof.enabled and miss_groups:
+                prof.end(clock.now_us)
+        return results
+
+    def _fill_misses(
+        self,
+        lookup: CacheLookup,
+        miss_groups: Dict[tuple, List[CompositeTuple]],
+        consumed_keys: set,
+        results: List[CompositeTuple],
+        ctx: ExecContext,
+    ) -> None:
+        """Compute the segment join for each missed key; fill the cache."""
+        clock, cm = ctx.clock, ctx.cost_model
+        cache = lookup.cache
+        obs = ctx.obs
         for probe_key, group in miss_groups.items():
             if probe_key in consumed_keys:
                 # Compute through the operators without creating an entry:
@@ -363,9 +395,6 @@ class Pipeline:
                     clock.charge(cm.cache_hit_tuple * len(segment_parts))
                 for part in segment_parts:
                     results.append(member.merge(part))
-        if prof.enabled and miss_groups:
-            prof.end(clock.now_us)
-        return results
 
     def __repr__(self) -> str:
         chain = " -> ".join(self.order)

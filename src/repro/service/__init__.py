@@ -1,0 +1,56 @@
+"""The streaming service layer: the Session facade served over the wire.
+
+ROADMAP item 4: turn the single-process library into a long-running
+ingestion service. Clients register continuous queries, push update
+batches over HTTP, and subscribe to result deltas over WebSocket; every
+request path is defended in depth:
+
+* per-tenant **token-bucket admission control** (first gate, feeding the
+  engine's existing load shedder as the second),
+* a **bounded ingress queue** with explicit backpressure — HTTP 429 +
+  ``Retry-After`` *before* the queue can overflow, WebSocket
+  flow-control frames on the subscription path,
+* per-request **deadlines** with cooperative timeout/cancellation,
+* **graceful degradation tiers** (shed deltas → pause subscriptions →
+  reject ingest) driven by queue depth and wall-clock lag,
+* **WAL-journaled ingest**: an update is acknowledged only once durable,
+  so a killed server resumes via the recovery machinery without losing a
+  single acknowledged update.
+
+Everything is stdlib-only: the HTTP/1.1 + RFC 6455 framing lives in
+:mod:`repro.service.http`, the server in :mod:`repro.service.server`,
+and the retrying client helper in :mod:`repro.service.client`.
+"""
+
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.backpressure import (
+    DegradationController,
+    IngressQueue,
+    TIER_NAMES,
+    TIER_NORMAL,
+    TIER_PAUSE_SUBSCRIPTIONS,
+    TIER_REJECT_INGEST,
+    TIER_SHED_DELTAS,
+)
+from repro.service.client import RetryPolicy, ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.server import QueryHost, ServiceThread, StreamingService
+
+__all__ = [
+    "AdmissionController",
+    "DegradationController",
+    "IngressQueue",
+    "QueryHost",
+    "RetryPolicy",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "StreamingService",
+    "TIER_NAMES",
+    "TIER_NORMAL",
+    "TIER_PAUSE_SUBSCRIPTIONS",
+    "TIER_REJECT_INGEST",
+    "TIER_SHED_DELTAS",
+    "TokenBucket",
+]

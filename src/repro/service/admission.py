@@ -1,0 +1,117 @@
+"""Per-tenant token-bucket admission control — the first gate on ingest.
+
+The bucket is the classic leaky variant: ``rate`` tokens/second refill up
+to ``burst`` capacity, one token per update. ``take(n)`` either succeeds
+(returns 0.0) or returns the number of seconds until ``n`` tokens will
+have accumulated — the value the server sends back verbatim as
+``Retry-After``, so a well-behaved client sleeps exactly as long as the
+bucket needs and no longer.
+
+Admission runs strictly before the bounded ingress queue and before the
+engine's own :class:`~repro.faults.shedding.LoadShedder`: the wire gate
+turns away work the engine would otherwise have to admit and then shed.
+When the engine reports shedding is active, :class:`AdmissionController`
+tightens every tenant's effective rate by ``degraded_rate_factor`` so
+overload relief starts at the cheapest point — the socket.
+
+Clocks are injectable (a callable returning monotonic seconds) so tests
+and the chaos harness are deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["AdmissionController", "TokenBucket"]
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """A single tenant's refillable budget, in updates."""
+
+    __slots__ = ("rate", "burst", "tokens", "_clock", "_last", "denied", "granted")
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Optional[Clock] = None) -> None:
+        if rate <= 0:
+            raise ValueError(f"token bucket rate must be positive, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"token bucket burst must be positive, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._clock: Clock = clock if clock is not None else time.monotonic
+        self._last = self._clock()
+        self.granted = 0
+        self.denied = 0
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self._last = now
+
+    def take(self, n: int, rate_factor: float = 1.0) -> float:
+        """Try to spend ``n`` tokens.
+
+        Returns 0.0 on success, else the retry-after interval in seconds.
+        ``rate_factor`` scales the *refill* rate used for the retry-after
+        estimate and the effective spend (a factor of 0.5 makes each
+        update cost two tokens), which is how degraded mode tightens the
+        gate without reconfiguring the bucket.
+        """
+        if n <= 0:
+            return 0.0
+        self._refill(self._clock())
+        cost = n / rate_factor
+        if self.tokens >= cost:
+            self.tokens -= cost
+            self.granted += n
+            return 0.0
+        self.denied += n
+        deficit = cost - self.tokens
+        return deficit / (self.rate * rate_factor)
+
+
+class AdmissionController:
+    """One bucket per tenant, plus the engine-degradation feedback loop."""
+
+    def __init__(self, rate: float, burst: float,
+                 degraded_rate_factor: float = 0.5,
+                 clock: Optional[Clock] = None) -> None:
+        self._rate = rate
+        self._burst = burst
+        self._factor = degraded_rate_factor
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.degraded = False
+        self.rejections = 0
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self._rate, self._burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, n_updates: int) -> float:
+        """0.0 = admitted; positive = rejected, retry after that many seconds."""
+        factor = self._factor if self.degraded else 1.0
+        retry_after = self.bucket(tenant).take(n_updates, rate_factor=factor)
+        if retry_after > 0.0:
+            self.rejections += 1
+        return retry_after
+
+    def note_engine_degraded(self, degraded: bool) -> None:
+        self.degraded = bool(degraded)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "tenants": len(self._buckets),
+            "rejections": self.rejections,
+            "degraded": self.degraded,
+            "granted": sum(b.granted for b in self._buckets.values()),
+            "denied": sum(b.denied for b in self._buckets.values()),
+        }

@@ -1,0 +1,214 @@
+"""Bounded ingress queue + the graceful-degradation ladder.
+
+Two cooperating pieces:
+
+* :class:`IngressQueue` — a bounded asyncio queue measured in *updates*
+  (not batches) with an explicit two-phase protocol: ``reserve(n)``
+  claims capacity synchronously on the event loop **before** the caller
+  does any awaitable work, so a 429 is issued while the queue still has
+  headroom and an accepted batch can never find the queue full. The
+  reservation is released by the worker once the batch is processed.
+  The queue also tracks the enqueue wall-clock time of the oldest
+  resident batch, which is the service's lag signal.
+
+* :class:`DegradationController` — maps (depth fraction, oldest-batch
+  lag) to a tier on the ladder::
+
+      TIER_NORMAL → TIER_SHED_DELTAS → TIER_PAUSE_SUBSCRIPTIONS
+                  → TIER_REJECT_INGEST
+
+  Whichever signal trips first wins (max of the two tiers). Recovery is
+  hysteretic: a tier releases only once *both* signals fall below
+  ``recover_fraction`` of that tier's engage threshold, so the service
+  does not flap at a boundary. Every transition is recorded in the
+  engine's :class:`~repro.obs.decisions.DecisionLog` under
+  ``TIER_CHANGE``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.service.config import ServiceConfig
+
+__all__ = [
+    "DegradationController",
+    "IngressQueue",
+    "TIER_NAMES",
+    "TIER_NORMAL",
+    "TIER_PAUSE_SUBSCRIPTIONS",
+    "TIER_REJECT_INGEST",
+    "TIER_SHED_DELTAS",
+]
+
+TIER_NORMAL = 0
+TIER_SHED_DELTAS = 1
+TIER_PAUSE_SUBSCRIPTIONS = 2
+TIER_REJECT_INGEST = 3
+
+TIER_NAMES = {
+    TIER_NORMAL: "normal",
+    TIER_SHED_DELTAS: "shed_deltas",
+    TIER_PAUSE_SUBSCRIPTIONS: "pause_subscriptions",
+    TIER_REJECT_INGEST: "reject_ingest",
+}
+
+
+class IngressQueue:
+    """Bounded queue of ingest batches with reserve-before-enqueue.
+
+    All methods must run on the owning event loop's thread; there are no
+    internal locks because the loop is the lock.
+    """
+
+    def __init__(self, capacity_updates: int,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.capacity = capacity_updates
+        self.reserved = 0          # updates claimed but not yet released
+        self._clock = clock if clock is not None else time.monotonic
+        self._batches: Deque[Tuple[float, object]] = deque()
+        self._waiter: Optional[asyncio.Future] = None
+        self.enqueued_batches = 0
+        self.rejected_batches = 0
+
+    # -- producer side (ingest handler, synchronous section) ------------
+
+    def reserve(self, n_updates: int) -> bool:
+        """Claim capacity for ``n_updates``; False means "send 429 now".
+
+        The claim covers the batch until the worker finishes processing
+        it, so depth here = queued + in-flight updates.
+        """
+        if self.reserved + n_updates > self.capacity:
+            self.rejected_batches += 1
+            return False
+        self.reserved += n_updates
+        return True
+
+    def put(self, batch: object) -> None:
+        """Enqueue a batch whose capacity was already reserved."""
+        self._batches.append((self._clock(), batch))
+        self.enqueued_batches += 1
+        if self._waiter is not None and not self._waiter.done():
+            self._waiter.set_result(None)
+
+    def cancel_reservation(self, n_updates: int) -> None:
+        """Return capacity claimed by a batch that was never enqueued."""
+        self.reserved = max(0, self.reserved - n_updates)
+
+    # -- consumer side (single worker task) ------------------------------
+
+    async def get(self) -> object:
+        while not self._batches:
+            self._waiter = asyncio.get_running_loop().create_future()
+            try:
+                await self._waiter
+            finally:
+                self._waiter = None
+        _, batch = self._batches.popleft()
+        return batch
+
+    def release(self, n_updates: int) -> None:
+        """The worker finished a batch: free its reserved capacity."""
+        self.reserved = max(0, self.reserved - n_updates)
+
+    # -- signals ----------------------------------------------------------
+
+    @property
+    def depth_updates(self) -> int:
+        return self.reserved
+
+    @property
+    def depth_fraction(self) -> float:
+        return self.reserved / self.capacity
+
+    def oldest_lag_s(self) -> float:
+        """Wall-clock age of the oldest still-queued batch (0 if empty)."""
+        if not self._batches:
+            return 0.0
+        return max(0.0, self._clock() - self._batches[0][0])
+
+    def wake_consumer(self) -> None:
+        """Unblock a pending ``get`` (used during drain shutdown)."""
+        if self._waiter is not None and not self._waiter.done():
+            self._waiter.set_result(None)
+
+
+class DegradationController:
+    """Depth + lag → ladder tier, with hysteresis and decision logging."""
+
+    def __init__(self, config: ServiceConfig,
+                 decision_log=None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self._engage_depth = (
+            config.shed_depth_fraction,
+            config.pause_depth_fraction,
+            config.reject_depth_fraction,
+        )
+        self._engage_lag = (
+            config.shed_lag_s,
+            config.pause_lag_s,
+            config.reject_lag_s,
+        )
+        self._recover = config.recover_fraction
+        self._decisions = decision_log
+        self._clock = clock if clock is not None else time.monotonic
+        self.tier = TIER_NORMAL
+        self.transitions = 0
+
+    def _tier_for(self, value: float, thresholds: Tuple[float, float, float],
+                  scale: float = 1.0) -> int:
+        tier = TIER_NORMAL
+        for idx, threshold in enumerate(thresholds):
+            if value >= threshold * scale:
+                tier = idx + 1
+        return tier
+
+    def update(self, depth_fraction: float, lag_s: float) -> int:
+        """Feed the latest signals; returns the (possibly new) tier."""
+        engage = max(
+            self._tier_for(depth_fraction, self._engage_depth),
+            self._tier_for(lag_s, self._engage_lag),
+        )
+        if engage > self.tier:
+            self._transition(engage, depth_fraction, lag_s)
+        elif engage < self.tier:
+            # Hysteresis: only step down when both signals are below
+            # recover_fraction of the *current* tier's engage threshold.
+            idx = self.tier - 1
+            if (depth_fraction < self._engage_depth[idx] * self._recover
+                    and lag_s < self._engage_lag[idx] * self._recover):
+                self._transition(self.tier - 1, depth_fraction, lag_s)
+        return self.tier
+
+    def _transition(self, tier: int, depth_fraction: float, lag_s: float) -> None:
+        previous = self.tier
+        self.tier = tier
+        self.transitions += 1
+        if self._decisions is not None:
+            from repro.obs.decisions import TIER_CHANGE
+
+            self._decisions.record(
+                t_us=self._clock() * 1e6,
+                action=TIER_CHANGE,
+                candidate_id="service",
+                reason=(
+                    f"{TIER_NAMES[previous]}->{TIER_NAMES[tier]} "
+                    f"depth={depth_fraction:.3f} lag_s={lag_s:.3f}"
+                ),
+            )
+
+    @property
+    def shedding_deltas(self) -> bool:
+        return self.tier >= TIER_SHED_DELTAS
+
+    @property
+    def subscriptions_paused(self) -> bool:
+        return self.tier >= TIER_PAUSE_SUBSCRIPTIONS
+
+    @property
+    def rejecting_ingest(self) -> bool:
+        return self.tier >= TIER_REJECT_INGEST

@@ -1,0 +1,410 @@
+"""A synchronous client for the streaming service, with retry discipline.
+
+The helper the benchmark, the chaos harness, and the tests use to talk
+to a :class:`~repro.service.server.StreamingService`. Three pieces:
+
+* :class:`RetryPolicy` — jittered exponential backoff for *idempotent*
+  operations. Every ingest carries an ``Idempotency-Key``, so a retried
+  202 is replayed by the server, never re-applied; 429/503 responses
+  honor the server's ``Retry-After`` verbatim (capped by the policy's
+  ceiling) instead of guessing.
+* :class:`ServiceClient` — registration, ingest, results, status,
+  drain, metrics over plain :mod:`http.client`.
+* :meth:`ServiceClient.subscribe` — a blocking WebSocket delta reader
+  over a raw socket (RFC 6455 client handshake + masked frames), with
+  the credit-grant loop the server's flow control expects.
+
+Deterministic by construction: the backoff jitter comes from a seeded
+``random.Random``, so a chaos run with a fixed seed replays the same
+retry schedule.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import random
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.service.http import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    WS_GUID,
+    encode_ws_frame,
+)
+
+__all__ = ["RetryPolicy", "ServiceClient", "ServiceError"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for idempotent requests.
+
+    ``delay(attempt)`` is ``base * 2**attempt`` with full jitter, capped
+    at ``max_delay_s``; a server-provided ``Retry-After`` overrides the
+    computed delay (still capped). ``max_retries=0`` disables retrying.
+    """
+
+    max_retries: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    seed: int = 0
+
+    def delays(self) -> "Iterator[float]":  # pragma: no cover - trivial
+        rng = random.Random(self.seed)
+        for attempt in range(self.max_retries):
+            yield self.jittered(attempt, rng)
+
+    def jittered(self, attempt: int, rng: random.Random) -> float:
+        ceiling = min(self.max_delay_s, self.base_delay_s * (2 ** attempt))
+        return rng.uniform(0.0, ceiling)
+
+
+class ServiceClient:
+    """Synchronous HTTP/WebSocket client for one service endpoint."""
+
+    def __init__(
+        self,
+        base_url: str,
+        retry: Optional[RetryPolicy] = None,
+        timeout_s: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if not base_url.startswith("http://"):
+            raise ServiceError(
+                f"base_url must be http://host:port, got {base_url!r}"
+            )
+        hostport = base_url[len("http://"):].rstrip("/")
+        host, _, port_text = hostport.partition(":")
+        try:
+            self.port = int(port_text)
+        except ValueError as exc:
+            raise ServiceError(f"bad port in base_url {base_url!r}") from exc
+        self.host = host
+        self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        self._rng = random.Random(self.retry.seed)
+        self.retries = 0          # retried requests (all causes)
+        self.throttled = 0        # 429/503 responses seen
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = (
+                json.dumps(body, separators=(",", ":")).encode("utf-8")
+                if body is not None else None
+            )
+            connection.request(method, path, body=payload, headers=headers or {})
+            response = connection.getresponse()
+            data = response.read()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                data,
+            )
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"{method} {path} failed: {type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    def _json(self, data: bytes) -> dict:
+        if not data:
+            return {}
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(f"non-JSON response body: {exc}") from exc
+
+    def _with_retries(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+        retry_statuses: Sequence[int] = (429, 503),
+    ) -> Tuple[int, dict]:
+        """Issue an idempotent request, retrying on throttle/transport."""
+        attempt = 0
+        while True:
+            try:
+                status, resp_headers, data = self._request(
+                    method, path, body, headers
+                )
+            except ServiceError:
+                if attempt >= self.retry.max_retries:
+                    raise
+                self.retries += 1
+                self._sleep(self.retry.jittered(attempt, self._rng))
+                attempt += 1
+                continue
+            if status in retry_statuses and attempt < self.retry.max_retries:
+                self.throttled += 1
+                self.retries += 1
+                retry_after = resp_headers.get("retry-after")
+                delay = self.retry.jittered(attempt, self._rng)
+                if retry_after is not None:
+                    try:
+                        delay = min(float(retry_after), self.retry.max_delay_s)
+                    except ValueError:
+                        pass
+                self._sleep(delay)
+                attempt += 1
+                continue
+            if status in retry_statuses:
+                self.throttled += 1
+            return status, self._json(data)
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def register(self, query: str, workload: dict) -> dict:
+        status, payload = self._with_retries(
+            "POST", "/v1/queries",
+            body={"query": query, "workload": workload},
+        )
+        if status != 200:
+            raise ServiceError(
+                f"register {query!r} failed ({status}): "
+                f"{payload.get('error', payload)}"
+            )
+        return payload
+
+    def ingest(
+        self,
+        query: str,
+        arrivals: List[Tuple[str, Sequence[object]]],
+        tenant: str = "default",
+        idempotency_key: Optional[str] = None,
+        retry: bool = True,
+    ) -> Tuple[int, dict]:
+        """POST a batch of arrivals; returns (status, response payload).
+
+        Retried only under an idempotency key (generated when absent and
+        ``retry`` is on): the key is what makes the retry safe.
+        """
+        if retry and idempotency_key is None:
+            idempotency_key = uuid.uuid4().hex
+        body = {
+            "tenant": tenant,
+            "arrivals": [[relation, list(values)] for relation, values in arrivals],
+        }
+        headers = {}
+        if idempotency_key is not None:
+            headers["Idempotency-Key"] = idempotency_key
+        path = f"/v1/queries/{query}/ingest"
+        if not retry:
+            status, _, data = self._request("POST", path, body, headers)
+            if status in (429, 503):
+                self.throttled += 1
+            return status, self._json(data)
+        return self._with_retries("POST", path, body, headers)
+
+    def results(self, query: str, since_seq: int = -1,
+                limit: int = 1000) -> dict:
+        status, payload = self._with_retries(
+            "GET", f"/v1/queries/{query}/results?since_seq={since_seq}"
+                   f"&limit={limit}",
+        )
+        if status != 200:
+            raise ServiceError(f"results {query!r} failed ({status}): {payload}")
+        return payload
+
+    def status(self, query: str) -> dict:
+        status, payload = self._with_retries("GET", f"/v1/queries/{query}")
+        if status != 200:
+            raise ServiceError(f"status {query!r} failed ({status}): {payload}")
+        return payload
+
+    def healthz(self) -> dict:
+        _, payload = self._with_retries("GET", "/healthz")
+        return payload
+
+    def readyz(self) -> Tuple[bool, dict]:
+        status, payload = self._with_retries(
+            "GET", "/readyz", retry_statuses=()
+        )
+        return status == 200, payload
+
+    def drain(self) -> dict:
+        status, payload = self._with_retries(
+            "POST", "/v1/drain", retry_statuses=()
+        )
+        if status != 200:
+            raise ServiceError(f"drain failed ({status}): {payload}")
+        return payload
+
+    def metrics_text(self) -> str:
+        status, headers, data = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"metrics failed ({status})")
+        return data.decode("utf-8")
+
+    # ------------------------------------------------------------------
+    # WebSocket subscription
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        query: str,
+        since_seq: int = -1,
+        frame_timeout_s: float = 10.0,
+        credit_batch: int = 64,
+        credit_low_water: int = 16,
+    ) -> "Subscription":
+        """Open a delta subscription; returns an iterator of frames."""
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=frame_timeout_s
+        )
+        key = base64.b64encode(os.urandom(16)).decode("latin-1")
+        request = (
+            f"GET /v1/queries/{query}/subscribe?since_seq={since_seq} "
+            f"HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n"
+            "\r\n"
+        )
+        sock.sendall(request.encode("latin-1"))
+        head = b""
+        while b"\r\n\r\n" not in head:
+            chunk = sock.recv(4096)
+            if not chunk:
+                sock.close()
+                raise ServiceError("connection closed during WS handshake")
+            head += chunk
+            if len(head) > 64 * 1024:
+                sock.close()
+                raise ServiceError("oversized WS handshake response")
+        header_bytes, _, leftover = head.partition(b"\r\n\r\n")
+        status_line = header_bytes.split(b"\r\n", 1)[0].decode("latin-1")
+        if " 101 " not in f"{status_line} ":
+            sock.close()
+            raise ServiceError(f"WS upgrade refused: {status_line!r}")
+        return Subscription(
+            sock, leftover, frame_timeout_s, credit_batch, credit_low_water
+        )
+
+
+class Subscription:
+    """Iterates server frames; grants flow-control credits as it reads."""
+
+    def __init__(self, sock: socket.socket, leftover: bytes,
+                 frame_timeout_s: float, credit_batch: int,
+                 credit_low_water: int):
+        self._sock = sock
+        self._buffer = bytearray(leftover)
+        self._timeout = frame_timeout_s
+        self._credit_batch = credit_batch
+        self._low_water = credit_low_water
+        self._credits_left = 0  # server started with its own initial grant
+        self.frames_received = 0
+        self.gaps = 0
+        self.closed = False
+
+    def _fill(self, n: int) -> None:
+        self._sock.settimeout(self._timeout)
+        while len(self._buffer) < n:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ServiceError("subscription closed by server")
+            self._buffer += chunk
+
+    def _take(self, n: int) -> bytes:
+        self._fill(n)
+        data = bytes(self._buffer[:n])
+        del self._buffer[:n]
+        return data
+
+    def _read_frame(self) -> Tuple[int, bytes]:
+        first = self._take(2)
+        opcode = first[0] & 0x0F
+        length = first[1] & 0x7F
+        if length == 126:
+            length = int.from_bytes(self._take(2), "big")
+        elif length == 127:
+            length = int.from_bytes(self._take(8), "big")
+        payload = self._take(length) if length else b""
+        return opcode, payload
+
+    def grant(self, n: int) -> None:
+        """Send a credit frame allowing ``n`` more data frames."""
+        frame = json.dumps({"type": "credit", "n": n}).encode("utf-8")
+        self._sock.sendall(encode_ws_frame(OP_TEXT, frame, mask=True))
+
+    def recv(self) -> Optional[dict]:
+        """Next JSON frame from the server; None once the stream closes."""
+        if self.closed:
+            return None
+        while True:
+            try:
+                opcode, payload = self._read_frame()
+            except (socket.timeout, ServiceError, OSError):
+                self.closed = True
+                return None
+            if opcode == OP_CLOSE:
+                self.closed = True
+                return None
+            if opcode == OP_PING:
+                self._sock.sendall(encode_ws_frame(OP_PONG, payload, mask=True))
+                continue
+            if opcode != OP_TEXT:
+                continue
+            try:
+                frame = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue
+            self.frames_received += 1
+            if frame.get("type") == "deltas":
+                if frame.get("gap"):
+                    self.gaps += 1
+                self._credits_left -= 1
+                if self._credits_left <= self._low_water:
+                    self.grant(self._credit_batch)
+                    self._credits_left += self._credit_batch
+            return frame
+
+    def __iter__(self) -> Iterator[dict]:
+        while True:
+            frame = self.recv()
+            if frame is None:
+                return
+            yield frame
+
+    def close(self) -> None:
+        if not self.closed:
+            try:
+                self._sock.sendall(encode_ws_frame(OP_CLOSE, b"", mask=True))
+            except OSError:
+                pass
+            self.closed = True
+        self._sock.close()
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,234 @@
+"""Minimal stdlib HTTP/1.1 + RFC 6455 WebSocket framing.
+
+The container deliberately carries no aiohttp/websockets/fastapi — the
+service speaks the wire itself over ``asyncio`` streams. This module is
+the only place that knows about bytes-on-the-socket: request parsing
+with a header deadline (the slow-client guard), response serialization,
+and WebSocket frame encode/decode for both server and client roles.
+
+Scope is intentionally small: HTTP/1.1 with ``Content-Length`` bodies
+(no chunked transfer), one request per connection for ingest paths
+(``Connection: close``), and text/close/ping/pong WebSocket frames with
+payloads below 64 KiB fragments handled via the 16-bit extended length.
+That is everything the service, client helper, and chaos harness need.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = [
+    "BadRequest",
+    "HttpRequest",
+    "SlowClient",
+    "WS_GUID",
+    "encode_ws_frame",
+    "json_response",
+    "read_request",
+    "read_ws_frame",
+    "response_bytes",
+    "websocket_accept",
+]
+
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+STATUS_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    101: "Switching Protocols",
+}
+
+# WebSocket opcodes.
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+
+class BadRequest(Exception):
+    """The client sent something unparseable; answer 400 and close."""
+
+
+class SlowClient(Exception):
+    """The client blew the header/body deadline; answer 408 and close."""
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    def json(self) -> object:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       header_deadline_s: float,
+                       body_deadline_s: float,
+                       max_body: int = MAX_BODY_BYTES) -> Optional[HttpRequest]:
+    """Parse one request; None on clean EOF before any bytes arrived."""
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=header_deadline_s
+        )
+    except asyncio.TimeoutError as exc:
+        raise SlowClient("request head not received in time") from exc
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise BadRequest("connection closed mid-request-head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise BadRequest("request head exceeds limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise BadRequest("request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise BadRequest(f"malformed header line: {line!r}")
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise BadRequest(f"bad Content-Length: {length_text!r}") from exc
+    if length < 0 or length > max_body:
+        raise BadRequest(f"Content-Length {length} outside 0..{max_body}")
+    if length:
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=body_deadline_s
+            )
+        except asyncio.TimeoutError as exc:
+            raise SlowClient("request body not received in time") from exc
+        except asyncio.IncompleteReadError as exc:
+            raise BadRequest("connection closed mid-body") from exc
+
+    return HttpRequest(
+        method=method, path=split.path, query=query, headers=headers, body=body
+    )
+
+
+def response_bytes(status: int, body: bytes = b"",
+                   headers: Optional[Dict[str, str]] = None,
+                   content_type: str = "application/json") -> bytes:
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    out_headers = {
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    if body:
+        out_headers["Content-Type"] = content_type
+    if headers:
+        out_headers.update(headers)
+    for name, value in out_headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(status: int, payload: object,
+                  headers: Optional[Dict[str, str]] = None) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return response_bytes(status, body, headers)
+
+
+# -- WebSocket ------------------------------------------------------------
+
+
+def websocket_accept(key: str) -> str:
+    """Sec-WebSocket-Accept for a client's Sec-WebSocket-Key."""
+    digest = hashlib.sha1((key + WS_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def encode_ws_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One unfragmented frame; servers send unmasked, clients masked."""
+    head = bytearray([0x80 | opcode])
+    mask_bit = 0x80 if mask else 0x00
+    n = len(payload)
+    if n < 126:
+        head.append(mask_bit | n)
+    elif n < (1 << 16):
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", n)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", n)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+async def read_ws_frame(reader: asyncio.StreamReader,
+                        timeout: Optional[float] = None
+                        ) -> Tuple[int, bytes]:
+    """Read one frame; returns (opcode, unmasked payload).
+
+    Raises ``asyncio.IncompleteReadError`` on EOF and
+    ``asyncio.TimeoutError`` when ``timeout`` elapses first.
+    """
+
+    async def _read() -> Tuple[int, bytes]:
+        first = await reader.readexactly(2)
+        opcode = first[0] & 0x0F
+        masked = bool(first[1] & 0x80)
+        length = first[1] & 0x7F
+        if length == 126:
+            (length,) = struct.unpack(">H", await reader.readexactly(2))
+        elif length == 127:
+            (length,) = struct.unpack(">Q", await reader.readexactly(8))
+        key = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+        if masked:
+            payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+        return opcode, payload
+
+    if timeout is None:
+        return await _read()
+    return await asyncio.wait_for(_read(), timeout=timeout)

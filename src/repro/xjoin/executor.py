@@ -152,44 +152,48 @@ class XJoinExecutor:
         started_us = clock.now_us if obs.enabled else 0.0
         if prof.enabled:
             prof.begin("update:" + update.relation, clock.now_us)
-        leaf: JoinTree = Leaf(update.relation)
-        delta: List[CompositeTuple] = [
-            CompositeTuple.of(update.relation, update.row)
-        ]
-        child = leaf
-        node = self._parent.get(leaf)
-        while node is not None and delta:
-            sibling = self._sibling[child]
-            joined: List[CompositeTuple] = []
-            predicates = self.graph.crossing_predicates(
-                child.relations, sibling.relations
-            )
-            for composite in delta:
-                for match in self._matches(composite, sibling, predicates):
-                    joined.append(composite.merge(match))
-            delta = joined
-            store = self.stores.get(node)
-            if store is not None and delta:
-                clock.charge(
-                    (cm.relation_update + cm.index_update) * len(delta)
+        try:
+            leaf: JoinTree = Leaf(update.relation)
+            delta: List[CompositeTuple] = [
+                CompositeTuple.of(update.relation, update.row)
+            ]
+            child = leaf
+            node = self._parent.get(leaf)
+            while node is not None and delta:
+                sibling = self._sibling[child]
+                joined: List[CompositeTuple] = []
+                predicates = self.graph.crossing_predicates(
+                    child.relations, sibling.relations
                 )
-                if update.sign is Sign.INSERT:
-                    for composite in delta:
-                        store.add(composite)
-                else:
-                    for composite in delta:
-                        store.remove(composite)
-            child = node
-            node = self._parent.get(node)
-        self._apply_window_update(update)
-        clock.charge(cm.output_emit * len(delta))
-        self.ctx.metrics.updates_processed += 1
-        self.ctx.metrics.outputs_emitted += len(delta)
-        current = self.memory_in_use()
-        if current > self.peak_memory_bytes:
-            self.peak_memory_bytes = current
-        if prof.enabled:
-            prof.end(clock.now_us)
+                for composite in delta:
+                    for match in self._matches(composite, sibling, predicates):
+                        joined.append(composite.merge(match))
+                delta = joined
+                store = self.stores.get(node)
+                if store is not None and delta:
+                    clock.charge(
+                        (cm.relation_update + cm.index_update) * len(delta)
+                    )
+                    if update.sign is Sign.INSERT:
+                        for composite in delta:
+                            store.add(composite)
+                    else:
+                        for composite in delta:
+                            store.remove(composite)
+                child = node
+                node = self._parent.get(node)
+            self._apply_window_update(update)
+            clock.charge(cm.output_emit * len(delta))
+            self.ctx.metrics.updates_processed += 1
+            self.ctx.metrics.outputs_emitted += len(delta)
+            current = self.memory_in_use()
+            if current > self.peak_memory_bytes:
+                self.peak_memory_bytes = current
+        finally:
+            # The span must close even when propagation raises, or the
+            # profiler stack stays unbalanced for the rest of the run.
+            if prof.enabled:
+                prof.end(clock.now_us)
         if obs.enabled:
             now_us = clock.now_us
             obs.registry.histogram(

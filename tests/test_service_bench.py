@@ -1,0 +1,71 @@
+"""The service bench: a live minimal run, and the committed baseline.
+
+The wall-clock rates in BENCH_service.json are machine-dependent, so
+the committed-baseline checks pin only the *invariants*: zero acked
+loss everywhere, admission (not overflow) doing the rejecting under
+overload, and byte-identity of the acked delta log across the kill.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.service import (
+    run_service_bench,
+    service_bench_to_json,
+)
+from repro.errors import ConfigError
+
+BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "BENCH_service.json"
+)
+
+
+def _check_invariants(payload):
+    assert payload["kind"] == "service_bench"
+    assert payload["schema_version"] == 1
+    scenarios = {s["name"]: s for s in payload["scenarios"]}
+    assert set(scenarios) == {"clean", "overload", "kill_recover"}
+    for scenario in scenarios.values():
+        # The durability contract: nothing 202'd is ever lost.
+        assert scenario["acked_update_loss"] == 0, scenario["name"]
+    clean = scenarios["clean"]
+    assert clean["batches_acked"] == clean["batches_sent"]
+    assert clean["batches_rejected"] == 0
+    assert clean["delta_latency_p99_ms"] >= clean["delta_latency_p50_ms"] > 0
+    overload = scenarios["overload"]
+    # The tight admission rate turned most of the load away at the gate.
+    assert overload["batches_rejected"] > 0
+    assert overload["extra"]["admission"]["rejections"] == (
+        overload["batches_rejected"]
+    )
+    assert overload["extra"]["tier_after"] == "normal"  # ladder recovered
+    recover = scenarios["kill_recover"]
+    assert recover["batches_acked"] == recover["batches_sent"]
+    assert recover["extra"]["resumed"] is True
+    assert recover["extra"]["acked_deltas_byte_identical"] is True
+    assert recover["extra"]["acked_entries_compared"] == (
+        recover["updates_acked"]
+    )
+
+
+def test_batch_floor_is_validated():
+    with pytest.raises(ConfigError, match="batches"):
+        run_service_bench(batches=3)
+    with pytest.raises(ConfigError, match="batch_arrivals"):
+        run_service_bench(batches=10, batch_arrivals=0)
+
+
+@pytest.mark.slow
+def test_minimal_live_run_meets_every_invariant():
+    # 30 batches is the smallest run that reliably outruns the overload
+    # scenario's 200-token burst allowance, so rejections actually occur.
+    report = run_service_bench(batches=30)
+    _check_invariants(json.loads(service_bench_to_json(report)))
+
+
+def test_committed_baseline_meets_every_invariant():
+    with open(BASELINE, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    _check_invariants(payload)

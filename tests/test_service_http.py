@@ -1,0 +1,158 @@
+"""The hand-rolled wire layer: HTTP/1.1 parsing and WebSocket framing.
+
+No sockets here — ``read_request``/``read_ws_frame`` take an
+``asyncio.StreamReader``, so every test feeds bytes directly and the
+slow-client deadline is exercised with a reader that simply never
+receives the rest.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.http import (
+    BadRequest,
+    HttpRequest,
+    OP_CLOSE,
+    OP_PING,
+    OP_TEXT,
+    SlowClient,
+    encode_ws_frame,
+    json_response,
+    read_request,
+    read_ws_frame,
+    response_bytes,
+    websocket_accept,
+)
+
+
+def _reader(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def _parse(data: bytes, eof: bool = True, header_deadline_s: float = 5.0):
+    async def run():
+        return await read_request(
+            _reader(data, eof), header_deadline_s, body_deadline_s=5.0
+        )
+
+    return asyncio.run(run())
+
+
+def test_parses_request_line_query_headers_and_body():
+    request = _parse(
+        b"POST /v1/queries/q/ingest?tenant=a&x=1&x=2 HTTP/1.1\r\n"
+        b"Content-Length: 9\r\n"
+        b"X-Custom: hello\r\n"
+        b"\r\n"
+        b'{"k":"v"}'
+    )
+    assert request.method == "POST"
+    assert request.path == "/v1/queries/q/ingest"
+    assert request.query == {"tenant": "a", "x": "2"}  # last value wins
+    assert request.header("x-custom") == "hello"
+    assert request.header("X-CUSTOM") == "hello"       # case-insensitive
+    assert request.json() == {"k": "v"}
+
+
+def test_clean_eof_before_any_bytes_is_none():
+    assert _parse(b"") is None
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        b"GET\r\n\r\n",                       # too few request-line parts
+        b"GET / SPDY/3\r\n\r\n",              # not HTTP/1.x
+        b"GET / HTTP/1.1\r\nno-colon\r\n\r\n",
+        b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        b"GET / HT",                          # EOF mid-head
+    ],
+)
+def test_malformed_requests_raise_bad_request(raw):
+    with pytest.raises(BadRequest):
+        _parse(raw)
+
+
+def test_body_larger_than_max_is_rejected():
+    raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100
+
+    async def run():
+        return await read_request(
+            _reader(raw), 5.0, body_deadline_s=5.0, max_body=10
+        )
+
+    with pytest.raises(BadRequest):
+        asyncio.run(run())
+
+
+def test_header_deadline_raises_slow_client():
+    # Head never completes and EOF never arrives: the deadline must fire.
+    with pytest.raises(SlowClient):
+        _parse(b"GET / HTTP/1.1\r\nX-Trickle: 1", eof=False,
+               header_deadline_s=0.05)
+
+
+def test_invalid_json_body_raises_bad_request():
+    request = HttpRequest(method="POST", path="/", body=b"{nope")
+    with pytest.raises(BadRequest):
+        request.json()
+
+
+def test_response_bytes_shape_and_headers():
+    raw = response_bytes(429, b'{"e":1}', headers={"Retry-After": "2.5"})
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+    assert b"Retry-After: 2.5" in head
+    assert b"Connection: close" in head
+    assert body == b'{"e":1}'
+    assert json_response(200, {"a": 1}).endswith(b'{"a":1}')
+
+
+def test_websocket_accept_rfc6455_vector():
+    # The worked example from RFC 6455 section 1.3.
+    assert (
+        websocket_accept("dGhlIHNhbXBsZSBub25jZQ==")
+        == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+    )
+
+
+@pytest.mark.parametrize("mask", [False, True])
+@pytest.mark.parametrize(
+    "payload",
+    [b"", b"hi", b"x" * 125, b"y" * 126, b"z" * 70_000],
+)
+def test_ws_frame_roundtrip(mask, payload):
+    raw = encode_ws_frame(OP_TEXT, payload, mask=mask)
+
+    async def run():
+        return await read_ws_frame(_reader(raw))
+
+    opcode, decoded = asyncio.run(run())
+    assert opcode == OP_TEXT
+    assert decoded == payload
+
+
+def test_ws_control_frames_roundtrip():
+    raw = encode_ws_frame(OP_PING, b"ping") + encode_ws_frame(OP_CLOSE, b"")
+
+    async def run():
+        reader = _reader(raw)
+        return [await read_ws_frame(reader), await read_ws_frame(reader)]
+
+    frames = asyncio.run(run())
+    assert frames == [(OP_PING, b"ping"), (OP_CLOSE, b"")]
+
+
+def test_ws_frame_timeout():
+    async def run():
+        reader = asyncio.StreamReader()  # nothing ever arrives
+        await read_ws_frame(reader, timeout=0.05)
+
+    with pytest.raises(asyncio.TimeoutError):
+        asyncio.run(run())

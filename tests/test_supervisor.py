@@ -92,6 +92,47 @@ def test_repeated_crashes_trip_circuit_breaker_to_serial(tmp_path, clean):
     assert run.merged_windows() == clean.merged_windows()
 
 
+def _hang_in_workers_factory():
+    """Workload factory that wedges inside worker processes only.
+
+    The parent (``MainProcess``) builds the workload instantly, so the
+    circuit breaker's in-parent serial fallback completes; every spawned
+    worker stalls past the heartbeat timeout and is declared hung.
+    """
+    import multiprocessing
+    import time as _time
+
+    if multiprocessing.current_process().name != "MainProcess":
+        _time.sleep(60.0)  # far past heartbeat_timeout_s; killed first
+    return fig9_workload(3, window=24)
+
+
+def test_repeated_worker_hangs_trip_circuit_breaker(clean):
+    supervision = SupervisionConfig(
+        heartbeat_every_updates=50,
+        heartbeat_timeout_s=0.3,
+        max_restarts=1,
+        backoff_base_s=0.01,
+        backoff_max_s=0.05,
+    )
+    spec = Session.adaptive(
+        _hang_in_workers_factory, EngineConfig(shards=SHARDS)
+    ).experiment(ARRIVALS, output_mode="canonical", collect_windows=True)
+    run = Supervisor(supervision).run(spec, SHARDS)
+    # Every shard hung, was killed, hung again on its one restart, and
+    # was then circuit-broken to in-parent serial execution.
+    assert run.restarts == {0: 1, 1: 1}
+    assert sorted(run.fallbacks) == [0, 1]
+    restart_reasons = [
+        d["reason"] for d in run.decisions if d["action"] == WORKER_RESTART
+    ]
+    assert restart_reasons and all(
+        "no heartbeat" in reason for reason in restart_reasons
+    )
+    assert run.merged_canonical() == clean.merged_canonical()
+    assert run.merged_windows() == clean.merged_windows()
+
+
 def test_backoff_is_bounded_exponential():
     config = SupervisionConfig(backoff_base_s=0.05, backoff_max_s=0.4)
     assert config.backoff_s(1) == pytest.approx(0.05)
