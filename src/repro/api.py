@@ -103,6 +103,13 @@ class EngineConfig:
     # into a Supervisor run (heartbeats, backoff restarts, circuit
     # breaker); None keeps the plain unsupervised backends.
     supervision: Optional[object] = None
+    # Multi-query tenancy (repro.multi): per-tenant reservation bounds
+    # against the engine's global memory budget, and whether this query's
+    # prefix-invariant caches may join inter-query shared-store groups.
+    # Ignored by single-query sessions.
+    tenant_min_bytes: int = 0
+    tenant_max_bytes: Optional[int] = None
+    share_caches: bool = True
     # Load-shedder trigger clock: when True, the shedder measures real
     # elapsed time per update instead of the virtual clock. Live services
     # want this (virtual cost can look fine while the machine drowns);
@@ -136,6 +143,18 @@ class EngineConfig:
             raise ConfigError(
                 "cache_recovery must be 'snapshot' or 'rebuild', got "
                 f"{self.cache_recovery!r}"
+            )
+        if self.tenant_min_bytes < 0:
+            raise ConfigError(
+                f"tenant_min_bytes must be >= 0, got {self.tenant_min_bytes}"
+            )
+        if (
+            self.tenant_max_bytes is not None
+            and self.tenant_max_bytes < self.tenant_min_bytes
+        ):
+            raise ConfigError(
+                "tenant_max_bytes must be >= tenant_min_bytes "
+                f"({self.tenant_max_bytes} < {self.tenant_min_bytes})"
             )
         if self.shed_wall_clock:
             resilience = (
@@ -705,3 +724,110 @@ class Session:
             f"Session({self.kind}, batch_size={self.config.batch_size}, "
             f"shards={self.config.shards})"
         )
+
+
+class MultiSession:
+    """N continuous queries on one shared engine (see :mod:`repro.multi`).
+
+    Streams are ingested once; prefix-invariant caches whose segment join
+    provably matches across queries share one physical store; one global
+    memory budget is arbitrated across tenants by net benefit per byte
+    under each tenant's ``tenant_min_bytes``/``tenant_max_bytes``
+    reservation. Queries are added and removed at update boundaries
+    without restarting the engine.
+
+    >>> ms = MultiSession(budget_bytes=1 << 20)
+    >>> ms.register("alerts", workload)
+    >>> ms.register("audit", workload, EngineConfig(tenant_min_bytes=4096))
+    >>> per_query = ms.run(arrivals=50_000)
+    >>> ms.unregister("audit")
+
+    Per-query output deltas are byte-identical to the same query running
+    alone on its own engine; sharing only changes memory and modeled
+    cost.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: Optional[int] = None,
+        share_caches: bool = True,
+        memory_check_every_updates: int = 500,
+        tracing: bool = False,
+    ):
+        from repro.multi.engine import MultiQueryEngine
+
+        self.engine = MultiQueryEngine(
+            budget_bytes=budget_bytes,
+            share_caches=share_caches,
+            memory_check_every_updates=memory_check_every_updates,
+            tracing=tracing,
+        )
+        self._workloads: Dict[str, Workload] = {}
+
+    def register(
+        self,
+        query_id: str,
+        workload: WorkloadLike,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        """Splice a query in at an update boundary (warm from shared
+        windows). Rejects configs incompatible with shared execution
+        (micro-batching, sharding, resilience, per-tenant WAL)."""
+        instance = workload() if callable(workload) else workload
+        self.engine.register(query_id, instance, config)
+        self._workloads[query_id] = instance
+
+    def unregister(self, query_id: str) -> None:
+        """Remove a query; keeps every cache byte a survivor references."""
+        self.engine.unregister(query_id)
+        self._workloads.pop(query_id, None)
+
+    def queries(self) -> List[str]:
+        return self.engine.queries()
+
+    def process(self, update: Update) -> Dict[str, List[OutputDelta]]:
+        """One shared-stream update through every interested query."""
+        return self.engine.process(update)
+
+    def run(
+        self,
+        updates: Optional[Iterable[Update]] = None,
+        arrivals: Optional[int] = None,
+        workload: Optional[Workload] = None,
+    ) -> Dict[str, List[OutputDelta]]:
+        """Drive an update sequence; returns per-query delta lists.
+
+        With ``arrivals`` the stream is drawn from ``workload`` (or, when
+        every registered query shares one workload, from that workload).
+        """
+        if updates is None:
+            if arrivals is None:
+                raise PlanError("run() needs either updates or arrivals")
+            if workload is None:
+                distinct = {id(w): w for w in self._workloads.values()}
+                if len(distinct) != 1:
+                    raise PlanError(
+                        "run(arrivals=...) needs an explicit workload when "
+                        "registered queries use different workloads"
+                    )
+                workload = next(iter(distinct.values()))
+            updates = workload.updates(arrivals)
+        return self.engine.run(updates)
+
+    # ------------------------------------------------------------------
+    # introspection / observability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Engine-level state: streams, bytes, shared stores, arbiter."""
+        return self.engine.snapshot()
+
+    def decisions(self) -> List[Dict[str, object]]:
+        """All tenants' adaptivity decisions, merged, ``query_id``-tagged."""
+        return self.engine.decisions()
+
+    def metrics_prometheus(self) -> str:
+        """Merged exposition; every sample labeled with its query_id."""
+        return self.engine.metrics_prometheus()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MultiSession(queries={self.engine.queries()})"

@@ -36,6 +36,11 @@ DEFAULT_BUCKETS = 256
 class Cache:
     """One cache: key, direct-mapped store, and consistency operations."""
 
+    # Exact-consistency stores (Definition 3.1) may back lookups from other
+    # queries whose segment join is provably identical — the inter-query
+    # extension of Definition 4.1. GlobalCache overrides this to False.
+    inter_query_shareable = True
+
     def __init__(
         self,
         name: str,

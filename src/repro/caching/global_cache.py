@@ -44,6 +44,13 @@ from repro.streams.tuples import CompositeTuple
 class GlobalCache(Cache):
     """A cache of ``X`` maintained through ``X ∪ Y`` pipelines."""
 
+    # A globally-consistent store holds a semijoin-filtered *subset* of the
+    # segment join (Definition 6.1), filtered by this query's own anchor
+    # windows and repaired through this query's pipelines — it can never
+    # back another query's exact-consistency (or differently-anchored)
+    # lookups, so inter-query shared-cache groups exclude it.
+    inter_query_shareable = False
+
     def __init__(
         self,
         name: str,

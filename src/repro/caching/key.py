@@ -108,3 +108,26 @@ class CacheKey:
     def __repr__(self) -> str:
         parts = ", ".join(repr(p) for p in self.predicates)
         return f"CacheKey({parts})"
+
+
+def segment_predicate_signature(
+    graph: JoinGraph, segment: Tuple[str, ...]
+) -> tuple:
+    """Canonical identity of the join predicates *inside* a segment.
+
+    Two caches over the same relation set with the same key signature can
+    still disagree on their cached contents if the predicates linking the
+    segment's members differ — the segment join itself differs. Cross-query
+    sharing therefore matches on this signature in addition to the key:
+    every predicate with both endpoints in the segment, each endpoint
+    canonicalized to its (relation, attribute position) slot and the pair
+    ordered, the whole set sorted.
+    """
+    members = set(segment)
+    signature = []
+    for pred in graph.predicates:
+        if pred.left.relation in members and pred.right.relation in members:
+            left = (pred.left.relation, graph.attr_position(pred.left))
+            right = (pred.right.relation, graph.attr_position(pred.right))
+            signature.append((min(left, right), max(left, right)))
+    return tuple(sorted(set(signature)))

@@ -72,6 +72,16 @@ class DirectMappedStore:
         """Iterate over the live (key, value) pairs."""
         return iter(self._table.values())
 
+    @property
+    def occupancy(self) -> float:
+        """Live-entry fraction of the bucket table (0.0–1.0).
+
+        Cross-query shared stores concentrate several probe streams on one
+        table; the multi-query bench reports this to show sharing does not
+        thrash the direct-mapped replacement.
+        """
+        return len(self._table) / self.buckets
+
     def __len__(self) -> int:
         return len(self._table)
 
@@ -128,6 +138,11 @@ class LRUStore:
     def entries(self) -> Iterator[Tuple[tuple, Any]]:
         """Iterate over the live (key, value) pairs."""
         return iter(self._table.items())
+
+    @property
+    def occupancy(self) -> float:
+        """Live-entry fraction of the capacity (0.0–1.0)."""
+        return len(self._table) / self.capacity
 
     def __len__(self) -> int:
         return len(self._table)

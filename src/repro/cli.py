@@ -195,6 +195,7 @@ def cmd_list(_args: argparse.Namespace) -> str:
     lines.append("  recover DIR       restore a crashed --crash journal")
     lines.append("  bench             serial-vs-sharded throughput benchmark")
     lines.append("  bench --wall      wall-clock + profiler-overhead benchmark")
+    lines.append("  bench --multi     shared-engine vs isolated multi-query hosting")
     lines.append(
         "  profile EXP       span-profile one experiment "
         f"({', '.join(sorted(PROFILE_EXPERIMENTS))})"
@@ -497,6 +498,36 @@ def _run_wall_bench_cmd(args: argparse.Namespace) -> str:
     return body
 
 
+def _run_multi_bench_cmd(args: argparse.Namespace) -> str:
+    """The ``bench --multi`` variant: shared vs isolated hosting."""
+    from repro.bench.multi import (
+        MULTI_DEFAULT_ARRIVALS,
+        MULTI_DEFAULT_OUT,
+        MULTI_DEFAULT_QUERIES,
+        format_multi_bench_report,
+        multi_bench_to_json,
+        run_multi_bench,
+    )
+
+    queries = args.queries if args.queries else MULTI_DEFAULT_QUERIES
+    if queries < 2:
+        raise CLIError(f"--queries must be >= 2, got {queries}")
+    out = args.out if args.out is not None else MULTI_DEFAULT_OUT
+    _ensure_writable(out)
+    report = run_multi_bench(
+        queries=queries,
+        arrivals=(
+            args.arrivals if args.arrivals else MULTI_DEFAULT_ARRIVALS
+        ),
+    )
+    body = format_multi_bench_report(report)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(multi_bench_to_json(report))
+        body += f"\nwrote multi-query baseline to {out}"
+    return body
+
+
 def _run_service_bench_cmd(args: argparse.Namespace) -> str:
     """The ``bench --service`` variant: real sockets, three scenarios."""
     from repro.bench.service import (
@@ -538,6 +569,7 @@ def cmd_serve(args: argparse.Namespace) -> str:
         checkpoint_interval=args.checkpoint_interval,
         tenant_rate=args.tenant_rate,
         queue_capacity_updates=args.queue_capacity,
+        shared_engine=args.shared_engine,
     )
     thread = ServiceThread(config)
     url = thread.start()
@@ -573,7 +605,9 @@ def cmd_bench(args: argparse.Namespace) -> str:
     ``--recovery`` it measures WAL + checkpoint overhead against the
     unjournaled baseline (``BENCH_recovery.json``); with ``--wall`` it
     measures real wall throughput and the span profiler's overhead
-    (``BENCH_wall.json``).
+    (``BENCH_wall.json``); with ``--multi`` it measures shared-engine
+    vs isolated multi-query hosting at a fixed global memory quota
+    (``BENCH_multi.json``).
     """
     from repro.parallel.bench import (
         DEFAULT_ARRIVALS,
@@ -589,6 +623,8 @@ def cmd_bench(args: argparse.Namespace) -> str:
             f"--backend must be one of {list(BACKENDS)}, "
             f"got {args.backend!r}"
         )
+    if args.multi:
+        return _run_multi_bench_cmd(args)
     if args.service:
         return _run_service_bench_cmd(args)
     if args.recovery:
@@ -1031,11 +1067,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --service: ingest batches per scenario (default 150)",
     )
     bench.add_argument(
+        "--multi", action="store_true",
+        help="benchmark shared-engine vs isolated multi-query hosting "
+             "at a fixed global memory quota (writes BENCH_multi.json)",
+    )
+    bench.add_argument(
+        "--queries", type=int, default=None, metavar="N",
+        help="with --multi: number of hosted queries (default 3)",
+    )
+    bench.add_argument(
         "--out", metavar="PATH", default=None,
         help="write the JSON baseline here (default BENCH_parallel.json, "
              "BENCH_batching.json with --batch-sizes, "
-             "BENCH_recovery.json with --recovery, or "
-             "BENCH_service.json with --service)",
+             "BENCH_recovery.json with --recovery, "
+             "BENCH_service.json with --service, or "
+             "BENCH_multi.json with --multi)",
     )
     bench.set_defaults(handler=cmd_bench)
 
@@ -1068,6 +1114,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--queue-capacity", type=int, default=8192, metavar="N",
         help="bounded ingress queue capacity in updates (default 8192)",
+    )
+    serve.add_argument(
+        "--shared-engine", action="store_true",
+        help="host every registered query on one multi-query engine "
+             "(shared streams + inter-query caches; incompatible with "
+             "--wal-root)",
     )
     serve.set_defaults(handler=cmd_serve)
 

@@ -15,9 +15,13 @@ pipelines (A-Greedy), selecting caches, and allocating memory.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.memory import MemoryAllocator
 from repro.core.profiler import Profiler, ProfilerConfig
+from repro.core.wiring import CacheWiring
+from repro.errors import ConfigError
+from repro.relations.relation import Relation
 from repro.faults.resilience import ResilienceConfig, ResilienceController
 from repro.core.reoptimizer import (
     CandidateState,
@@ -61,13 +65,27 @@ class ACaching:
         indexed_attributes: Optional[Dict[str, Iterable[str]]] = None,
         config: Optional[ACachingConfig] = None,
         ctx: Optional[ExecContext] = None,
+        relations: Optional[Dict[str, Relation]] = None,
+        wiring_factory: Optional[
+            Callable[[MJoinExecutor], CacheWiring]
+        ] = None,
+        allocator: Optional[MemoryAllocator] = None,
     ):
         self.config = config if config is not None else ACachingConfig()
         self.executor = MJoinExecutor(
-            graph, orders=orders, indexed_attributes=indexed_attributes, ctx=ctx
+            graph,
+            orders=orders,
+            indexed_attributes=indexed_attributes,
+            ctx=ctx,
+            relations=relations,
         )
         self.profiler = Profiler(self.executor, self.config.profiler)
         if self.config.incremental_reoptimizer:
+            if wiring_factory is not None or allocator is not None:
+                raise ConfigError(
+                    "the incremental re-optimizer does not support "
+                    "multi-query wiring/allocator injection"
+                )
             from repro.core.incremental import IncrementalReoptimizer
 
             self.reoptimizer: Reoptimizer = IncrementalReoptimizer(
@@ -75,7 +93,15 @@ class ACaching:
             )
         else:
             self.reoptimizer = Reoptimizer(
-                self.executor, self.profiler, self.config.reoptimizer
+                self.executor,
+                self.profiler,
+                self.config.reoptimizer,
+                wiring=(
+                    wiring_factory(self.executor)
+                    if wiring_factory is not None
+                    else None
+                ),
+                allocator=allocator,
             )
         self.orderer: Optional[AGreedyOrderer] = None
         if self.config.adaptive_ordering and self.config.ordering is not None:
@@ -120,9 +146,16 @@ class ACaching:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def process(self, update: Update) -> List[OutputDelta]:
-        """Process one update and run the adaptive machinery hooks."""
-        outputs = self.executor.process(update)
+    def process(
+        self, update: Update, apply_window: bool = True
+    ) -> List[OutputDelta]:
+        """Process one update and run the adaptive machinery hooks.
+
+        ``apply_window=False`` defers the window mutation to the caller
+        (see :meth:`MJoinExecutor.process`); the multi-query engine uses it
+        to apply each shared-stream update exactly once.
+        """
+        outputs = self.executor.process(update, apply_window=apply_window)
         self._adaptivity_hooks()
         return outputs
 

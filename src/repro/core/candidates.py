@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.caching.key import CacheKey
+from repro.caching.key import CacheKey, segment_predicate_signature
 from repro.errors import PlanError
 from repro.relations.predicates import JoinGraph
 
@@ -310,6 +310,62 @@ def shared_groups(
     groups: Dict[Tuple, List[CandidateCache]] = {}
     for candidate in candidates:
         groups.setdefault(candidate.share_token, []).append(candidate)
+    return groups
+
+
+def inter_query_token(
+    graph: JoinGraph, candidate: CandidateCache
+) -> Optional[Tuple]:
+    """The cross-query sharing identity of a candidate, or None.
+
+    Two candidates from *different* queries can back one physical store
+    exactly when their cached contents are provably identical functions of
+    the shared windows. That needs three things beyond the intra-query
+    share token:
+
+    * **prefix invariance** (empty anchor) — a globally-consistent store
+      holds an anchor-filtered subset specific to its own query;
+    * equal **segment relation sets and key signatures** — same entries
+      under the same entry keys (segment-side slots are
+      pipeline-independent, so the probing query's own prefix key still
+      extracts matching probe values);
+    * equal **intra-segment predicate signatures** — the intra-query token
+      may match while the predicates *inside* the segment differ, in which
+      case the segment joins (the cached values) differ.
+
+    The token also pins the maintenance contract: equal segments mean
+    equal tap relations and tap slots, so maintenance taps hosted in any
+    one member query keep the store consistent for all of them.
+    """
+    if candidate.is_global:
+        return None
+    return (
+        candidate.member_set,
+        candidate.key_signature,
+        segment_predicate_signature(graph, candidate.segment),
+    )
+
+
+def inter_query_groups(
+    per_query: Mapping[str, Tuple[JoinGraph, Sequence[CandidateCache]]],
+) -> Dict[Tuple, Dict[str, List[CandidateCache]]]:
+    """Group each query's candidates into inter-query shared-cache groups.
+
+    ``per_query`` maps query id to ``(graph, candidates)``; the result maps
+    each inter-query token to ``{query_id: [candidates]}`` for the tokens
+    held by at least one query. Singleton groups are included — whether a
+    group actually shares depends on which members get selected at run
+    time; enumeration only fixes the equivalence classes.
+    """
+    groups: Dict[Tuple, Dict[str, List[CandidateCache]]] = {}
+    for query_id, (graph, candidates) in per_query.items():
+        for candidate in candidates:
+            token = inter_query_token(graph, candidate)
+            if token is None:
+                continue
+            groups.setdefault(token, {}).setdefault(query_id, []).append(
+                candidate
+            )
     return groups
 
 

@@ -92,7 +92,13 @@ class MemoryAllocator:
         """
         result = AllocationResult()
         budget = self.budget_pages
-        ordered = sorted(demands, key=lambda d: d.priority, reverse=True)
+        # Equal priorities are broken by candidate id: admission order (and
+        # therefore the cache plan) must be reproducible across runs and
+        # shards, never an artifact of dict/input ordering.
+        ordered = sorted(
+            demands,
+            key=lambda d: (-d.priority, d.candidate.candidate_id),
+        )
         for demand in ordered:
             if budget is None:
                 result.admitted.append(demand.candidate)
@@ -123,7 +129,11 @@ class MemoryAllocator:
             return []
         excess = used_bytes - (self.budget_bytes or 0)
         chosen: List[str] = []
-        for candidate_id in sorted(priorities, key=priorities.__getitem__):
+        # Ties on priority evict the lexicographically smallest candidate
+        # id first — same reproducibility contract as admission.
+        for candidate_id in sorted(
+            priorities, key=lambda cid: (priorities[cid], cid)
+        ):
             if excess <= 0:
                 break
             chosen.append(candidate_id)

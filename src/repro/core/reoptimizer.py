@@ -77,12 +77,21 @@ class Reoptimizer:
         executor: MJoinExecutor,
         profiler: Profiler,
         config: Optional[ReoptimizerConfig] = None,
+        wiring: Optional[CacheWiring] = None,
+        allocator: Optional[MemoryAllocator] = None,
     ):
         self.executor = executor
         self.profiler = profiler
         self.config = config if config is not None else ReoptimizerConfig()
-        self.wiring = CacheWiring(executor)
-        self.allocator = MemoryAllocator(self.config.memory_budget_bytes)
+        # Injectable for multi-query engines: a wiring that consults the
+        # inter-query cache directory and an allocator that routes through
+        # the global memory arbiter.
+        self.wiring = wiring if wiring is not None else CacheWiring(executor)
+        self.allocator = (
+            allocator
+            if allocator is not None
+            else MemoryAllocator(self.config.memory_budget_bytes)
+        )
         self.candidates: Dict[str, CandidateCache] = {}
         self.states: Dict[str, CandidateState] = {}
         self._last_signature: Dict[str, Tuple[float, float]] = {}
@@ -562,6 +571,45 @@ class Reoptimizer:
     # ------------------------------------------------------------------
     # runtime memory enforcement (Section 5 / Figure 13)
     # ------------------------------------------------------------------
+    def drop_candidate(self, candidate_id: str, reason: str) -> bool:
+        """Evict one wired cache on an external arbiter's verdict.
+
+        The multi-query engine's global enforcement pass picks victims
+        across *all* tenants; each victim is unwired through its own
+        query's re-optimizer so candidate states, blooms, and the decision
+        log stay consistent. Returns False when the candidate is not
+        currently wired.
+        """
+        wired = self.wiring.wired.get(candidate_id)
+        if wired is None:
+            return False
+        ctx = self.executor.ctx
+        cm = ctx.cost_model
+        stats = self.profiler.statistics_for(wired.candidate)
+        ctx.obs.decisions.record(
+            ctx.clock.now_us,
+            decisions_log.MEMORY_EVICT,
+            candidate_id,
+            reason=reason,
+            reopt_seq=ctx.metrics.reoptimizations,
+            stats=stats,
+            benefit=(
+                cost_model.benefit(stats, cm) if stats is not None else None
+            ),
+            cost=(
+                cost_model.cost(stats, cm) if stats is not None else None
+            ),
+            memory_used_bytes=self.wiring.memory_bytes(),
+            memory_budget_bytes=self.allocator.budget_bytes,
+            expected_bytes=float(wired.cache.memory_bytes),
+        )
+        self.wiring.detach(candidate_id)
+        self.states[candidate_id] = CandidateState.PROFILED
+        candidate = self.candidates.get(candidate_id)
+        if candidate is not None:
+            self.profiler.install_bloom(candidate)
+        return True
+
     def enforce_memory(self) -> List[str]:
         """Drop lowest-priority caches while actual usage exceeds budget."""
         used_bytes = self.wiring.memory_bytes()

@@ -57,6 +57,12 @@ class CacheWiring:
         token = candidate.share_token
         if token in self._instances:
             return self._instances[token]
+        cache = self._build_cache(candidate, buckets)
+        self._instances[token] = cache
+        return cache
+
+    def _build_cache(self, candidate: CandidateCache, buckets: int) -> Cache:
+        """Construct the physical store for a candidate (no registration)."""
         key = self._make_key(candidate)
         if candidate.is_global:
             cache = GlobalCache(
@@ -75,7 +81,6 @@ class CacheWiring:
                 key=key,
                 buckets=buckets,
             )
-        self._instances[token] = cache
         return cache
 
     def _owner_witness_counter(self, candidate: CandidateCache, key: CacheKey):
@@ -119,6 +124,47 @@ class CacheWiring:
         return count
 
     # ------------------------------------------------------------------
+    # store acquisition hooks (overridden by the multi-query wiring)
+    # ------------------------------------------------------------------
+    def _acquire_store(
+        self, candidate: CandidateCache, buckets: int
+    ) -> Tuple[Cache, bool]:
+        """Return ``(store, attach_taps)`` for a candidate being wired.
+
+        The base wiring shares stores within one query by share token and
+        makes the group's first user attach the maintenance taps. The
+        multi-query wiring additionally consults the inter-query cache
+        directory, where the tap host may be a *different query*.
+        """
+        token = candidate.share_token
+        first_user = self._instance_users.get(token, 0) == 0
+        return self._physical_cache(candidate, buckets), first_user
+
+    def _release_store(self, wired: WiredCache) -> bool:
+        """Tear down a store whose local users all detached.
+
+        Returns True when the physical store was actually dropped — the
+        multi-query wiring returns False while other queries still
+        reference it (their bytes must survive a tenant's removal).
+        """
+        self._detach_taps(wired.cache, wired.tap_pipelines)
+        wired.cache.drop_all()
+        return True
+
+    def _attach_taps(
+        self, cache: Cache, tap_slot: int, maintained: Tuple[str, ...]
+    ) -> None:
+        for member in maintained:
+            pipeline = self.executor.pipelines[member]
+            pipeline.attach_update(CacheUpdate(cache, tap_slot, member))
+
+    def _detach_taps(self, cache: Cache, maintained: Tuple[str, ...]) -> None:
+        for member in maintained:
+            pipeline = self.executor.pipelines.get(member)
+            if pipeline is not None:
+                pipeline.detach_updates(cache.name)
+
+    # ------------------------------------------------------------------
     # attach / detach
     # ------------------------------------------------------------------
     def attach(
@@ -132,15 +178,12 @@ class CacheWiring:
         """
         if candidate.candidate_id in self.wired:
             return self.wired[candidate.candidate_id]
-        cache = self._physical_cache(candidate, buckets)
         token = candidate.share_token
-        first_user = self._instance_users.get(token, 0) == 0
-        maintained = sorted(candidate.tap_relations)
+        cache, attach_taps = self._acquire_store(candidate, buckets)
+        maintained = tuple(sorted(candidate.tap_relations))
         tap_slot = len(candidate.maintenance_set) - 1
-        if first_user:
-            for member in maintained:
-                pipeline = self.executor.pipelines[member]
-                pipeline.attach_update(CacheUpdate(cache, tap_slot, member))
+        if attach_taps:
+            self._attach_taps(cache, tap_slot, maintained)
         lookup_key = self._make_key(candidate)
         lookup = CacheLookup(
             cache,
@@ -157,7 +200,7 @@ class CacheWiring:
             candidate=candidate,
             cache=cache,
             lookup=lookup,
-            tap_pipelines=tuple(maintained),
+            tap_pipelines=maintained,
         )
         self.wired[candidate.candidate_id] = wired
         ctx = self.executor.ctx
@@ -170,7 +213,7 @@ class CacheWiring:
                 owner=candidate.owner,
                 segment=list(candidate.segment),
                 is_global=candidate.is_global,
-                shared_store=not first_user,
+                shared_store=not attach_taps,
                 taps=list(maintained),
             )
         return wired
@@ -205,14 +248,11 @@ class CacheWiring:
             )
         token = wired.candidate.share_token
         self._instance_users[token] -= 1
+        store_dropped = False
         if self._instance_users[token] == 0:
-            for member in wired.tap_pipelines:
-                pipeline = self.executor.pipelines.get(member)
-                if pipeline is not None:
-                    pipeline.detach_updates(wired.cache.name)
-            wired.cache.drop_all()
             del self._instances[token]
             del self._instance_users[token]
+            store_dropped = self._release_store(wired)
         ctx = self.executor.ctx
         ctx.metrics.caches_dropped += 1
         if ctx.obs.enabled:
@@ -221,9 +261,7 @@ class CacheWiring:
                 ctx.clock.now_us,
                 candidate_id=candidate_id,
                 owner=wired.candidate.owner,
-                store_dropped=self._instance_users.get(
-                    wired.candidate.share_token, 0
-                ) == 0,
+                store_dropped=store_dropped,
             )
 
     def detach_all(self) -> None:

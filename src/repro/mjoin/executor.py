@@ -59,6 +59,7 @@ class MJoinExecutor:
         orders: Optional[Dict[str, Sequence[str]]] = None,
         indexed_attributes: Optional[Dict[str, Iterable[str]]] = None,
         ctx: Optional[ExecContext] = None,
+        relations: Optional[Dict[str, Relation]] = None,
     ):
         self.graph = graph
         self.ctx = ctx if ctx is not None else ExecContext()
@@ -67,6 +68,23 @@ class MJoinExecutor:
             attrs = self._default_indexed(name)
             if indexed_attributes and name in indexed_attributes:
                 attrs = tuple(indexed_attributes[name])
+            if relations is not None and name in relations:
+                # Multi-query mode: bind a shared window state instead of
+                # owning one. Missing indexes are added (backfilled from
+                # the live rows), so a query joining a warm stream probes
+                # the same contents an isolated engine would have built.
+                shared = relations[name]
+                if tuple(shared.schema.attributes) != tuple(schema.attributes):
+                    raise PlanError(
+                        f"shared relation {name!r} has schema "
+                        f"{tuple(shared.schema.attributes)}, query expects "
+                        f"{tuple(schema.attributes)}"
+                    )
+                for attr in attrs:
+                    if not shared.has_index(attr):
+                        shared.add_index(attr)
+                self.relations[name] = shared
+                continue
             self.relations[name] = Relation(schema, attrs)
         self.pipelines: Dict[str, Pipeline] = {}
         resolved = dict(default_orders(graph))
@@ -129,8 +147,17 @@ class MJoinExecutor:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def process(self, update: Update) -> List[OutputDelta]:
-        """Process one update to completion; returns the result deltas."""
+    def process(
+        self, update: Update, apply_window: bool = True
+    ) -> List[OutputDelta]:
+        """Process one update to completion; returns the result deltas.
+
+        ``apply_window=False`` runs the full join computation and charges
+        the modeled window-maintenance cost but leaves the window mutation
+        to the caller — the multi-query engine routes one update through
+        every interested query's pipelines first and applies the shared
+        window change exactly once afterwards.
+        """
         if self.resilience is not None and not self.resilience.admit(update):
             return []
         obs = self.ctx.obs
@@ -161,7 +188,7 @@ class MJoinExecutor:
             if sample is not None and self.sample_sink is not None:
                 self.ctx.metrics.profiled_tuples += 1
                 self.sample_sink(update.relation, sample)
-            self._apply_window_update(update)
+            self._apply_window_update(update, apply=apply_window)
             if memo is not None:
                 # The window just changed: every memoized probe of this
                 # relation is now stale.
@@ -232,7 +259,7 @@ class MJoinExecutor:
                 outputs.extend(per_update)
         return outputs
 
-    def _apply_window_update(self, update: Update) -> None:
+    def _apply_window_update(self, update: Update, apply: bool = True) -> None:
         relation = self.relations[update.relation]
         cm = self.ctx.cost_model
         index_count = sum(
@@ -243,6 +270,8 @@ class MJoinExecutor:
         self.ctx.clock.charge(
             cm.relation_update + cm.index_update * index_count
         )
+        if not apply:
+            return
         if update.sign is Sign.INSERT:
             relation.insert(update.row)
         else:

@@ -1,0 +1,35 @@
+"""Multi-query execution: shared streams, shared caches, one memory pool.
+
+The paper's Section 4.4 models shared-cache groups *within* one query's
+pipelines. This package extends the same idea across queries: a
+:class:`~repro.multi.engine.MultiQueryEngine` hosts N registered
+continuous queries over shared window state (each stream ingested once),
+an :class:`~repro.multi.directory.InterQueryCacheDirectory` lets
+subresult caches with provably identical contents back one physical
+store across queries, and a
+:class:`~repro.multi.arbiter.GlobalMemoryArbiter` arbitrates one memory
+budget across all tenants by net benefit per byte, with per-tenant
+min/max reservations.
+
+Queries can be added and removed at runtime: an added query splices in at
+an update boundary and warms from the shared windows; a removed query
+releases only the cache bytes no surviving query references.
+"""
+
+from repro.multi.arbiter import (
+    GlobalMemoryArbiter,
+    TenantAllocator,
+    TenantQuota,
+)
+from repro.multi.directory import InterQueryCacheDirectory, SharedCacheWiring
+from repro.multi.engine import MultiQueryEngine, StreamHub
+
+__all__ = [
+    "GlobalMemoryArbiter",
+    "InterQueryCacheDirectory",
+    "MultiQueryEngine",
+    "SharedCacheWiring",
+    "StreamHub",
+    "TenantAllocator",
+    "TenantQuota",
+]

@@ -1,0 +1,249 @@
+"""Global memory arbitration across all registered queries (Section 5).
+
+The paper allocates one query's memory greedily by net benefit per byte.
+With N tenants on one engine the same policy runs over one global page
+ledger: every *physical store* is charged once (a store several queries
+share via the inter-query directory costs its pages once, which is the
+economic argument for sharing), and per-tenant ``min``/``max``
+reservations keep one hot query from starving the rest — a tenant's
+unmet minimum stays reserved against everyone else's admissions, and a
+tenant can never hold more than its own maximum.
+
+All orderings are deterministic: demands by ``(-priority,
+candidate_id)``, re-charging a shared store on owner departure to the
+lexicographically smallest surviving user.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple
+
+from repro.core.candidates import CandidateCache
+from repro.core.memory import (
+    AllocationResult,
+    CacheDemand,
+    MemoryAllocator,
+    PAGE_BYTES,
+)
+from repro.errors import ConfigError
+
+TokenOf = Callable[[CandidateCache], Tuple]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-query reservation bounds, in bytes.
+
+    ``min_bytes`` pages are held back from other tenants until this query
+    claims them; ``max_bytes`` caps what this query may hold (None =
+    bounded only by the global budget).
+    """
+
+    min_bytes: int = 0
+    max_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.min_bytes < 0:
+            raise ConfigError("tenant min_bytes must be >= 0")
+        if self.max_bytes is not None and self.max_bytes < self.min_bytes:
+            raise ConfigError(
+                "tenant max_bytes must be >= min_bytes "
+                f"({self.max_bytes} < {self.min_bytes})"
+            )
+
+    @property
+    def min_pages(self) -> int:
+        return math.ceil(self.min_bytes / PAGE_BYTES)
+
+    @property
+    def max_pages(self) -> Optional[int]:
+        if self.max_bytes is None:
+            return None
+        return self.max_bytes // PAGE_BYTES
+
+
+@dataclass
+class _Grant:
+    """One charged store: its pages, who uses it, who pays for it."""
+
+    pages: int
+    charged_to: str
+    users: Set[str] = field(default_factory=set)
+
+
+class GlobalMemoryArbiter:
+    """One page ledger arbitrating the budget across all tenants."""
+
+    def __init__(self, budget_bytes: Optional[int] = None):
+        self.budget_bytes = budget_bytes
+        self.quotas: Dict[str, TenantQuota] = {}
+        self._grants: Dict[Tuple, _Grant] = {}
+
+    @property
+    def budget_pages(self) -> Optional[int]:
+        if self.budget_bytes is None:
+            return None
+        return self.budget_bytes // PAGE_BYTES
+
+    # ------------------------------------------------------------------
+    # tenant lifecycle
+    # ------------------------------------------------------------------
+    def register_tenant(
+        self, query_id: str, quota: Optional[TenantQuota] = None
+    ) -> None:
+        if query_id in self.quotas:
+            raise ConfigError(f"tenant {query_id!r} already registered")
+        quota = quota or TenantQuota()
+        budget = self.budget_pages
+        if budget is not None:
+            reserved = sum(q.min_pages for q in self.quotas.values())
+            if reserved + quota.min_pages > budget:
+                raise ConfigError(
+                    "tenant minimum reservations exceed the global budget: "
+                    f"{reserved + quota.min_pages} pages reserved, "
+                    f"{budget} available"
+                )
+        self.quotas[query_id] = quota
+
+    def unregister_tenant(self, query_id: str) -> None:
+        self.release(query_id)
+        self.quotas.pop(query_id, None)
+
+    # ------------------------------------------------------------------
+    # ledger queries
+    # ------------------------------------------------------------------
+    def pages_in_use(self) -> int:
+        return sum(grant.pages for grant in self._grants.values())
+
+    def pages_held(self, query_id: str) -> int:
+        """Pages charged to (not merely used by) ``query_id``."""
+        return sum(
+            grant.pages
+            for grant in self._grants.values()
+            if grant.charged_to == query_id
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        held = {qid: self.pages_held(qid) for qid in sorted(self.quotas)}
+        return {
+            "budget_pages": self.budget_pages,
+            "pages_in_use": self.pages_in_use(),
+            "pages_held": held,
+            "grants": len(self._grants),
+        }
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        query_id: str,
+        demands: Sequence[CacheDemand],
+        token_of: TokenOf,
+    ) -> AllocationResult:
+        """One tenant's admission round against the global ledger.
+
+        The caller's previous claims are released first (re-optimization
+        replaces a tenant's plan wholesale), then demands are admitted in
+        the same deterministic ``(-priority, candidate_id)`` order as the
+        single-query allocator. A demand whose store is already charged to
+        another tenant admits at zero incremental pages; a fresh store
+        must fit under the budget minus other tenants' holdings *and*
+        their unmet minimum reservations, and under the caller's own
+        maximum.
+        """
+        if query_id not in self.quotas:
+            raise ConfigError(f"unknown tenant {query_id!r}")
+        self.release(query_id)
+        result = AllocationResult()
+        budget = self.budget_pages
+        ordered = sorted(
+            demands,
+            key=lambda d: (-d.priority, d.candidate.candidate_id),
+        )
+        for demand in ordered:
+            token = token_of(demand.candidate)
+            grant = self._grants.get(token)
+            if grant is not None:
+                # Sharing is free: the store exists whether or not this
+                # tenant joins it.
+                grant.users.add(query_id)
+                result.admitted.append(demand.candidate)
+                result.audit.append(("admit", demand))
+                continue
+            pages = demand.expected_pages
+            if budget is not None and not self._fits(query_id, pages, budget):
+                result.rejected.append(demand.candidate)
+                result.audit.append(("reject", demand))
+                continue
+            self._grants[token] = _Grant(
+                pages=pages, charged_to=query_id, users={query_id}
+            )
+            result.admitted.append(demand.candidate)
+            result.pages_used += pages
+            result.audit.append(("admit", demand))
+        return result
+
+    def _fits(self, query_id: str, pages: int, budget: int) -> bool:
+        held = self.pages_held(query_id)
+        quota = self.quotas[query_id]
+        if quota.max_pages is not None and held + pages > quota.max_pages:
+            return False
+        # Other tenants' unmet minima stay reserved against this claim.
+        reserved = sum(
+            max(0, q.min_pages - self.pages_held(other))
+            for other, q in self.quotas.items()
+            if other != query_id
+        )
+        return self.pages_in_use() + pages + reserved <= budget
+
+    # ------------------------------------------------------------------
+    # release / eviction
+    # ------------------------------------------------------------------
+    def release(self, query_id: str) -> None:
+        """Drop all of ``query_id``'s claims; re-charge surviving shares.
+
+        A shared store whose payer departs is re-charged to the
+        lexicographically smallest surviving user, so the ledger keeps
+        covering every live store and the choice is reproducible.
+        """
+        for token in list(self._grants):
+            grant = self._grants[token]
+            grant.users.discard(query_id)
+            if not grant.users:
+                del self._grants[token]
+            elif grant.charged_to == query_id:
+                grant.charged_to = min(grant.users)
+
+    def forget_token(self, token: Tuple) -> None:
+        """Drop the grant for an evicted store (all users unwired it)."""
+        self._grants.pop(token, None)
+
+
+class TenantAllocator(MemoryAllocator):
+    """Per-query allocator facade over the global arbiter.
+
+    Injected into each tenant's re-optimizer so its Section 5 admission
+    round routes through the shared ledger unchanged. ``over_budget``
+    always answers False: runtime enforcement is global (the multi-query
+    engine picks victims across all tenants), never per query.
+    """
+
+    def __init__(
+        self,
+        arbiter: GlobalMemoryArbiter,
+        query_id: str,
+        token_of: TokenOf,
+    ):
+        super().__init__(arbiter.budget_bytes)
+        self.arbiter = arbiter
+        self.query_id = query_id
+        self.token_of = token_of
+
+    def admit(self, demands: Sequence[CacheDemand]) -> AllocationResult:
+        return self.arbiter.admit(self.query_id, demands, self.token_of)
+
+    def over_budget(self, used_bytes: int) -> bool:
+        return False

@@ -1,0 +1,184 @@
+"""Inter-query shared-cache directory and the wiring that consults it.
+
+Definition 4.1 shares a physical store between candidates *of one query*
+whose segment join is identical. The directory extends the same
+containment argument across queries: two exact-consistency candidates
+from different queries whose member set, key signature, and
+segment-internal predicate signature all match (see
+:func:`repro.core.candidates.inter_query_token`) materialize the same
+set of entries over the shared windows, so they may back one physical
+store.
+
+Maintenance taps for a shared store attach in exactly one query's
+pipelines — the *tap host*. Any query's taps suffice: tap composites
+cover exactly the segment slots, which the token proves identical across
+users. When the host query detaches (re-optimization, reorder, or
+removal from the engine), the taps re-home deterministically to the
+lexicographically smallest surviving user, and the store itself is
+dropped only when no user remains — removing a query releases only the
+bytes no surviving query references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.caching.cache import Cache
+from repro.core.candidates import CandidateCache, inter_query_token
+from repro.core.wiring import CacheWiring, WiredCache
+from repro.mjoin.executor import MJoinExecutor
+
+
+@dataclass
+class SharedStoreEntry:
+    """One physical store shared across queries."""
+
+    cache: Cache
+    token: Tuple
+    tap_slot: int
+    maintained: Tuple[str, ...]
+    host: str
+    users: Dict[str, "SharedCacheWiring"] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cache": self.cache.name,
+            "host": self.host,
+            "users": sorted(self.users),
+            "entries": len(self.cache),
+            "memory_bytes": self.cache.memory_bytes,
+        }
+
+
+class InterQueryCacheDirectory:
+    """Token -> shared physical store, with refcounts and tap hosting."""
+
+    def __init__(self) -> None:
+        self._stores: Dict[Tuple, SharedStoreEntry] = {}
+
+    def acquire(
+        self,
+        query_id: str,
+        wiring: "SharedCacheWiring",
+        token: Tuple,
+        candidate: CandidateCache,
+        buckets: int,
+    ) -> Tuple[Cache, bool]:
+        """Join (or create) the shared store for ``token``.
+
+        Returns ``(store, attach_taps)``; ``attach_taps`` is True only for
+        the creating query, which becomes the tap host.
+        """
+        entry = self._stores.get(token)
+        if entry is None:
+            entry = SharedStoreEntry(
+                cache=wiring._build_cache(candidate, buckets),
+                token=token,
+                tap_slot=len(candidate.maintenance_set) - 1,
+                maintained=tuple(sorted(candidate.tap_relations)),
+                host=query_id,
+            )
+            self._stores[token] = entry
+            entry.users[query_id] = wiring
+            return entry.cache, True
+        entry.users[query_id] = wiring
+        return entry.cache, False
+
+    def release(
+        self, query_id: str, wiring: "SharedCacheWiring", token: Tuple
+    ) -> bool:
+        """Drop ``query_id``'s claim on the store for ``token``.
+
+        Called when the query's *last* local candidate of the token
+        detaches. Returns True when the physical store was dropped (no
+        surviving user); otherwise re-homes the maintenance taps if the
+        departing query hosted them and returns False.
+        """
+        entry = self._stores.get(token)
+        if entry is None:
+            return True
+        entry.users.pop(query_id, None)
+        if not entry.users:
+            if entry.host == query_id:
+                wiring._detach_taps(entry.cache, entry.maintained)
+            del self._stores[token]
+            entry.cache.drop_all()
+            return True
+        if entry.host == query_id:
+            wiring._detach_taps(entry.cache, entry.maintained)
+            new_host = min(entry.users)
+            entry.users[new_host]._attach_taps(
+                entry.cache, entry.tap_slot, entry.maintained
+            )
+            entry.host = new_host
+        return False
+
+    def forget(self, token: Tuple) -> None:
+        """Drop directory state for a token (store already unwired)."""
+        self._stores.pop(token, None)
+
+    def entry_for(self, token: Tuple) -> Optional[SharedStoreEntry]:
+        return self._stores.get(token)
+
+    def shared_store_count(self) -> int:
+        """Stores currently referenced by two or more queries."""
+        return sum(1 for e in self._stores.values() if len(e.users) > 1)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Stable-order description of every live shared store."""
+        return [
+            self._stores[token].to_dict()
+            for token in sorted(self._stores, key=repr)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+
+class SharedCacheWiring(CacheWiring):
+    """Per-query wiring that sources shareable stores from the directory.
+
+    Only prefix-invariant, exact-consistency candidates are eligible
+    (``inter_query_token`` returns None for globally-consistent caches,
+    whose contents depend on the owner query's anchor windows). Everything
+    else falls back to the base per-query behavior, including intra-query
+    share groups.
+    """
+
+    def __init__(
+        self,
+        executor: MJoinExecutor,
+        directory: InterQueryCacheDirectory,
+        query_id: str,
+    ):
+        super().__init__(executor)
+        self.directory = directory
+        self.query_id = query_id
+        # share_token -> inter-query token, for tokens held via the
+        # directory (used to route the matching release).
+        self._shared_tokens: Dict[Tuple, Tuple] = {}
+
+    def _acquire_store(
+        self, candidate: CandidateCache, buckets: int
+    ) -> Tuple[Cache, bool]:
+        token = candidate.share_token
+        if token in self._instances:
+            # A local share-group sibling already holds the store; taps
+            # (ours or another query's) are in place.
+            return self._instances[token], False
+        inter = inter_query_token(self.executor.graph, candidate)
+        if inter is None:
+            return super()._acquire_store(candidate, buckets)
+        cache, attach_taps = self.directory.acquire(
+            self.query_id, self, inter, candidate, buckets
+        )
+        self._instances[token] = cache
+        self._shared_tokens[token] = inter
+        return cache, attach_taps
+
+    def _release_store(self, wired: WiredCache) -> bool:
+        inter = self._shared_tokens.pop(wired.candidate.share_token, None)
+        if inter is None:
+            return super()._release_store(wired)
+        return self.directory.release(self.query_id, self, inter)

@@ -61,6 +61,7 @@ class DecisionRecord:
     candidate_id: str
     reason: str                  # free-text: which mechanism decided
     reopt_seq: int               # metrics.reoptimizations at decision time
+    query_id: str = ""           # owning query in multi-tenant engines
     benefit: Optional[float] = None   # µs/sec saved (cost model estimate)
     cost: Optional[float] = None      # µs/sec of maintenance
     # The profiler statistics the estimates were computed from:
@@ -116,6 +117,7 @@ class DecisionRecord:
             "candidate_id": self.candidate_id,
             "reason": self.reason,
             "reopt_seq": self.reopt_seq,
+            "query_id": self.query_id,
             "benefit": self.benefit,
             "cost": self.cost,
             "net": self.net,
@@ -135,10 +137,14 @@ class DecisionRecord:
 class DecisionLog:
     """A bounded, always-on log of adaptivity decisions."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, query_id: str = ""):
         if capacity <= 0:
             raise ValueError("decision log capacity must be positive")
         self.capacity = capacity
+        # Every record from this log is stamped with the owning query's id
+        # ("" for single-query engines), so merged multi-tenant logs stay
+        # attributable per tenant.
+        self.query_id = query_id
         self._records: Deque[DecisionRecord] = deque(maxlen=capacity)
         self._seq = 0
         self.dropped = 0
@@ -168,6 +174,7 @@ class DecisionLog:
             candidate_id=candidate_id,
             reason=reason,
             reopt_seq=reopt_seq,
+            query_id=self.query_id,
             benefit=benefit,
             cost=cost,
             segment_d=tuple(stats.segment_d) if stats is not None else (),

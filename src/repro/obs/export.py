@@ -152,8 +152,29 @@ def _family_header(
     lines.append(f"# TYPE {name} {family_type}")
 
 
+def _merge_labels(labels, extra: Optional[Dict[str, str]]):
+    """Add injected label pairs to a sample's label tuple.
+
+    Injected labels lose to the sample's own labels on name collision
+    (a per-cache ``query`` label set at record time is more specific than
+    an engine-level injection).
+    """
+    if not extra:
+        return labels
+    present = {name for name, _ in labels}
+    merged = list(labels)
+    for name, value in extra.items():
+        if name not in present:
+            merged.append((name, str(value)))
+    return tuple(merged)
+
+
 def registry_to_prometheus(
-    registry: MetricsRegistry, metrics=None
+    registry: MetricsRegistry,
+    metrics=None,
+    extra_labels: Optional[Dict[str, str]] = None,
+    _lines: Optional[List[str]] = None,
+    _seen: Optional[set] = None,
 ) -> str:
     """Render the registry in Prometheus text exposition format.
 
@@ -162,39 +183,73 @@ def registry_to_prometheus(
     per the exposition spec, every family carries ``# HELP``/``# TYPE``
     header lines, and label order is canonical across a family (sorted,
     with histogram ``le`` always last).
+
+    ``extra_labels`` are injected into every sample — the multi-query
+    engine uses ``{"query_id": ...}`` so per-tenant registries merge into
+    one exposition with attributable series. ``_lines``/``_seen`` let
+    :func:`registries_to_prometheus` accumulate several registries while
+    keeping ``# HELP``/``# TYPE`` unique per family.
     """
     if metrics is not None:
         registry.ingest_metrics(metrics)
-    lines: List[str] = []
-    seen: set = set()
+    lines: List[str] = _lines if _lines is not None else []
+    seen: set = _seen if _seen is not None else set()
     for counter in registry.counters():
         _family_header(lines, seen, counter.name, "counter")
+        labels = _merge_labels(counter.labels, extra_labels)
         lines.append(
-            f"{counter.name}{_format_labels(counter.labels)} "
+            f"{counter.name}{_format_labels(labels)} "
             f"{_format_value(counter.value)}"
         )
     for gauge in registry.gauges():
         _family_header(lines, seen, gauge.name, "gauge")
+        labels = _merge_labels(gauge.labels, extra_labels)
         lines.append(
-            f"{gauge.name}{_format_labels(gauge.labels)} "
+            f"{gauge.name}{_format_labels(labels)} "
             f"{_format_value(gauge.value)}"
         )
     for histogram in registry.histograms():
         # One TYPE line covers the whole _bucket/_sum/_count family.
         _family_header(lines, seen, histogram.name, "histogram")
+        labels = _merge_labels(histogram.labels, extra_labels)
         for bound, cumulative in histogram.cumulative_counts():
             lines.append(
                 f"{histogram.name}_bucket"
-                f"{_format_labels(histogram.labels, le=_format_value(bound))} "
+                f"{_format_labels(labels, le=_format_value(bound))} "
                 f"{cumulative}"
             )
         lines.append(
-            f"{histogram.name}_sum{_format_labels(histogram.labels)} "
+            f"{histogram.name}_sum{_format_labels(labels)} "
             f"{_format_value(histogram.sum)}"
         )
         lines.append(
-            f"{histogram.name}_count{_format_labels(histogram.labels)} "
+            f"{histogram.name}_count{_format_labels(labels)} "
             f"{histogram.count}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registries_to_prometheus(
+    named: Dict[str, MetricsRegistry],
+    metrics_of: Optional[Dict[str, object]] = None,
+    label: str = "query_id",
+) -> str:
+    """Merge per-query registries into one exposition.
+
+    Every sample of query ``q`` gains a ``query_id="q"`` label (escaped by
+    the normal label rendering), and each metric family keeps exactly one
+    ``# HELP``/``# TYPE`` header even when several queries emit it.
+    Queries are rendered in sorted id order for a stable exposition.
+    """
+    lines: List[str] = []
+    seen: set = set()
+    for query_id in sorted(named):
+        registry_to_prometheus(
+            named[query_id],
+            metrics=(metrics_of or {}).get(query_id),
+            extra_labels={label: query_id},
+            _lines=lines,
+            _seen=seen,
         )
     return "\n".join(lines) + ("\n" if lines else "")
 

@@ -360,6 +360,64 @@ def run_acaching(
     )
 
 
+def multi_query_overlap(
+    workloads: Dict[str, Workload],
+    orders: Optional[Dict[str, Dict[str, Tuple[str, ...]]]] = None,
+) -> Dict[str, object]:
+    """Enumerate each query's candidates and report inter-query overlap.
+
+    A planning-time preview of what :mod:`repro.multi` would share: for
+    every query the candidate set is enumerated under its (default or
+    given) pipeline orders, then prefix-invariant candidates whose
+    member set, key signature, and segment predicates match across
+    queries are grouped into inter-query shared-store groups (the
+    Definition 4.1 argument applied across queries). Returns candidate
+    totals, the shareable groups (token -> query -> candidate ids), and
+    how many physical stores the shared engine would materialize versus
+    isolated engines wiring the same candidates.
+    """
+    from repro.core.candidates import (
+        enumerate_candidates,
+        inter_query_groups,
+    )
+    from repro.mjoin.executor import default_orders
+
+    per_query: Dict[str, Tuple[object, List]] = {}
+    candidate_counts: Dict[str, int] = {}
+    for query_id, workload in workloads.items():
+        graph = workload.graph
+        resolved = dict(default_orders(graph))
+        if orders and query_id in orders:
+            resolved.update(
+                {k: tuple(v) for k, v in orders[query_id].items()}
+            )
+        candidates = enumerate_candidates(graph, resolved)
+        per_query[query_id] = (graph, candidates)
+        candidate_counts[query_id] = len(candidates)
+    groups = inter_query_groups(per_query)
+    shared = {
+        token: {qid: [c.candidate_id for c in members]
+                for qid, members in users.items()}
+        for token, users in groups.items()
+        if len(users) > 1
+    }
+    # Stores if every candidate wires: isolated engines pay one store per
+    # (query, token); the shared engine pays one store per token.
+    isolated_stores = sum(len(users) for users in groups.values())
+    shared_stores = len(groups)
+    return {
+        "candidates": candidate_counts,
+        "shareable_groups": {
+            repr(token): users for token, users in sorted(
+                shared.items(), key=lambda kv: repr(kv[0])
+            )
+        },
+        "isolated_store_count": isolated_stores,
+        "shared_store_count": shared_stores,
+        "stores_saved": isolated_stores - shared_stores,
+    }
+
+
 def plan_spectrum(
     workload_factory: WorkloadFactory,
     arrivals: int,

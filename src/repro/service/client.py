@@ -238,6 +238,18 @@ class ServiceClient:
             raise ServiceError(f"status {query!r} failed ({status}): {payload}")
         return payload
 
+    def unregister(self, query: str) -> dict:
+        """Remove a query from a shared-engine service (DELETE)."""
+        status, payload = self._with_retries(
+            "DELETE", f"/v1/queries/{query}"
+        )
+        if status != 200:
+            raise ServiceError(
+                f"unregister {query!r} failed ({status}): "
+                f"{payload.get('error', payload)}"
+            )
+        return payload
+
     def healthz(self) -> dict:
         _, payload = self._with_retries("GET", "/healthz")
         return payload

@@ -33,6 +33,14 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 0                          # 0 = ephemeral (bound port reported)
     engine: EngineConfig = field(default_factory=EngineConfig)
+    # Multi-query hosting (repro.multi): all registered queries share one
+    # MultiQueryEngine — each stream ingested once (relation name =
+    # stream identity), inter-query shared caches, one global memory
+    # budget arbitrated across tenants. Queries become removable via
+    # DELETE /v1/queries/{name}. Incompatible with wal_root (the shared
+    # engine has no per-query journal) and with per-engine resilience,
+    # micro-batching, or sharding.
+    shared_engine: bool = False
     # Durability: per-query journals live under ``<wal_root>/<query>``.
     # None serves from memory only (a kill loses unacknowledged state,
     # but also voids the acked-updates-survive guarantee — tests only).
@@ -70,6 +78,28 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
             raise ConfigError(f"service port must be 0..65535, got {self.port}")
+        if self.shared_engine:
+            if self.wal_root is not None:
+                raise ConfigError(
+                    "shared_engine is incompatible with wal_root: the "
+                    "shared engine keeps no per-query journal"
+                )
+            if self.engine.resilience is not None:
+                raise ConfigError(
+                    "shared_engine is incompatible with engine resilience: "
+                    "one tenant shedding an update would desynchronize the "
+                    "shared windows"
+                )
+            if self.engine.batch_size != 1:
+                raise ConfigError(
+                    "shared_engine requires engine batch_size 1, got "
+                    f"{self.engine.batch_size}"
+                )
+            if self.engine.shards != 1:
+                raise ConfigError(
+                    "shared_engine requires engine shards 1, got "
+                    f"{self.engine.shards}"
+                )
         if self.checkpoint_interval < 1:
             raise ConfigError(
                 "service checkpoint_interval must be >= 1, got "

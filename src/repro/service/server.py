@@ -732,6 +732,10 @@ class StreamingService:
     def __init__(self, config: ServiceConfig):
         self.config = config
         self.hosts: Dict[str, QueryHost] = {}
+        # Shared hosting (config.shared_engine): one SharedQueryGroup
+        # owns the MultiQueryEngine and every entry in ``hosts`` is a
+        # SharedQueryMember duck-typing the QueryHost surface.
+        self.group = None
         self.registry = MetricsRegistry()
         self.started = False
         self.draining = False
@@ -759,6 +763,24 @@ class StreamingService:
         self._engine_exec = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="svc-engine"
         )
+        if self.config.shared_engine:
+            # Imported here: shared.py borrows this module's wire types
+            # (_ServiceWindows, _IngestBatch, frames), so a top-level
+            # import would be circular.
+            from repro.service.shared import SharedQueryGroup
+
+            self.group = SharedQueryGroup(
+                self.config, self._loop, self._engine_exec, self.registry,
+                windows_cls=_ServiceWindows,
+                batch_cls=_IngestBatch,
+                jsonable_delta=_jsonable_delta,
+                drain_sentinel=_DRAIN_SENTINEL,
+                close_frame=_CLOSE_FRAME,
+                seconds_buckets=SECONDS_BUCKETS,
+            )
+            self.group.worker = asyncio.get_running_loop().create_task(
+                self.group.run_worker()
+            )
         if self.config.wal_root is not None:
             os.makedirs(self.config.wal_root, exist_ok=True)
             for entry in sorted(os.listdir(self.config.wal_root)):
@@ -783,6 +805,12 @@ class StreamingService:
         return self
 
     def _add_host(self, name: str, spec: dict) -> QueryHost:
+        if self.group is not None:
+            member = self.group.register(
+                name, spec, workload_factory(spec["workload"])
+            )
+            self.hosts[name] = member
+            return member
         host = QueryHost(
             name, spec, self.config, self._loop,
             self._wal_exec, self._engine_exec, self.registry,
@@ -795,6 +823,10 @@ class StreamingService:
         """Graceful shutdown tier by tier: reject ingest, empty queues,
         checkpoint, close journals. Idempotent."""
         self.draining = True
+        if self.group is not None:
+            # One shared queue, one drain; every member reports it.
+            drained = await self.group.drain(self.config.drain_deadline_s)
+            return {name: drained for name in self.hosts}
         results = {}
         for name, host in self.hosts.items():
             results[name] = await host.drain(self.config.drain_deadline_s)
@@ -815,6 +847,8 @@ class StreamingService:
         self.started = False
         if self._server is not None:
             self._server.close()
+        if self.group is not None:
+            self.group.kill()
         for host in self.hosts.values():
             host.kill()
         for executor in (self._wal_exec, self._engine_exec):
@@ -948,6 +982,8 @@ class StreamingService:
                 return self._results(host, request)
             if action is None and method == "GET":
                 return json_response(200, host.status()), 200
+            if action is None and method == "DELETE":
+                return self._unregister(name)
         return json_response(
             404, {"error": f"no route for {method} {path}"}
         ), 404
@@ -975,6 +1011,21 @@ class StreamingService:
         workload_factory(spec["workload"])  # validate before building
         host = self._add_host(name, spec)
         return json_response(200, host.status()), 200
+
+    def _unregister(self, name: str) -> Tuple[bytes, int]:
+        """Remove a query from the shared engine at an update boundary."""
+        if self.group is None:
+            return json_response(
+                400,
+                {"error": "unregister requires a shared_engine service"},
+            ), 400
+        self.group.unregister(name)
+        del self.hosts[name]
+        for key in [k for k in self._idem_done if k[0] == name]:
+            del self._idem_done[key]
+        return json_response(
+            200, {"query": name, "unregistered": True}
+        ), 200
 
     async def _ingest(
         self, host: QueryHost, request: HttpRequest
@@ -1292,7 +1343,12 @@ class StreamingService:
                 )
         self.registry.gauge("repro_service_ready").set(1 if self.ready else 0)
         self.registry.gauge("repro_service_queries").set(len(self.hosts))
-        return registry_to_prometheus(self.registry)
+        text = registry_to_prometheus(self.registry)
+        if self.group is not None:
+            # The shared engine's own families (repro_*, query_id-
+            # labeled) are disjoint from the service's repro_service_*.
+            text += self.group.engine_metrics_text()
+        return text
 
 
 class ServiceThread:
