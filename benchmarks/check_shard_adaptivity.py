@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""The shard-adaptivity gate (checks a BENCH_parallel.json run).
+
+    python benchmarks/check_shard_adaptivity.py fresh.json
+
+Guards the global adaptivity plane against the regression that
+motivated it — sharded runs silently losing adaptivity (the ROADMAP's
+"sharded hit_rate reads 0.0" blind spot). Hard failures:
+
+* any sharded point (shards > 1) with a zero cache hit rate, an empty
+  ``used_caches`` list, or ``coordinated`` false — a sharded run that
+  never selected a cache means the coordinator plane is dead, not that
+  the workload changed;
+* a sharded point whose hit rate trails the serial point by more than
+  ``--hit-rate-slack`` (default 0.15) — per-shard profiles merge with
+  summed rates, so coordinated selection should roughly match serial
+  selection, not lag it;
+* a missing or failing ``resharding`` block: the mid-run rescale must
+  report ``outputs_identical`` and ``windows_identical`` both true.
+
+Exit status: 0 when every check passes, 1 otherwise. Throughput is
+deliberately NOT gated here — ``check_wall_regression.py`` owns wall
+numbers; this gate owns adaptivity correctness, which is stable even
+on noisy shared runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("kind") != "parallel_bench":
+        raise SystemExit(f"{path} is not a BENCH_parallel.json payload")
+    return payload
+
+
+def check(payload: dict, hit_rate_slack: float) -> int:
+    errors: List[str] = []
+    points = payload.get("points", [])
+    serial = next((p for p in points if p["shards"] == 1), None)
+    sharded = [p for p in points if p["shards"] > 1]
+    if not sharded:
+        errors.append("no sharded point in the payload — nothing to gate")
+
+    for point in sharded:
+        shards = point["shards"]
+        if not point.get("coordinated", False):
+            errors.append(
+                f"{shards}-shard point ran uncoordinated — the "
+                "adaptivity plane never pushed a plan"
+            )
+        if point["hit_rate"] <= 0.0:
+            errors.append(
+                f"{shards}-shard hit rate is {point['hit_rate']} — "
+                "shards are not using caches"
+            )
+        if not point["used_caches"]:
+            errors.append(
+                f"{shards}-shard used_caches is empty — the coordinator "
+                "selected nothing"
+            )
+        if serial is not None and serial["hit_rate"] > 0:
+            gap = serial["hit_rate"] - point["hit_rate"]
+            line = (
+                f"{shards}-shard hit rate {point['hit_rate']:.3f} vs "
+                f"serial {serial['hit_rate']:.3f} "
+                f"(gap {gap:+.3f}, slack {hit_rate_slack})"
+            )
+            if gap > hit_rate_slack:
+                errors.append(line)
+            else:
+                print(f"ok: {line}")
+
+    demo = payload.get("resharding")
+    if demo is None:
+        errors.append("no resharding block — the rescale demo never ran")
+    else:
+        if not demo["outputs_identical"]:
+            errors.append(
+                f"rescale {demo['from_shards']}->{demo['to_shards']} at "
+                f"update {demo['boundary_updates']} changed the output "
+                "chronology"
+            )
+        if not demo["windows_identical"]:
+            errors.append(
+                f"rescale {demo['from_shards']}->{demo['to_shards']} "
+                "left different final windows than the fixed-shard run"
+            )
+        if not errors:
+            print(
+                f"ok: reshard {demo['from_shards']}->{demo['to_shards']} "
+                f"at update {demo['boundary_updates']} is identical "
+                f"(hit rate {demo['pre_hit_rate']:.2f} -> "
+                f"{demo['post_hit_rate']:.2f}, advice "
+                f"{demo['advice_action']})"
+            )
+
+    for line in errors:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly measured bench JSON")
+    parser.add_argument(
+        "--hit-rate-slack", type=float, default=0.15,
+        help="max allowed serial-minus-sharded hit-rate gap "
+             "(default 0.15)",
+    )
+    args = parser.parse_args(argv)
+    return check(load(args.fresh), args.hit_rate_slack)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ shims that emit :class:`DeprecationWarning`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import (
     Callable,
@@ -55,6 +56,124 @@ WorkloadLike = Union[Workload, Callable[[], Workload]]
 
 
 @dataclass(frozen=True)
+class ShardingConfig:
+    """How a session's runs are partitioned — the nested home of the
+    former flat ``shards``/``parallel_backend``/``supervision`` knobs.
+
+    ``coordinate`` joins adaptive sharded runs to the global adaptivity
+    plane (:mod:`repro.parallel.adaptivity`): shards exchange profiler
+    snapshots for one coordinator-decided cache plan every
+    ``sync_every_updates`` positions of the global stream, so the
+    sharded run selects the same caches a serial run would. It is on by
+    default and ignored by non-adaptive engines and unsharded runs.
+    """
+
+    shards: int = 1
+    backend: str = "serial"
+    supervision: Optional[object] = None     # SupervisionConfig
+    coordinate: bool = True
+    sync_every_updates: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigError(
+                f"sharding.shards must be >= 1, got {self.shards}"
+            )
+        if self.backend not in PARALLEL_BACKENDS:
+            raise ConfigError(
+                f"sharding.backend must be one of {PARALLEL_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+        if self.sync_every_updates < 1:
+            raise ConfigError(
+                "sharding.sync_every_updates must be >= 1, got "
+                f"{self.sync_every_updates}"
+            )
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Journaling knobs — the nested home of ``wal_dir``/
+    ``checkpoint_interval``/``wal_fsync_every``/``cache_recovery``."""
+
+    wal_dir: Optional[str] = None
+    checkpoint_interval: int = 1000
+    fsync_every: int = 64
+    cache_recovery: str = "snapshot"         # or "rebuild" (drop caches)
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ConfigError(
+                "durability.checkpoint_interval must be >= 1, got "
+                f"{self.checkpoint_interval}"
+            )
+        if self.fsync_every < 1:
+            raise ConfigError(
+                "durability.fsync_every must be >= 1, got "
+                f"{self.fsync_every}"
+            )
+        if self.cache_recovery not in ("snapshot", "rebuild"):
+            raise ConfigError(
+                "durability.cache_recovery must be 'snapshot' or "
+                f"'rebuild', got {self.cache_recovery!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """Multi-query reservation bounds — the nested home of
+    ``tenant_min_bytes``/``tenant_max_bytes``/``share_caches``."""
+
+    min_bytes: int = 0
+    max_bytes: Optional[int] = None
+    share_caches: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_bytes < 0:
+            raise ConfigError(
+                f"tenancy.min_bytes must be >= 0, got {self.min_bytes}"
+            )
+        if self.max_bytes is not None and self.max_bytes < self.min_bytes:
+            raise ConfigError(
+                "tenancy.max_bytes must be >= tenancy.min_bytes "
+                f"({self.max_bytes} < {self.min_bytes})"
+            )
+
+
+# flat attribute -> (nested group, nested field, flat default); the
+# back-compat bridge: flat keywords still work alone, the nested configs
+# are authoritative, and mixing both forms for one group is an error
+# naming the new path.
+_NESTED_GROUPS = {
+    "sharding": (
+        ShardingConfig,
+        (
+            ("shards", "shards", 1),
+            ("parallel_backend", "backend", "serial"),
+            ("supervision", "supervision", None),
+        ),
+    ),
+    "durability": (
+        DurabilityConfig,
+        (
+            ("wal_dir", "wal_dir", None),
+            ("checkpoint_interval", "checkpoint_interval", 1000),
+            ("wal_fsync_every", "fsync_every", 64),
+            ("cache_recovery", "cache_recovery", "snapshot"),
+        ),
+    ),
+    "tenancy": (
+        TenancyConfig,
+        (
+            ("tenant_min_bytes", "min_bytes", 0),
+            ("tenant_max_bytes", "max_bytes", None),
+            ("share_caches", "share_caches", True),
+        ),
+    ),
+}
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Every engine-construction knob in one picklable value.
 
@@ -71,6 +190,13 @@ class EngineConfig:
     ``wal_fsync_every``/``cache_recovery`` journal runs for crash
     recovery, and ``supervision`` runs shards under the restarting
     supervisor.
+
+    The sharding, durability, and tenancy knobs also have nested
+    spellings — :class:`ShardingConfig`, :class:`DurabilityConfig`,
+    :class:`TenancyConfig` — which are the preferred form and the only
+    home of the newer knobs (e.g. ``sharding.coordinate``). The flat
+    keywords remain accepted for compatibility; after construction both
+    forms are populated and coherent.
     """
 
     orders: Optional[Dict[str, Tuple[str, ...]]] = None
@@ -99,7 +225,7 @@ class EngineConfig:
     checkpoint_interval: int = 1000
     wal_fsync_every: int = 64                # WAL records per fsync batch
     cache_recovery: str = "snapshot"         # or "rebuild" (drop caches)
-    # Supervised sharded execution: a SupervisionConfig turns run_sharded
+    # Supervised sharded execution: a SupervisionConfig turns execute()
     # into a Supervisor run (heartbeats, backoff restarts, circuit
     # breaker); None keeps the plain unsupervised backends.
     supervision: Optional[object] = None
@@ -117,44 +243,21 @@ class EngineConfig:
     # nondeterministic, so batch-equivalence and recovery byte-identity
     # only hold with the default False).
     shed_wall_clock: bool = False
+    # Nested config groups — the preferred spelling of the flat knobs
+    # above. After construction these are always populated (synthesized
+    # from the flat keywords when not given) and the flat attributes
+    # always mirror them, so both access forms stay coherent. Passing a
+    # nested group AND a non-default flat knob of the same group is a
+    # ConfigError naming the nested path.
+    sharding: Optional[ShardingConfig] = None
+    durability: Optional[DurabilityConfig] = None
+    tenancy: Optional[TenancyConfig] = None
 
     def __post_init__(self) -> None:
+        self._reconcile_nested()
         if self.batch_size < 1:
             raise PlanError(
                 f"batch_size must be >= 1, got {self.batch_size}"
-            )
-        if self.shards < 1:
-            raise PlanError(f"shards must be >= 1, got {self.shards}")
-        if self.parallel_backend not in PARALLEL_BACKENDS:
-            raise PlanError(
-                f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
-                f"got {self.parallel_backend!r}"
-            )
-        if self.checkpoint_interval < 1:
-            raise ConfigError(
-                "checkpoint_interval must be >= 1, got "
-                f"{self.checkpoint_interval}"
-            )
-        if self.wal_fsync_every < 1:
-            raise ConfigError(
-                f"wal_fsync_every must be >= 1, got {self.wal_fsync_every}"
-            )
-        if self.cache_recovery not in ("snapshot", "rebuild"):
-            raise ConfigError(
-                "cache_recovery must be 'snapshot' or 'rebuild', got "
-                f"{self.cache_recovery!r}"
-            )
-        if self.tenant_min_bytes < 0:
-            raise ConfigError(
-                f"tenant_min_bytes must be >= 0, got {self.tenant_min_bytes}"
-            )
-        if (
-            self.tenant_max_bytes is not None
-            and self.tenant_max_bytes < self.tenant_min_bytes
-        ):
-            raise ConfigError(
-                "tenant_max_bytes must be >= tenant_min_bytes "
-                f"({self.tenant_max_bytes} < {self.tenant_min_bytes})"
             )
         if self.shed_wall_clock:
             resilience = (
@@ -181,6 +284,90 @@ class EngineConfig:
                 "orders",
                 {k: tuple(v) for k, v in self.orders.items()},
             )
+
+    def _reconcile_nested(self) -> None:
+        """Bridge the flat knobs and the nested config groups.
+
+        Exactly one spelling per group may deviate from the defaults;
+        afterwards the nested config is authoritative and the flat
+        attributes mirror it (so seed-era readers like
+        ``config.shards`` keep working unchanged).
+        """
+        for group_name, (cls, fields) in _NESTED_GROUPS.items():
+            nested = getattr(self, group_name)
+            if nested is not None:
+                # A flat knob may only deviate from its default when it
+                # agrees with the nested value — that tolerance is what
+                # keeps dataclasses.replace() (which re-passes the flat
+                # mirrors) working on already-reconciled configs.
+                conflicting = [
+                    flat
+                    for flat, nested_field, default in fields
+                    if getattr(self, flat) != default
+                    and getattr(self, flat) != getattr(nested, nested_field)
+                ]
+                if conflicting:
+                    raise ConfigError(
+                        f"{', '.join(conflicting)} moved into "
+                        f"{cls.__name__} — pass EngineConfig("
+                        f"{group_name}={cls.__name__}(...)) and drop "
+                        f"the flat keyword(s)"
+                    )
+            else:
+                self._validate_flat(group_name)
+                nested = cls(
+                    **{
+                        nested_field: getattr(self, flat)
+                        for flat, nested_field, _default in fields
+                    }
+                )
+                object.__setattr__(self, group_name, nested)
+            for flat, nested_field, _default in fields:
+                object.__setattr__(
+                    self, flat, getattr(nested, nested_field)
+                )
+
+    def _validate_flat(self, group: str) -> None:
+        """Seed-era validation messages for the flat spellings (the
+        nested configs re-check with their own field names)."""
+        if group == "sharding":
+            if self.shards < 1:
+                raise PlanError(f"shards must be >= 1, got {self.shards}")
+            if self.parallel_backend not in PARALLEL_BACKENDS:
+                raise PlanError(
+                    f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
+                    f"got {self.parallel_backend!r}"
+                )
+        elif group == "durability":
+            if self.checkpoint_interval < 1:
+                raise ConfigError(
+                    "checkpoint_interval must be >= 1, got "
+                    f"{self.checkpoint_interval}"
+                )
+            if self.wal_fsync_every < 1:
+                raise ConfigError(
+                    "wal_fsync_every must be >= 1, got "
+                    f"{self.wal_fsync_every}"
+                )
+            if self.cache_recovery not in ("snapshot", "rebuild"):
+                raise ConfigError(
+                    "cache_recovery must be 'snapshot' or 'rebuild', got "
+                    f"{self.cache_recovery!r}"
+                )
+        elif group == "tenancy":
+            if self.tenant_min_bytes < 0:
+                raise ConfigError(
+                    "tenant_min_bytes must be >= 0, got "
+                    f"{self.tenant_min_bytes}"
+                )
+            if (
+                self.tenant_max_bytes is not None
+                and self.tenant_max_bytes < self.tenant_min_bytes
+            ):
+                raise ConfigError(
+                    "tenant_max_bytes must be >= tenant_min_bytes "
+                    f"({self.tenant_max_bytes} < {self.tenant_min_bytes})"
+                )
 
     # ------------------------------------------------------------------
     # derived configurations
@@ -316,7 +503,7 @@ class Session:
         self._plan = None
         self._obs = None
         # Merged cross-shard telemetry of the last sharded run (set by
-        # run_sharded when the spec collected observability).
+        # execute() when the spec collected observability).
         self.last_telemetry = None
 
     # ------------------------------------------------------------------
@@ -412,7 +599,7 @@ class Session:
                     "a sharded run() replays the workload's own stream; "
                     "pass arrivals, not an updates iterable"
                 )
-            run = self.run_sharded(arrivals=arrivals, output_mode="deltas")
+            run = self.execute(arrivals=arrivals, output_mode="deltas")
             # merged_deltas() yields (seq, emission index, delta) tagged
             # triples in global arrival order; strip the tags.
             return [delta for _, _, delta in run.merged_deltas()]
@@ -538,7 +725,7 @@ class Session:
             if arrivals is None:
                 raise PlanError("a sharded series() needs arrivals")
             series = run_series_sharded(
-                self.experiment(arrivals),
+                self.experiment(arrivals, adaptivity=None),
                 shards=self.config.shards,
                 sample_every_updates=sample_every_updates,
                 x_of=x_of,
@@ -601,6 +788,24 @@ class Session:
 
         measurement.setdefault("collect_obs", self._wants_obs())
         measurement.setdefault("profile", self._wants_profiler())
+        sharding = self.config.sharding
+        if (
+            self.kind == "adaptive"
+            and sharding.shards > 1
+            and sharding.coordinate
+        ):
+            # Global adaptivity plane: one coordinator-decided cache plan
+            # per epoch instead of per-shard local re-optimization.
+            # Callers that cannot host the barrier protocol (the lockstep
+            # series driver) pass adaptivity=None explicitly.
+            from repro.parallel.adaptivity import AdaptivityConfig
+
+            measurement.setdefault(
+                "adaptivity",
+                AdaptivityConfig(
+                    sync_every_updates=sharding.sync_every_updates
+                ),
+            )
         return ExperimentSpec(
             workload_factory=self._require_factory(),
             arrivals=arrivals,
@@ -609,22 +814,29 @@ class Session:
             **measurement,
         )
 
-    def run_sharded(
+    def execute(
         self, arrivals: Optional[int] = None, crashes=(), **measurement
     ):
-        """Run partitioned across the config's shards.
+        """Run as the config directs; returns the structured run.
 
-        Returns a ParallelRun — or, when the config carries a
-        ``supervision`` policy, a :class:`~repro.parallel.supervisor.
+        The structured counterpart of :meth:`run`: same dispatch on the
+        config's :class:`ShardingConfig` (shard count, backend,
+        supervision, adaptivity coordination), but returning the
+        :class:`~repro.parallel.engine.ParallelRun` — or, with a
+        ``supervision`` policy, the :class:`~repro.parallel.supervisor.
         SupervisedRun` (same merge API) executed under heartbeat
-        monitoring with per-shard checkpoint-resumed restarts.
-        ``crashes`` (:class:`WorkerCrash` specs) only applies to
-        supervised runs — it injects deterministic worker kills.
+        monitoring with per-shard checkpoint-resumed restarts — instead
+        of the flattened delta list. Works at any shard count (one shard
+        runs in-process). ``crashes`` (:class:`WorkerCrash` specs) only
+        applies to supervised runs — it injects deterministic worker
+        kills. ``measurement`` kwargs flow into the
+        :class:`ExperimentSpec` (``output_mode``, ``collect_windows``,
+        ``stop_after_updates``, ``adaptivity``, ...).
         """
         from repro.parallel.engine import run_sharded
 
         if arrivals is None:
-            raise PlanError("run_sharded() needs arrivals")
+            raise PlanError("execute() needs arrivals")
         spec = self.experiment(arrivals, **measurement)
         if self.config.supervision is not None:
             from repro.parallel.supervisor import Supervisor
@@ -642,6 +854,22 @@ class Session:
             self.last_telemetry = run.merged_telemetry()
             self._export_merged_obs(self.last_telemetry)
         return run
+
+    def run_sharded(
+        self, arrivals: Optional[int] = None, crashes=(), **measurement
+    ):
+        """Deprecated: :meth:`execute` is the structured runner now (and
+        :meth:`run` dispatches on the config's sharding by itself)."""
+        warnings.warn(
+            "Session.run_sharded(...) is deprecated; use "
+            "Session.execute(...) for the structured run, or "
+            "Session.run(), which dispatches on the config's sharding",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute(
+            arrivals=arrivals, crashes=crashes, **measurement
+        )
 
     # ------------------------------------------------------------------
     # introspection / observability

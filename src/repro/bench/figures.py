@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.api import (
     EngineConfig,
     Session,
+    ShardingConfig,
     build_adaptive_engine,
     build_static_plan,
 )
@@ -60,11 +61,12 @@ def _static_rate_sharded(
         EngineConfig(
             orders=CHAIN_ORDERS,
             candidate_ids=candidate_ids,
-            shards=parallel.shards,
-            parallel_backend=parallel.backend,
+            sharding=ShardingConfig(
+                shards=parallel.shards, backend=parallel.backend
+            ),
         ),
     )
-    stats = session.run_sharded(arrivals).stats
+    stats = session.execute(arrivals).stats
     return stats.modeled_throughput, {
         "hit_rate": round(stats.hit_rate, 3),
         "probes": stats.cache_probes,

@@ -728,7 +728,7 @@ def cmd_profile(args: argparse.Namespace) -> str:
     """
     import time as _time
 
-    from repro.api import EngineConfig, Session
+    from repro.api import EngineConfig, Session, ShardingConfig
     from repro.obs.profile import write_pstats
 
     _check_arrivals(args)
@@ -742,8 +742,9 @@ def cmd_profile(args: argparse.Namespace) -> str:
     config = EngineConfig(
         profile=True,
         batch_size=args.batch_size,
-        shards=parallel.shards,
-        parallel_backend=parallel.backend,
+        sharding=ShardingConfig(
+            shards=parallel.shards, backend=parallel.backend
+        ),
         tuning=_profile_tuning(),
         obs_flame=args.flame,
         obs_metrics_prom=args.prometheus,
@@ -751,7 +752,7 @@ def cmd_profile(args: argparse.Namespace) -> str:
     session = Session.adaptive(factory, config)
     lines: List[str] = []
     if parallel.active:
-        run = session.run_sharded(arrivals=arrivals, output_mode="none")
+        run = session.execute(arrivals=arrivals, output_mode="none")
         snapshot = session.last_telemetry.profile
         lines.append(
             f"profiled {args.experiment} — {arrivals} arrivals, "

@@ -17,6 +17,7 @@ the constant key width and the mean tuples-per-entry ``d_out/d_probe``
 from __future__ import annotations
 
 import random
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
@@ -30,6 +31,14 @@ from repro.operators.cache_ops import BloomLookup
 from repro.operators.pipeline import ProfileSample
 
 
+def deterministic_gate_hash(seed: int, seq: int) -> float:
+    """A uniform-in-[0,1) hash of (seed, seq): the deterministic profile
+    gate, shared by every shard so all workers sample the same updates."""
+    return (
+        zlib.crc32(f"{seed}:{seq}".encode("ascii")) & 0xFFFFFFFF
+    ) / 4294967296.0
+
+
 @dataclass
 class ProfilerConfig:
     """Tunables, with Section 7.1 defaults where the paper gives them."""
@@ -40,6 +49,11 @@ class ProfilerConfig:
     bloom_alpha: float = 4.0        # α: bits per window tuple
     rate_window: int = 32           # arrivals used for rate(Ri)
     seed: int = 17
+    # Gate sampling by a hash of (seed, global seq) instead of a local
+    # RNG stream. Under sharding every worker then profiles the *same*
+    # global update set, so cross-shard merged statistics match what a
+    # serial profiler would have measured (repro.parallel.adaptivity).
+    deterministic_gate: bool = False
 
 
 class PipelineProfile:
@@ -126,19 +140,35 @@ class Profiler:
     # ------------------------------------------------------------------
     def rebuild_profiles(self, owner: Optional[str] = None) -> None:
         """(Re)create per-pipeline windows — after an ordering change the
-        old measurements describe a different plan and are discarded."""
+        old δ/τ measurements describe a different plan and are discarded.
+
+        Arrival times survive the rebuild: ``rate(Ri)`` describes the
+        *stream*, not the plan, so the accumulated rate history stays
+        valid across reorders and coordinator plan pushes — without it
+        every rebuild would stall all estimates for ``rate_window``
+        arrivals (the warm-stats regression this preserves against).
+        """
         owners = [owner] if owner else list(self.executor.pipelines)
         for name in owners:
             pipeline = self.executor.pipelines[name]
-            self.profiles[name] = PipelineProfile(
+            fresh = PipelineProfile(
                 name, pipeline.slots, self.config.window
             )
+            previous = self.profiles.get(name)
+            if previous is not None:
+                fresh._arrival_times.extend(previous._arrival_times)
+            self.profiles[name] = fresh
             pipeline.observation_sink = self._observe_miss
 
-    def _gate(self, relation: str) -> bool:
+    def _gate(self, relation: str, seq: Optional[int] = None) -> bool:
         profile = self.profiles.get(relation)
         if profile is not None:
             profile.record_arrival(self.executor.ctx.clock.now_us)
+        if self.config.deterministic_gate and seq is not None:
+            return (
+                deterministic_gate_hash(self.config.seed, seq)
+                < self.config.profile_probability
+            )
         return self._rng.random() < self.config.profile_probability
 
     def _sink(self, relation: str, sample: ProfileSample) -> None:

@@ -72,6 +72,13 @@ class ReoptimizerConfig:
 class Reoptimizer:
     """Keeps the optimal nonoverlapping cache subset wired as stats drift."""
 
+    # Set at runtime by the sharded worker (repro.parallel.shard) when a
+    # run is coordinated: selection authority moves to the cross-shard
+    # EpochCoordinator and local cycles are disabled — the shard only
+    # profiles, snapshots, and applies pushed plans. A class-level default
+    # keeps engines restored from pre-coordination checkpoints valid.
+    coordinated = False
+
     def __init__(
         self,
         executor: MJoinExecutor,
@@ -185,6 +192,11 @@ class Reoptimizer:
     # ------------------------------------------------------------------
     def after_update(self) -> None:
         """Called once per processed update; drives monitoring and phases."""
+        if self.coordinated:
+            # Under global coordination every selection decision — adds,
+            # drops, memory admission — comes from the coordinator's plan
+            # pushes; running local cycles here would fight them.
+            return
         metrics = self.executor.ctx.metrics
         updates = metrics.updates_processed
         if (
@@ -551,6 +563,84 @@ class Reoptimizer:
                 )
                 self.profiler.remove_bloom(candidate.candidate_id)
             self.states[candidate.candidate_id] = CandidateState.USED
+
+    def apply_plan(self, plan) -> None:
+        """Apply a coordinator-pushed :class:`~repro.parallel.adaptivity.
+        CachePlan`: wire exactly the plan's candidate set.
+
+        The cross-shard twin of :meth:`_apply`, driven by the merged
+        global statistics instead of local estimates. Candidates the
+        plan names that this shard does not know (its ordering diverged)
+        are skipped; bucket counts come from the plan's global entry
+        estimate, falling back to the local one. Idempotent — carried-
+        over plans re-apply as no-ops on the wiring.
+        """
+        ctx = self.executor.ctx
+        cm = ctx.cost_model
+        buckets = dict(plan.buckets)
+        target_ids = [
+            cid for cid in plan.candidate_ids if cid in self.candidates
+        ]
+        target = set(target_ids)
+        previously_used = {
+            c.candidate_id for c in self.wiring.used_candidates()
+        }
+        ctx.metrics.reoptimizations += 1
+        reopt_seq = ctx.metrics.reoptimizations
+        ctx.clock.charge(cm.reoptimize_base)
+        self.profiler.reactivate_blooms()
+        for candidate_id in list(self.wiring.wired):
+            if candidate_id not in target:
+                self.wiring.detach(candidate_id)
+                self.states[candidate_id] = CandidateState.PROFILED
+                candidate = self.candidates.get(candidate_id)
+                if candidate is not None:
+                    self.profiler.install_bloom(candidate)
+        for candidate_id in target_ids:
+            candidate = self.candidates[candidate_id]
+            if candidate_id in self.wiring.wired:
+                self.wiring.resume_lookup(candidate_id)
+            else:
+                self.wiring.attach(
+                    candidate,
+                    buckets=buckets.get(
+                        candidate_id, self._bucket_estimate(candidate)
+                    ),
+                )
+                self.profiler.remove_bloom(candidate_id)
+            self.states[candidate_id] = CandidateState.USED
+        now_us = ctx.clock.now_us
+        memory_used = self.wiring.memory_bytes()
+        for candidate_id in sorted(target - previously_used):
+            ctx.obs.decisions.record(
+                now_us,
+                decisions_log.ATTACH,
+                candidate_id,
+                reason=f"coordinator plan push (epoch {plan.epoch})",
+                reopt_seq=reopt_seq,
+                memory_used_bytes=memory_used,
+                memory_budget_bytes=self.allocator.budget_bytes,
+            )
+        for candidate_id in sorted(previously_used - target):
+            ctx.obs.decisions.record(
+                now_us,
+                decisions_log.DETACH,
+                candidate_id,
+                reason=f"coordinator plan push (epoch {plan.epoch})",
+                reopt_seq=reopt_seq,
+                memory_used_bytes=memory_used,
+                memory_budget_bytes=self.allocator.budget_bytes,
+            )
+        if ctx.obs.enabled:
+            ctx.obs.tracer.emit(
+                "plan_push",
+                now_us,
+                epoch=plan.epoch,
+                applied=plan.applied,
+                used=sorted(target),
+                added=sorted(target - previously_used),
+                dropped=sorted(previously_used - target),
+            )
 
     def _bucket_estimate(self, candidate: CandidateCache) -> int:
         """Section 3.3: bucket count from the expected entry count."""

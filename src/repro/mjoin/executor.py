@@ -24,7 +24,9 @@ from repro.relations.relation import Relation
 from repro.streams.events import DeltaBatch, OutputDelta, Sign, Update, batched
 from repro.streams.tuples import CompositeTuple
 
-ProfileGate = Callable[[str], bool]
+# (relation, global seq) -> profile this update? The seq enables the
+# deterministic cross-shard gate (ProfilerConfig.deterministic_gate).
+ProfileGate = Callable[[str, int], bool]
 SampleSink = Callable[[str, ProfileSample], None]
 
 
@@ -171,7 +173,7 @@ class MJoinExecutor:
             pipeline = self.pipelines[update.relation]
             profile = False
             if self.profile_gate is not None:
-                profile = self.profile_gate(update.relation)
+                profile = self.profile_gate(update.relation, update.seq)
             memo = self.ctx.probe_memo
             if profile and memo is not None:
                 # Profiled tuples measure the true cache-free operator

@@ -29,6 +29,7 @@ constructs directly.
 
 from __future__ import annotations
 
+import threading as _threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Union
@@ -89,25 +90,29 @@ class Observability:
 
 
 # The session-scoped override consulted by ExecContext's default factory.
-_ACTIVE: Optional[Observability] = None
+# Thread-local: the coordinated serial backend runs one shard per thread,
+# each under its own enabled session, and a module-global would make
+# every engine adopt whichever worker activated last. Sessions have
+# always been opened in the thread that builds the engines they scope
+# (CLI, api.Session, shard workers, the service layer), so thread-local
+# visibility is the same visibility with the cross-thread races removed.
+_STATE = _threading.local()
 
 
 def current() -> Optional[Observability]:
-    """The active session observability, or None."""
-    return _ACTIVE
+    """This thread's active session observability, or None."""
+    return getattr(_STATE, "active", None)
 
 
 def activate(observability: Observability) -> Observability:
     """Make ``observability`` the session default for new ExecContexts."""
-    global _ACTIVE
-    _ACTIVE = observability
+    _STATE.active = observability
     return observability
 
 
 def deactivate() -> None:
     """Clear the session default."""
-    global _ACTIVE
-    _ACTIVE = None
+    _STATE.active = None
 
 
 @contextmanager
@@ -115,21 +120,21 @@ def session(
     observability: Optional[Observability] = None,
 ) -> Iterator[Observability]:
     """Scope an (enabled, unless given) observability to a ``with`` block."""
-    global _ACTIVE
     active = (
         observability if observability is not None else Observability.tracing()
     )
-    previous = _ACTIVE
-    _ACTIVE = active
+    previous = current()
+    _STATE.active = active
     try:
         yield active
     finally:
-        _ACTIVE = previous
+        _STATE.active = previous
 
 
 def default_observability() -> Observability:
     """ExecContext default: the active session, else a disabled bundle."""
-    return _ACTIVE if _ACTIVE is not None else Observability.disabled()
+    active = current()
+    return active if active is not None else Observability.disabled()
 
 
 from repro.obs import export  # noqa: E402  (exporters need the types above)

@@ -44,6 +44,10 @@ CHECKPOINT = "checkpoint"              # snapshot written at an update seq
 RECOVER = "recover"                    # restore from checkpoint + WAL replay
 WORKER_RESTART = "worker_restart"      # supervisor restarted a shard worker
 WORKER_FALLBACK = "worker_fallback"    # circuit breaker: shard ran serially
+# Global adaptivity plane (repro.parallel.adaptivity): the coordinator's
+# per-epoch merged re-optimization and elastic resharding events.
+PLAN_PUSH = "plan_push"                # coordinator pushed a global cache plan
+RESHARD = "reshard"                    # run repartitioned to a new shard count
 # Service actions (repro.service): the ingestion server's own overload
 # ladder and lifecycle events join the same chronological log.
 TIER_CHANGE = "tier_change"            # degradation ladder moved a step

@@ -144,8 +144,16 @@ def _with_shard(labels: LabelKey, shard: Optional[int]) -> Dict[str, str]:
 
 def merge_telemetry(
     snapshots: List[TelemetrySnapshot],
+    coordinator_decisions: Optional[List[dict]] = None,
 ) -> MergedTelemetry:
-    """Merge worker snapshots into one shard-labelled global registry."""
+    """Merge worker snapshots into one shard-labelled global registry.
+
+    ``coordinator_decisions`` are parent-side records from the global
+    adaptivity plane (:class:`repro.parallel.adaptivity.EpochCoordinator`);
+    they join the decision chronology tagged ``source="coordinator"`` so
+    the merged timeline shows both what each shard measured and what the
+    coordinator pushed back.
+    """
     registry = MetricsRegistry()
     events: List[dict] = []
     decisions: List[dict] = []
@@ -219,6 +227,11 @@ def merge_telemetry(
             prefixes.append(
                 f"shard {shard}" if shard is not None else "shard ?"
             )
+
+    for record in coordinator_decisions or ():
+        merged_record = dict(record)
+        merged_record.setdefault("source", "coordinator")
+        decisions.append(merged_record)
 
     # The global hit rate must be hits/probes over the whole run, not an
     # average of per-shard ratios (a starved shard would skew it).

@@ -1,0 +1,877 @@
+"""The global adaptivity plane for sharded execution.
+
+Sharding partitions the update stream, and with it the profiler's
+evidence: each shard sees only 1/N of the traffic, so no shard alone
+accumulates the W samples per statistic (dij, cij, miss probability)
+that justify a cache before the run ends — the "sharded hit_rate reads
+0.0" blind spot. This module closes it by re-centralizing *selection*
+while keeping *execution* sharded:
+
+* at deterministic epoch boundaries (every ``sync_every_updates``
+  positions of the *global* stream, identical on every worker because
+  all workers replay the full stream) each shard freezes its profiler
+  into a picklable :class:`ProfilerSnapshot` and submits it;
+* the :class:`EpochCoordinator` merges the snapshots into global
+  statistics — δ/τ windows are *pooled* (so sample counts weight shards
+  naturally) and arrival rates are **summed, never averaged** — runs the
+  paper's selection (Section 4.5 + the Section 5 memory admission)
+  once against the global budget, and answers every shard with one
+  :class:`CachePlan`;
+* shards apply the plan via
+  :meth:`~repro.core.reoptimizer.Reoptimizer.apply_plan` and keep
+  processing. Plans only change cache wiring, never emitted deltas, so
+  coordination preserves the serial ≡ sharded byte-identity property.
+
+The barrier protocol is crash-tolerant: decided epochs are answered
+from the plan log immediately, so a supervisor-restarted worker that
+re-traverses the stream from its checkpoint passes old barriers without
+blocking anyone (every epoch at or before its checkpoint was decided
+before the checkpoint could have been written). A shard that degrades
+to in-parent execution is :meth:`~EpochCoordinator.retire`\\ d first so
+remaining shards' barriers shrink instead of deadlocking.
+
+Why summed rates preserve the serial selection: each shard's virtual
+clock advances only for its own ~1/N of the work, so its windowed
+``rate(Ri)`` estimate approximates the *global* arrival rate and the
+pooled total scales every d-term by ~N uniformly. Benefit, cost, proc,
+and operator cost are all linear in the d-terms (:mod:`repro.core.cost_model`)
+while ``miss_prob`` and the expected entry count are rate-free, so the
+greedy/exhaustive selection order — and hence the chosen cache set — is
+invariant under that uniform scaling.
+
+The second half of the module is **elastic resharding** support: the
+:class:`RescalePolicy`/:func:`recommend_rescale` trigger that reads the
+merged run statistics and recommends scale-up/down, consumed by
+:meth:`repro.parallel.engine.ParallelRun.rescale`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core import cost_model
+from repro.core.candidates import CandidateCache, enumerate_candidates, shared_groups
+from repro.core.memory import CacheDemand, MemoryAllocator
+from repro.core.selection import SelectionProblem, select
+from repro.engine.clock import CostModel
+from repro.errors import ParallelError
+from repro.obs import decisions as decisions_log
+from repro.obs.decisions import DecisionLog
+
+
+@dataclass(frozen=True)
+class AdaptivityConfig:
+    """How a sharded run coordinates cache selection globally.
+
+    ``sync_every_updates`` is measured in positions of the *global*
+    update stream (not per-shard processed counts), which is what makes
+    the epoch barriers line up across workers without any communication.
+    """
+
+    sync_every_updates: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.sync_every_updates < 1:
+            raise ParallelError(
+                "adaptivity sync_every_updates must be >= 1, got "
+                f"{self.sync_every_updates}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# what a shard exports
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PipelineSnapshot:
+    """One pipeline's windowed δ/τ evidence, frozen for the wire."""
+
+    owner: str
+    slots: int
+    order: Tuple[str, ...]
+    delta_windows: Tuple[Tuple[int, ...], ...]   # slots + 1 windows
+    tau_windows: Tuple[Tuple[float, ...], ...]   # slots windows
+    rate: float                                  # updates/sec (virtual)
+    arrivals: int
+
+
+@dataclass(frozen=True)
+class ProfilerSnapshot:
+    """One shard's full statistical state at an epoch boundary."""
+
+    shard: int
+    epoch: int
+    now_us: float
+    updates_processed: int
+    pipelines: Tuple[PipelineSnapshot, ...]
+    # candidate_id -> recent miss-probability observations
+    miss_windows: Tuple[Tuple[str, Tuple[float, ...]], ...]
+    used_cache_ids: Tuple[str, ...]
+
+
+def snapshot_from_plan(plan, shard: int, epoch: int) -> ProfilerSnapshot:
+    """Freeze an A-Caching engine's profiler state for the coordinator.
+
+    Used caches are harvested first (their directly observed miss
+    probability folds into the miss windows, Appendix A in-use case), so
+    the snapshot carries everything the shard knows.
+    """
+    profiler = plan.profiler
+    reoptimizer = plan.reoptimizer
+    ctx = plan.ctx
+    for candidate_id, wired in reoptimizer.wiring.wired.items():
+        profiler.harvest_used_cache(candidate_id, wired.cache)
+    orders = plan.executor.orders()
+    pipelines = []
+    for owner in sorted(profiler.profiles):
+        profile = profiler.profiles[owner]
+        pipelines.append(
+            PipelineSnapshot(
+                owner=owner,
+                slots=profile.slots,
+                order=tuple(orders.get(owner, ())),
+                delta_windows=tuple(
+                    tuple(window) for window in profile.delta_windows
+                ),
+                tau_windows=tuple(
+                    tuple(window) for window in profile.tau_windows
+                ),
+                rate=profile.rate(),
+                arrivals=len(profile._arrival_times),
+            )
+        )
+    return ProfilerSnapshot(
+        shard=shard,
+        epoch=epoch,
+        now_us=ctx.clock.now_us,
+        updates_processed=ctx.metrics.updates_processed,
+        pipelines=tuple(pipelines),
+        miss_windows=tuple(
+            (candidate_id, tuple(window))
+            for candidate_id, window in sorted(profiler.miss_windows.items())
+        ),
+        used_cache_ids=tuple(
+            sorted(
+                c.candidate_id
+                for c in reoptimizer.wiring.used_candidates()
+            )
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# what the coordinator pushes back
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CachePlan:
+    """The globally selected cache set for one epoch.
+
+    ``buckets`` carries per-shard bucket estimates (global expected
+    entries split across active shards). ``applied=False`` marks a plan
+    carried over unchanged because estimates stayed below the change
+    threshold — shards still apply it (idempotently).
+    """
+
+    epoch: int
+    candidate_ids: Tuple[str, ...]
+    buckets: Tuple[Tuple[str, int], ...] = ()
+    applied: bool = True
+
+    def bucket_for(self, candidate_id: str, default: int = 256) -> int:
+        for cid, buckets in self.buckets:
+            if cid == candidate_id:
+                return buckets
+        return default
+
+
+class _MergedProfile:
+    """Cross-shard pooled δ/τ windows for one pipeline.
+
+    Mirrors :class:`~repro.core.profiler.PipelineProfile`'s estimate
+    surface (``ready``/``d``/``c``) over concatenated windows: shards
+    with more samples weight the means proportionally, and the rate is
+    the sum of the per-shard rates.
+    """
+
+    def __init__(self, slots: int, window: int):
+        self.slots = slots
+        self._window = window
+        self.delta_windows: List[List[int]] = [
+            [] for _ in range(slots + 1)
+        ]
+        self.tau_windows: List[List[float]] = [[] for _ in range(slots)]
+        self._rate = 0.0
+
+    def fold(self, snapshot: PipelineSnapshot) -> None:
+        for slot, window in enumerate(
+            snapshot.delta_windows[: self.slots + 1]
+        ):
+            self.delta_windows[slot].extend(window)
+        for position, window in enumerate(
+            snapshot.tau_windows[: self.slots]
+        ):
+            self.tau_windows[position].extend(window)
+        self._rate += snapshot.rate
+
+    def rate(self) -> float:
+        return self._rate
+
+    def ready(self) -> bool:
+        return all(
+            len(window) >= self._window for window in self.delta_windows
+        )
+
+    def d(self, slot: int) -> float:
+        window = self.delta_windows[slot]
+        if not window:
+            return 0.0
+        return self.rate() * (sum(window) / len(window))
+
+    def c(self, position: int) -> float:
+        total_delta = sum(self.delta_windows[position])
+        if total_delta == 0:
+            return 0.0
+        return sum(self.tau_windows[position]) / total_delta
+
+
+class EpochCoordinator:
+    """Merges shard snapshots and decides one cache plan per epoch.
+
+    The core is synchronous and transport-free: :meth:`submit` returns
+    the deliveries it can make *now* as ``(shard, plan)`` pairs — either
+    an immediate answer from the plan log (decided epoch) or, when the
+    last awaited shard arrives, one delivery per barrier participant.
+    :class:`ThreadChannel` and the process-backend parent loop wrap it
+    with their respective transports.
+    """
+
+    def __init__(self, spec, shard_count: int):
+        engine = spec.engine
+        if engine.kind != "acaching":
+            raise ParallelError(
+                "coordinated adaptivity requires an acaching engine, "
+                f"got kind {engine.kind!r}"
+            )
+        from repro.core.acaching import ACachingConfig
+
+        config = engine.config if engine.config is not None else ACachingConfig()
+        self.profiler_config = config.profiler
+        self.reopt_config = config.reoptimizer
+        self.graph = spec.workload_factory().graph
+        self.shard_count = shard_count
+        self.cost_model = CostModel()
+        self.allocator = MemoryAllocator(
+            self.reopt_config.memory_budget_bytes
+        )
+        self.decisions = DecisionLog()
+        self.plans: Dict[int, CachePlan] = {}
+        #: shards still participating in barriers (retire() removes).
+        self.active: Set[int] = set(range(shard_count))
+        #: shards currently blocked waiting for an undecided epoch — the
+        #: supervisor treats these as live even without heartbeats.
+        self.waiting: Set[int] = set()
+        self._pending: Dict[int, Dict[int, ProfilerSnapshot]] = {}
+        self._last_signature: Dict[str, Tuple[float, float]] = {}
+        self._last_plan: Optional[CachePlan] = None
+        self._reopt_seq = 0
+
+    # ------------------------------------------------------------------
+    # the barrier protocol
+    # ------------------------------------------------------------------
+    def submit(
+        self, epoch: int, shard: int, snapshot: ProfilerSnapshot
+    ) -> List[Tuple[int, CachePlan]]:
+        """Record one shard's snapshot; return deliveries now possible."""
+        decided = self.plans.get(epoch)
+        if decided is not None:
+            # A restarted worker re-traversing an already-decided epoch:
+            # answer from the log without disturbing the live barrier.
+            return [(shard, decided)]
+        pending = self._pending.setdefault(epoch, {})
+        pending[shard] = snapshot
+        self.waiting.add(shard)
+        if self.active and self.active.issubset(pending.keys()):
+            return self._complete(epoch)
+        return []
+
+    def retire(self, shard: int) -> List[Tuple[int, CachePlan]]:
+        """Remove a shard from all future barriers (fallback/failure).
+
+        May complete barriers that were only waiting on the retired
+        shard; the freed deliveries are returned for the transport to
+        flush.
+        """
+        self.active.discard(shard)
+        self.waiting.discard(shard)
+        deliveries: List[Tuple[int, CachePlan]] = []
+        for epoch in sorted(self._pending):
+            pending = self._pending[epoch]
+            pending.pop(shard, None)
+            if epoch in self.plans:
+                continue
+            if (
+                pending
+                and self.active
+                and self.active.issubset(pending.keys())
+            ):
+                deliveries.extend(self._complete(epoch))
+        return deliveries
+
+    def _complete(self, epoch: int) -> List[Tuple[int, CachePlan]]:
+        pending = self._pending.pop(epoch)
+        plan = self._decide(epoch, pending)
+        self.plans[epoch] = plan
+        self._last_plan = plan
+        for shard in pending:
+            self.waiting.discard(shard)
+        return [(shard, plan) for shard in sorted(pending)]
+
+    def plans_in_order(self) -> Tuple[CachePlan, ...]:
+        """Every decided plan, in epoch order."""
+        return tuple(self.plans[epoch] for epoch in sorted(self.plans))
+
+    # ------------------------------------------------------------------
+    # the global re-optimization
+    # ------------------------------------------------------------------
+    def _decide(
+        self, epoch: int, snapshots: Dict[int, ProfilerSnapshot]
+    ) -> CachePlan:
+        ordered = [snapshots[shard] for shard in sorted(snapshots)]
+        now_us = max(snapshot.now_us for snapshot in ordered)
+        reference = ordered[0]
+        orders = {
+            pipeline.owner: list(pipeline.order)
+            for pipeline in reference.pipelines
+            if pipeline.order
+        }
+        candidates = {
+            c.candidate_id: c
+            for c in enumerate_candidates(
+                self.graph,
+                orders,
+                global_quota=self.reopt_config.global_quota,
+            )
+        }
+        merged = self._merge_profiles(ordered, reference)
+        miss = self._merge_miss(ordered)
+        stats: Dict[str, cost_model.CacheStatistics] = {}
+        for candidate_id, candidate in candidates.items():
+            estimate = self._statistics_for(candidate, merged, miss)
+            if estimate is not None:
+                stats[candidate_id] = estimate
+        previous_ids = (
+            self._last_plan.candidate_ids if self._last_plan else ()
+        )
+        if not stats:
+            return CachePlan(
+                epoch=epoch, candidate_ids=previous_ids, applied=False
+            )
+        cm = self.cost_model
+        signature = {
+            cid: (
+                cost_model.benefit(s, cm),
+                cost_model.cost(s, cm),
+            )
+            for cid, s in stats.items()
+        }
+        if self._last_plan is not None and not self._changed(signature):
+            return CachePlan(
+                epoch=epoch,
+                candidate_ids=previous_ids,
+                buckets=self._last_plan.buckets,
+                applied=False,
+            )
+        self._last_signature = signature
+        self._reopt_seq += 1
+        live = [candidates[cid] for cid in stats]
+        problem = SelectionProblem(
+            candidates=live,
+            benefit={
+                cid: cost_model.benefit(stats[cid], cm) for cid in stats
+            },
+            proc={cid: cost_model.proc(stats[cid], cm) for cid in stats},
+            group_cost={
+                token: cost_model.cost(
+                    stats[members[0].candidate_id], cm
+                )
+                for token, members in shared_groups(live).items()
+            },
+            operator_cost={
+                (owner, slot): profile.d(slot) * profile.c(slot)
+                for owner, profile in merged.items()
+                for slot in range(profile.slots)
+            },
+        )
+        selected = select(
+            problem,
+            method=self.reopt_config.selection_method,
+            exhaustive_limit=self.reopt_config.exhaustive_limit,
+        )
+        admitted = self._allocate(selected, stats, cm, miss, now_us)
+        shard_divisor = max(1, len(self.active) or self.shard_count)
+        plan = CachePlan(
+            epoch=epoch,
+            candidate_ids=tuple(
+                sorted(c.candidate_id for c in admitted)
+            ),
+            buckets=tuple(
+                sorted(
+                    (
+                        c.candidate_id,
+                        self._bucket_estimate(c, miss, shard_divisor),
+                    )
+                    for c in admitted
+                )
+            ),
+        )
+        self._record_plan(
+            plan, previous_ids, stats, signature, len(ordered), now_us
+        )
+        return plan
+
+    def _merge_profiles(
+        self,
+        snapshots: Sequence[ProfilerSnapshot],
+        reference: ProfilerSnapshot,
+    ) -> Dict[str, _MergedProfile]:
+        """Pool per-pipeline windows across shards.
+
+        Only shards whose pipeline runs the reference ordering are
+        pooled for that pipeline — after an independent reorder a
+        shard's δ/τ windows describe a different plan and would poison
+        the pooled means.
+        """
+        reference_orders = {
+            pipeline.owner: pipeline.order
+            for pipeline in reference.pipelines
+        }
+        merged: Dict[str, _MergedProfile] = {}
+        for pipeline in reference.pipelines:
+            merged[pipeline.owner] = _MergedProfile(
+                pipeline.slots, self.profiler_config.window
+            )
+        for snapshot in snapshots:
+            for pipeline in snapshot.pipelines:
+                pooled = merged.get(pipeline.owner)
+                if (
+                    pooled is None
+                    or pipeline.slots != pooled.slots
+                    or pipeline.order
+                    != reference_orders.get(pipeline.owner)
+                ):
+                    continue
+                pooled.fold(pipeline)
+        return merged
+
+    @staticmethod
+    def _merge_miss(
+        snapshots: Sequence[ProfilerSnapshot],
+    ) -> Dict[str, float]:
+        """Pooled mean miss probability per candidate."""
+        pooled: Dict[str, List[float]] = {}
+        for snapshot in snapshots:
+            for candidate_id, window in snapshot.miss_windows:
+                pooled.setdefault(candidate_id, []).extend(window)
+        return {
+            candidate_id: sum(window) / len(window)
+            for candidate_id, window in pooled.items()
+            if window
+        }
+
+    def _statistics_for(
+        self,
+        candidate: CandidateCache,
+        merged: Dict[str, _MergedProfile],
+        miss: Dict[str, float],
+    ) -> Optional[cost_model.CacheStatistics]:
+        """Global :class:`CacheStatistics` — the cross-shard twin of
+        :meth:`repro.core.profiler.Profiler.statistics_for`."""
+        profile = merged.get(candidate.owner)
+        if profile is None or not profile.ready():
+            return None
+        miss_prob = miss.get(candidate.candidate_id)
+        if miss_prob is None:
+            return None
+        segment_d = [
+            profile.d(slot)
+            for slot in range(candidate.start, candidate.end + 1)
+        ]
+        segment_c = [
+            profile.c(slot)
+            for slot in range(candidate.start, candidate.end + 1)
+        ]
+        d_out = profile.d(candidate.end + 1)
+        maintenance_slot = len(candidate.maintenance_set) - 1
+        maintenance_rate = 0.0
+        for member in candidate.tap_relations:
+            member_profile = merged.get(member)
+            if member_profile is None or not member_profile.ready():
+                return None
+            maintenance_rate += member_profile.d(maintenance_slot)
+        return cost_model.CacheStatistics(
+            segment_d=segment_d,
+            segment_c=segment_c,
+            d_out=d_out,
+            miss_prob=miss_prob,
+            maintenance_rate=maintenance_rate,
+            key_width=max(1, len(candidate.key_signature)),
+            anchor_size=len(candidate.anchor),
+        )
+
+    def _expected_entries(
+        self, candidate: CandidateCache, miss: Dict[str, float]
+    ) -> float:
+        """Global expected entry count (Appendix A saturation estimate)."""
+        miss_prob = miss.get(candidate.candidate_id)
+        if miss_prob is None:
+            return 0.0
+        return 2.0 * miss_prob * self.profiler_config.bloom_window_tuples
+
+    def _changed(
+        self, signature: Dict[str, Tuple[float, float]]
+    ) -> bool:
+        """Improvement (c): skip selection unless estimates drifted ≥ p."""
+        if not self._last_signature:
+            return True
+        threshold = self.reopt_config.change_threshold
+        for candidate_id, (new_benefit, new_cost) in signature.items():
+            old = self._last_signature.get(candidate_id)
+            if old is None:
+                return True
+            for new, previous in (
+                (new_benefit, old[0]),
+                (new_cost, old[1]),
+            ):
+                scale = max(abs(previous), 1e-9)
+                if abs(new - previous) / scale > threshold:
+                    return True
+        return False
+
+    def _allocate(
+        self,
+        selected: List[CandidateCache],
+        stats: Dict[str, cost_model.CacheStatistics],
+        cm: CostModel,
+        miss: Dict[str, float],
+        now_us: float,
+    ) -> List[CandidateCache]:
+        """Section 5 admission against the *global* memory budget."""
+        if self.allocator.budget_bytes is None:
+            return selected
+        groups = shared_groups(selected)
+        demands: List[CacheDemand] = []
+        members_of: Dict[Tuple, List[CandidateCache]] = {}
+        for token, members in groups.items():
+            net = sum(
+                cost_model.benefit(stats[c.candidate_id], cm)
+                for c in members
+            ) - cost_model.cost(stats[members[0].candidate_id], cm)
+            expected = cost_model.expected_memory_bytes(
+                stats[members[0].candidate_id],
+                cm,
+                expected_entries=self._expected_entries(
+                    members[0], miss
+                ),
+                segment_size=len(members[0].segment),
+            )
+            demands.append(
+                CacheDemand(
+                    candidate=members[0],
+                    net_benefit=net,
+                    expected_bytes=expected,
+                )
+            )
+            members_of[token] = members
+        result = self.allocator.admit(demands)
+        for verdict, demand in result.audit:
+            if verdict != "reject":
+                continue
+            for member in members_of[demand.candidate.share_token]:
+                member_stats = stats.get(member.candidate_id)
+                self.decisions.record(
+                    now_us,
+                    decisions_log.MEMORY_REJECT,
+                    member.candidate_id,
+                    reason=(
+                        "globally selected but denied pages "
+                        f"({result.pages_used} pages committed)"
+                    ),
+                    reopt_seq=self._reopt_seq,
+                    stats=member_stats,
+                    memory_budget_bytes=self.allocator.budget_bytes,
+                    expected_bytes=demand.expected_bytes,
+                )
+        admitted: List[CandidateCache] = []
+        for representative in result.admitted:
+            admitted.extend(members_of[representative.share_token])
+        return admitted
+
+    def _bucket_estimate(
+        self,
+        candidate: CandidateCache,
+        miss: Dict[str, float],
+        shard_divisor: int,
+    ) -> int:
+        """Per-shard bucket count from the global entry estimate."""
+        entries = self._expected_entries(candidate, miss) / shard_divisor
+        wanted = max(
+            self.reopt_config.min_bucket_count, int(entries * 2)
+        )
+        return min(
+            self.reopt_config.max_bucket_count,
+            1 << (wanted - 1).bit_length(),
+        )
+
+    def _record_plan(
+        self,
+        plan: CachePlan,
+        previous_ids: Tuple[str, ...],
+        stats: Dict[str, cost_model.CacheStatistics],
+        signature: Dict[str, Tuple[float, float]],
+        shard_count: int,
+        now_us: float,
+    ) -> None:
+        target = set(plan.candidate_ids)
+        previous = set(previous_ids)
+        added = sorted(target - previous)
+        dropped = sorted(previous - target)
+        self.decisions.record(
+            now_us,
+            decisions_log.PLAN_PUSH,
+            "coordinator",
+            reason=(
+                f"epoch {plan.epoch}: merged {shard_count} shard "
+                f"snapshots, pushed {len(plan.candidate_ids)} caches"
+            ),
+            reopt_seq=self._reopt_seq,
+            memory_budget_bytes=self.allocator.budget_bytes,
+        )
+        for candidate_id in added:
+            benefit, cost = signature.get(candidate_id, (None, None))
+            self.decisions.record(
+                now_us,
+                decisions_log.ATTACH,
+                candidate_id,
+                reason=f"selected by global re-optimization (epoch {plan.epoch})",
+                reopt_seq=self._reopt_seq,
+                stats=stats.get(candidate_id),
+                benefit=benefit,
+                cost=cost,
+                memory_budget_bytes=self.allocator.budget_bytes,
+            )
+        for candidate_id in dropped:
+            benefit, cost = signature.get(candidate_id, (None, None))
+            self.decisions.record(
+                now_us,
+                decisions_log.DETACH,
+                candidate_id,
+                reason=f"deselected by global re-optimization (epoch {plan.epoch})",
+                reopt_seq=self._reopt_seq,
+                stats=stats.get(candidate_id),
+                benefit=benefit,
+                cost=cost,
+                memory_budget_bytes=self.allocator.budget_bytes,
+            )
+
+
+# ---------------------------------------------------------------------------
+# transports
+# ---------------------------------------------------------------------------
+class ThreadChannel:
+    """Barrier transport for shards running as threads in one process."""
+
+    #: seconds a shard waits at a barrier before declaring it wedged.
+    BARRIER_TIMEOUT_S = 120.0
+
+    def __init__(self, coordinator: EpochCoordinator):
+        self._coordinator = coordinator
+        self._cond = threading.Condition()
+        self._inbox: Dict[int, CachePlan] = {}
+
+    def exchange(
+        self, epoch: int, shard: int, snapshot: ProfilerSnapshot
+    ) -> CachePlan:
+        with self._cond:
+            deliveries = self._coordinator.submit(epoch, shard, snapshot)
+            for target, plan in deliveries:
+                self._inbox[target] = plan
+            if deliveries:
+                self._cond.notify_all()
+            while shard not in self._inbox:
+                if not self._cond.wait(timeout=self.BARRIER_TIMEOUT_S):
+                    raise ParallelError(
+                        f"shard {shard} timed out waiting for the "
+                        f"epoch {epoch} cache plan"
+                    )
+            return self._inbox.pop(shard)
+
+    def retire(self, shard: int) -> None:
+        with self._cond:
+            for target, plan in self._coordinator.retire(shard):
+                self._inbox[target] = plan
+            self._cond.notify_all()
+
+
+class PipeChannel:
+    """Worker-side barrier transport over a duplex multiprocessing pipe.
+
+    The parent (plain process backend's serve loop, or the Supervisor's
+    drain loop) owns the :class:`EpochCoordinator`; the worker just
+    sends ``("snap", epoch, shard, snapshot)`` and blocks until the
+    matching ``("plan", CachePlan)`` arrives. Plans for stale epochs
+    (possible after a restart raced a delivery) are discarded.
+    """
+
+    def __init__(self, conn):
+        self._conn = conn
+
+    def exchange(
+        self, epoch: int, shard: int, snapshot: ProfilerSnapshot
+    ) -> CachePlan:
+        self._conn.send(("snap", epoch, shard, snapshot))
+        while True:
+            message = self._conn.recv()
+            if (
+                isinstance(message, tuple)
+                and message
+                and message[0] == "plan"
+            ):
+                plan = message[1]
+                if plan.epoch >= epoch:
+                    return plan
+
+    def retire(self, shard: int) -> None:
+        """The parent retires workers on its side; nothing to do here."""
+
+
+def scale_bloom_windows(plan, shard_count: int) -> None:
+    """Make per-shard bloom windows span the serial probe-stream distance.
+
+    The miss-probability estimator emits one observation per ``Wd``
+    probes (Appendix A), but a shard only probes its ~1/N partition of
+    the stream — with the unscaled window a sharded run needs N× the
+    stream length per observation, so short runs never estimate
+    ``miss_prob`` at all and the coordinator can never admit a cache.
+    Dividing the per-shard window by the shard count restores the
+    serial observation cadence, and with hash partitioning the local
+    ``distinct/window`` ratio estimates the same global quantity.
+
+    The profiler gets its own config copy (the spec's instance is
+    shared across shards and runs) and the installed estimators are
+    rebuilt at the new width. Idempotent: an engine restored from a
+    checkpoint was scaled before the checkpoint was written, so the
+    replayed state — estimator fill included — is left untouched. The
+    coordinator itself keeps the unscaled ``Wd`` for its global
+    expected-entry estimates.
+    """
+    if shard_count <= 1:
+        return
+    profiler = getattr(plan, "profiler", None)
+    reoptimizer = getattr(plan, "reoptimizer", None)
+    if profiler is None or reoptimizer is None:
+        return
+    from dataclasses import replace as _replace
+
+    config = profiler.config
+    scaled = max(1, config.bloom_window_tuples // shard_count)
+    if config.bloom_window_tuples == scaled:
+        return
+    profiler.config = _replace(config, bloom_window_tuples=scaled)
+    for candidate_id in list(profiler._installed_blooms):
+        candidate = reoptimizer.candidates.get(candidate_id)
+        if candidate is None:
+            continue
+        profiler.remove_bloom(candidate_id)
+        profiler.install_bloom(candidate)
+
+
+# ---------------------------------------------------------------------------
+# elastic resharding: the rate-aware trigger
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RescalePolicy:
+    """When to recommend changing the shard count.
+
+    ``target_shard_rate`` is the per-shard sustainable update rate in
+    updates per second of virtual time; ``headroom`` scales the demand
+    before dividing so the recommendation leads saturation instead of
+    chasing it. ``hysteresis`` suppresses one-shard oscillation.
+    """
+
+    target_shard_rate: float = 40_000.0
+    headroom: float = 1.25
+    min_shards: int = 1
+    max_shards: int = 16
+    hysteresis: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target_shard_rate <= 0:
+            raise ParallelError(
+                "rescale target_shard_rate must be positive"
+            )
+        if self.min_shards < 1 or self.max_shards < self.min_shards:
+            raise ParallelError(
+                "rescale policy needs 1 <= min_shards <= max_shards"
+            )
+
+
+@dataclass(frozen=True)
+class RescaleAdvice:
+    """The trigger's verdict, with the evidence it used."""
+
+    current_shards: int
+    recommended_shards: int
+    observed_rate: float     # summed per-shard update rates (virtual)
+    reason: str
+
+    @property
+    def action(self) -> str:
+        if self.recommended_shards > self.current_shards:
+            return "scale-up"
+        if self.recommended_shards < self.current_shards:
+            return "scale-down"
+        return "hold"
+
+    @property
+    def should_rescale(self) -> bool:
+        return self.recommended_shards != self.current_shards
+
+
+def recommend_rescale(stats, policy: Optional[RescalePolicy] = None):
+    """Rate-aware resharding advice from merged run statistics.
+
+    ``stats`` is a :class:`~repro.parallel.stats.MergedStats`. The
+    observed demand is the **sum** of per-shard processing rates (each
+    shard's virtual clock only advances for its own work, so the sum
+    approximates the global arrival rate the run must sustain).
+    """
+    policy = policy if policy is not None else RescalePolicy()
+    rates = []
+    for updates, span_us in zip(
+        stats.per_shard_updates, stats.per_shard_clock_us
+    ):
+        if span_us > 0:
+            rates.append(updates / (span_us / 1e6))
+    observed = sum(rates)
+    current = stats.shard_count
+    wanted = max(1, math.ceil(observed * policy.headroom / policy.target_shard_rate))
+    recommended = min(policy.max_shards, max(policy.min_shards, wanted))
+    if abs(recommended - current) <= policy.hysteresis:
+        recommended = current
+    reason = (
+        f"observed {observed:.0f} updates/s across {current} shards; "
+        f"target {policy.target_shard_rate:.0f}/shard with "
+        f"{policy.headroom:.2f}x headroom wants {recommended}"
+    )
+    return RescaleAdvice(
+        current_shards=current,
+        recommended_shards=recommended,
+        observed_rate=observed,
+        reason=reason,
+    )
+
+
+# Re-exported for callers that think of the gate as part of the plane.
+from repro.core.profiler import deterministic_gate_hash  # noqa: E402,F401

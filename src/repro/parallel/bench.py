@@ -21,7 +21,7 @@ Two speedups are reported per shard count:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
 from typing import Dict, List, Optional, Sequence
 
@@ -31,11 +31,19 @@ from repro.core.reoptimizer import ReoptimizerConfig
 from repro.core.acaching import ACachingConfig
 from repro.errors import ParallelError
 from repro.ordering.agreedy import OrderingConfig
-from repro.parallel.engine import ParallelConfig, ParallelEngine
+from repro.parallel.adaptivity import AdaptivityConfig, recommend_rescale
+from repro.parallel.engine import (
+    ParallelConfig,
+    ParallelEngine,
+    output_chronology,
+)
 from repro.parallel.spec import EngineSpec, ExperimentSpec
 from repro.streams.workloads import fig9_workload
 
-BENCH_SCHEMA_VERSION = 1
+# v2: sharded points run under the global adaptivity plane (per-point
+# ``coordinated`` flag, nonzero sharded hit rates) and the report gains
+# a ``resharding`` block demonstrating a mid-run 2 -> 4 rescale.
+BENCH_SCHEMA_VERSION = 2
 DEFAULT_OUT = "BENCH_parallel.json"
 DEFAULT_ARRIVALS = 8_000
 DEFAULT_SHARDS = (1, 2, 4)
@@ -46,7 +54,12 @@ def bench_tuning() -> ACachingConfig:
     """The adaptive tunables every bench run uses."""
     return ACachingConfig(
         profiler=ProfilerConfig(
-            window=6, profile_probability=0.05, bloom_window_tuples=256
+            window=6,
+            profile_probability=0.05,
+            bloom_window_tuples=256,
+            # All shards sample the same global updates, so the
+            # coordinator's merged statistics match a serial profiler's.
+            deterministic_gate=True,
         ),
         reoptimizer=ReoptimizerConfig(
             reopt_interval_updates=2000,
@@ -68,14 +81,24 @@ def bench_engine_spec() -> EngineSpec:
     return bench_engine_config().engine_spec("adaptive")
 
 
+#: epoch length of the bench's adaptivity plane (global stream positions).
+BENCH_SYNC_EVERY = 2_000
+
+
 def bench_spec(arrivals: int) -> ExperimentSpec:
-    """The 6-way workload experiment, steady-state measured."""
+    """The 6-way workload experiment, steady-state measured.
+
+    Carries the adaptivity plane; :class:`ParallelEngine` only activates
+    it when the run is actually sharded, so the serial reference still
+    measures the local (per-engine) re-optimizer.
+    """
     return ExperimentSpec(
         workload_factory=partial(fig9_workload, BENCH_RELATIONS, window=48),
         arrivals=arrivals,
         engine=bench_engine_spec(),
         warmup_fraction=0.4,
         output_mode="none",
+        adaptivity=AdaptivityConfig(sync_every_updates=BENCH_SYNC_EVERY),
     )
 
 
@@ -99,6 +122,23 @@ class BenchPoint:
     used_caches: List[str]
     partitioned: List[str]
     broadcast: List[str]
+    coordinated: bool = False
+
+
+@dataclass
+class ReshardDemo:
+    """One elastic-resharding demonstration: stop, rescale, verify."""
+
+    from_shards: int
+    to_shards: int
+    boundary_updates: int        # global stream position of the rescale
+    outputs_identical: bool      # combined chronology == fixed-shard run
+    windows_identical: bool      # final window contents agree too
+    pre_hit_rate: float          # stopped run (phase 1)
+    post_hit_rate: float         # rescaled continuation (phase 2)
+    fixed_hit_rate: float        # the uninterrupted reference run
+    advice_action: str           # rate-aware trigger on the stopped run
+    recommended_shards: int
 
 
 @dataclass
@@ -114,6 +154,7 @@ class BenchReport:
     serial_steady_span_s: float
     serial_wall_seconds: float
     points: List[BenchPoint] = field(default_factory=list)
+    resharding: Optional[ReshardDemo] = None
 
 
 def run_parallel_bench(
@@ -178,9 +219,67 @@ def run_parallel_bench(
                 used_caches=list(stats.used_caches),
                 partitioned=list(run.scheme.partitioned),
                 broadcast=list(run.scheme.broadcast),
+                coordinated=bool(run.cache_plans),
             )
         )
+    report.resharding = run_reshard_demo(arrivals)
     return report
+
+
+def run_reshard_demo(
+    arrivals: int = DEFAULT_ARRIVALS,
+    from_shards: int = 2,
+    to_shards: int = 4,
+) -> ReshardDemo:
+    """Stop a coordinated run mid-stream, rescale it, verify identity.
+
+    Runs phase 1 at ``from_shards`` to an epoch-aligned update boundary,
+    rescales the live window state to ``to_shards`` for the remainder,
+    and checks the combined output chronology and final windows against
+    one uninterrupted ``to_shards`` run. Always on the in-process
+    backend: identity is a property of the computation, not the
+    transport (the equivalence suite pins backend-equality separately).
+    """
+    # warmup_fraction=0 so the stopped prefix reports real hit rates —
+    # the bench's 0.4 warmup would swallow the whole pre-rescale phase.
+    base = replace(
+        bench_spec(arrivals),
+        output_mode="deltas",
+        collect_windows=True,
+        warmup_fraction=0.0,
+    )
+    # Late enough that the pre-rescale phase has live caches (epoch 1
+    # profiles are still warming), early enough that roughly half the
+    # stream — inserts plus expiries, about 1.9x arrivals on fig9 —
+    # runs at the new width. At the default 8000 arrivals this lands on
+    # epoch 4 (position 8000 of ~15k).
+    epochs = max(2, arrivals // BENCH_SYNC_EVERY)
+    boundary = epochs * BENCH_SYNC_EVERY
+    fixed = ParallelEngine(
+        ParallelConfig(shards=to_shards, backend="serial")
+    ).run(base)
+    stopped = ParallelEngine(
+        ParallelConfig(shards=from_shards, backend="serial")
+    ).run(replace(base, stop_after_updates=boundary))
+    resumed = stopped.rescale(to_shards, backend="serial")
+    advice = recommend_rescale(stopped.stats)
+    return ReshardDemo(
+        from_shards=from_shards,
+        to_shards=to_shards,
+        boundary_updates=boundary,
+        outputs_identical=(
+            output_chronology(stopped, resumed)
+            == output_chronology(fixed)
+        ),
+        windows_identical=(
+            resumed.merged_windows() == fixed.merged_windows()
+        ),
+        pre_hit_rate=stopped.stats.hit_rate,
+        post_hit_rate=resumed.stats.hit_rate,
+        fixed_hit_rate=fixed.stats.hit_rate,
+        advice_action=advice.action,
+        recommended_shards=advice.recommended_shards,
+    )
 
 
 def bench_to_json(report: BenchReport) -> str:
@@ -216,10 +315,25 @@ def bench_to_json(report: BenchReport) -> str:
                 "used_caches": p.used_caches,
                 "partitioned": p.partitioned,
                 "broadcast": p.broadcast,
+                "coordinated": p.coordinated,
             }
             for p in report.points
         ],
     }
+    demo = report.resharding
+    if demo is not None:
+        payload["resharding"] = {
+            "from_shards": demo.from_shards,
+            "to_shards": demo.to_shards,
+            "boundary_updates": demo.boundary_updates,
+            "outputs_identical": demo.outputs_identical,
+            "windows_identical": demo.windows_identical,
+            "pre_hit_rate": round(demo.pre_hit_rate, 4),
+            "post_hit_rate": round(demo.post_hit_rate, 4),
+            "fixed_hit_rate": round(demo.fixed_hit_rate, 4),
+            "advice_action": demo.advice_action,
+            "recommended_shards": demo.recommended_shards,
+        }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
@@ -237,10 +351,21 @@ def format_bench_report(report: BenchReport) -> str:
         f"{'steady x':>8} | {'balance':>7} | {'wall s':>7} | broadcast",
     ]
     for p in report.points:
+        coordinated = " (coordinated)" if p.coordinated else ""
         lines.append(
             f"{p.shards:>7} | {p.modeled_throughput:>12,.0f} | "
             f"{p.modeled_speedup:>7.2f}x | {p.steady_speedup:>7.2f}x | "
             f"{p.balance:>7.2f} | {p.wall_seconds:>7.2f} | "
-            f"{p.broadcast or '—'}"
+            f"{p.broadcast or '—'}{coordinated}"
+        )
+    demo = report.resharding
+    if demo is not None:
+        verdict = "identical" if demo.outputs_identical else "DIVERGED"
+        lines.append(
+            f"reshard {demo.from_shards}->{demo.to_shards} at update "
+            f"{demo.boundary_updates}: outputs {verdict}, hit rate "
+            f"{demo.pre_hit_rate:.2f} -> {demo.post_hit_rate:.2f} "
+            f"(fixed {demo.fixed_hit_rate:.2f}); advice: "
+            f"{demo.advice_action} -> {demo.recommended_shards} shards"
         )
     return "\n".join(lines)

@@ -20,13 +20,19 @@ are equal — a property the test suite asserts.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ParallelError
+from repro.parallel.adaptivity import (
+    CachePlan,
+    EpochCoordinator,
+    PipeChannel,
+    ThreadChannel,
+)
 from repro.parallel.partitioner import PartitionScheme, scheme_for_workload
 from repro.parallel.shard import ShardResult, TaggedDelta, run_shard
-from repro.parallel.spec import ExperimentSpec
+from repro.parallel.spec import ExperimentSpec, ReshardSeed
 from repro.parallel.stats import MergedStats, StatsMerger
 
 BACKENDS = ("serial", "process")
@@ -66,6 +72,12 @@ class ParallelRun:
     stats: MergedStats
     source_updates: int
     wall_seconds: float
+    #: the spec that produced this run (enables :meth:`rescale`).
+    spec: Optional[ExperimentSpec] = None
+    #: coordinator cache plans in epoch order (coordinated runs only).
+    cache_plans: Tuple[CachePlan, ...] = ()
+    #: coordinator decision records as dicts (coordinated runs only).
+    coordinator_decisions: List[dict] = field(default_factory=list)
 
     def merged_deltas(self) -> List[TaggedDelta]:
         """All emitted deltas restored to the global arrival order.
@@ -146,6 +158,8 @@ class ParallelRun:
         registry where every per-shard counter also appears labelled
         ``shard="N"`` — or raises when the run was not executed with
         ``collect_obs``/``profile`` on its :class:`ExperimentSpec`.
+        Coordinator decisions from the global adaptivity plane fold into
+        the merged decision chronology tagged ``source="coordinator"``.
         """
         from repro.obs.merge import merge_telemetry
 
@@ -155,7 +169,76 @@ class ParallelRun:
                 "shard run did not collect telemetry "
                 "(ExperimentSpec.collect_obs/profile=False)"
             )
-        return merge_telemetry(snapshots)
+        return merge_telemetry(
+            snapshots,
+            coordinator_decisions=self.coordinator_decisions,
+        )
+
+    def rescale(
+        self, new_shards: int, backend: Optional[str] = None
+    ) -> "ParallelRun":
+        """Continue this stopped run at a different shard count.
+
+        Requires a run executed with ``spec.stop_after_updates`` and
+        ``collect_windows=True``: the merged final windows seed the new
+        shards under the new partitioning, and the new run skips the
+        stream prefix those windows already reflect. Caches restart
+        empty (the coordinator re-establishes them at the next epoch),
+        and since cache choices never affect visible results,
+        ``output_chronology(stopped, rescaled)`` is byte-identical to a
+        fixed-shard run's over the full stream (cache wiring can reorder
+        emissions *inside* one update, which the chronology normalizes —
+        the same rid-free form every acaching equivalence check uses).
+        """
+        if self.spec is None:
+            raise ParallelError(
+                "rescale needs the originating spec "
+                "(run was built without one)"
+            )
+        if self.spec.stop_after_updates is None:
+            raise ParallelError(
+                "rescale requires a run stopped at an update boundary "
+                "(ExperimentSpec.stop_after_updates)"
+            )
+        seed = ReshardSeed(
+            skip_source_through=self.spec.stop_after_updates,
+            windows=self.merged_windows(),
+        )
+        resumed = replace(
+            self.spec, reshard=seed, stop_after_updates=None
+        )
+        config = ParallelConfig(
+            shards=new_shards,
+            backend=backend if backend is not None else self.backend,
+        )
+        return ParallelEngine(config).run(resumed)
+
+
+def combined_deltas(first: ParallelRun, second: ParallelRun) -> List[TaggedDelta]:
+    """The full-output chronology of a stopped run plus its rescaled
+    continuation, in global arrival order."""
+    return first.merged_deltas() + second.merged_deltas()
+
+
+def output_chronology(*runs: ParallelRun) -> List[Tuple[int, tuple]]:
+    """A canonical, order-stable rendering of runs' merged output.
+
+    One ``(seq, sorted canonical deltas)`` entry per source update, rid-
+    free and sorted within the update — the representation that is
+    byte-identical across runs whenever the visible results are, however
+    the engine's cache wiring happened to order emissions inside one
+    update. Pass a stopped run plus its rescaled continuation to compare
+    the pair against one fixed-shard run.
+    """
+    from repro.streams.events import canonical_delta
+
+    groups: Dict[int, List[tuple]] = {}
+    for run in runs:
+        for seq, _index, delta in run.merged_deltas():
+            groups.setdefault(seq, []).append(canonical_delta(delta))
+    return [
+        (seq, tuple(sorted(groups[seq]))) for seq in sorted(groups)
+    ]
 
 
 def count_source_updates(spec: ExperimentSpec) -> int:
@@ -169,6 +252,22 @@ def count_source_updates(spec: ExperimentSpec) -> int:
             updates
         )
     return sum(1 for _ in updates)
+
+
+def _coordinated_worker(conn, spec, shard, shard_count) -> None:
+    """Process-backend worker joined to the parent's coordinator."""
+    try:
+        result = run_shard(
+            spec, shard, shard_count, coordination=PipeChannel(conn)
+        )
+        conn.send(("ok", result))
+    except BaseException as error:  # noqa: BLE001 - shipped to the parent
+        try:
+            conn.send(("err", f"{type(error).__name__}: {error}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
 
 
 def _run_shard_star(args) -> ShardResult:
@@ -190,8 +289,20 @@ class ParallelEngine:
 
         shards = self.config.shards
         scheme = scheme_for_workload(spec.workload_factory(), shards)
+        coordinator: Optional[EpochCoordinator] = None
+        if spec.adaptivity is not None and shards > 1:
+            coordinator = EpochCoordinator(spec, shards)
         started = time.perf_counter()
-        if self.config.backend == "process" and shards > 1:
+        if coordinator is not None:
+            if self.config.backend == "process":
+                results = self._run_process_coordinated(
+                    spec, shards, coordinator
+                )
+            else:
+                results = self._run_threads_coordinated(
+                    spec, shards, scheme, coordinator
+                )
+        elif self.config.backend == "process" and shards > 1:
             results = self._run_process(spec, shards)
         else:
             results = [
@@ -211,7 +322,150 @@ class ParallelEngine:
             stats=stats,
             source_updates=source_updates,
             wall_seconds=wall,
+            spec=spec,
+            cache_plans=(
+                coordinator.plans_in_order() if coordinator else ()
+            ),
+            coordinator_decisions=(
+                [record.to_dict() for record in coordinator.decisions.entries()]
+                if coordinator
+                else []
+            ),
         )
+
+    def _run_threads_coordinated(
+        self,
+        spec: ExperimentSpec,
+        shards: int,
+        scheme: PartitionScheme,
+        coordinator: EpochCoordinator,
+    ) -> List[ShardResult]:
+        """Coordinated shards under the serial backend: one thread per
+        shard, sharing a :class:`ThreadChannel` barrier. Threads (not a
+        sequential loop) because every shard must reach each epoch
+        barrier before any can pass it; determinism is preserved because
+        the barrier serializes exactly the plan decision, which depends
+        only on the submitted snapshots, never on thread timing."""
+        import threading
+
+        channel = ThreadChannel(coordinator)
+        results: List[Optional[ShardResult]] = [None] * shards
+        errors: List[Tuple[int, BaseException]] = []
+
+        def work(shard: int) -> None:
+            try:
+                results[shard] = run_shard(
+                    spec, shard, shards, scheme=scheme, coordination=channel
+                )
+            except BaseException as error:  # noqa: BLE001 - reported below
+                errors.append((shard, error))
+            finally:
+                # Unblock any shard waiting on a barrier this one will
+                # never reach (normal completion retires it too, which
+                # is harmless: all barriers lie at stream positions every
+                # finisher has already passed).
+                channel.retire(shard)
+
+        threads = [
+            threading.Thread(
+                target=work, args=(shard,), name=f"repro-shard-{shard}"
+            )
+            for shard in range(shards)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            shard, error = min(errors, key=lambda pair: pair[0])
+            raise ParallelError(
+                f"coordinated shard {shard} failed: {error}"
+            ) from error
+        return [result for result in results if result is not None]
+
+    def _run_process_coordinated(
+        self,
+        spec: ExperimentSpec,
+        shards: int,
+        coordinator: EpochCoordinator,
+    ) -> List[ShardResult]:
+        """Coordinated shards under the process backend: one process per
+        shard over a duplex pipe; this parent runs the coordinator's
+        serve loop (snapshots in, plans out)."""
+        import multiprocessing
+        import pickle
+
+        ctx = multiprocessing.get_context()
+        states: Dict[int, tuple] = {}
+        try:
+            for shard in range(shards):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_coordinated_worker,
+                    args=(child_conn, spec, shard, shards),
+                )
+                process.start()
+                child_conn.close()
+                states[shard] = (process, parent_conn)
+        except (pickle.PicklingError, AttributeError, TypeError) as error:
+            raise ParallelError(
+                f"process backend could not ship the experiment to "
+                f"workers: {error}"
+            ) from None
+
+        def push(deliveries) -> None:
+            for target, plan in deliveries:
+                state = states.get(target)
+                if state is None:
+                    continue
+                try:
+                    state[1].send(("plan", plan))
+                except (BrokenPipeError, OSError):
+                    pass  # dying worker; its exit is handled below
+
+        results: Dict[int, ShardResult] = {}
+        failures: List[str] = []
+        live = set(states)
+        while live:
+            for shard in sorted(live):
+                process, conn = states[shard]
+                if conn.poll(0.005):
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        live.discard(shard)
+                        failures.append(
+                            f"shard {shard} died (exit "
+                            f"{process.exitcode})"
+                        )
+                        push(coordinator.retire(shard))
+                        continue
+                    kind = message[0]
+                    if kind == "snap":
+                        _, epoch, snap_shard, snapshot = message
+                        push(coordinator.submit(epoch, snap_shard, snapshot))
+                    elif kind == "ok":
+                        results[shard] = message[1]
+                        live.discard(shard)
+                        push(coordinator.retire(shard))
+                    elif kind == "err":
+                        failures.append(f"shard {shard}: {message[1]}")
+                        live.discard(shard)
+                        push(coordinator.retire(shard))
+                elif not process.is_alive():
+                    live.discard(shard)
+                    failures.append(
+                        f"shard {shard} died (exit {process.exitcode})"
+                    )
+                    push(coordinator.retire(shard))
+        for process, conn in states.values():
+            process.join()
+            conn.close()
+        if failures:
+            raise ParallelError(
+                "coordinated process run failed: " + "; ".join(failures)
+            )
+        return [results[shard] for shard in sorted(results)]
 
     def _run_process(
         self, spec: ExperimentSpec, shards: int

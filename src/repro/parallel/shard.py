@@ -99,6 +99,31 @@ def _memory_in_use(plan) -> int:
     return max(current, int(getattr(plan, "peak_memory_bytes", 0)))
 
 
+def _seed_reshard_windows(plan, seed, scheme, shard: int) -> None:
+    """Load the predecessor run's window rows this shard now owns.
+
+    Rows are inserted directly into the relation states (the
+    RecoveryManager rebuild idiom) — no pipeline execution, no modeled
+    cost: the prefix's join work already happened in the stopped run.
+    Routing uses the *new* scheme, so a partitioned row lands on exactly
+    the shard that will see its future deletes, and broadcast rows land
+    everywhere — the same placement a fixed-shard run would have built.
+    """
+    from repro.streams.events import Update
+    from repro.streams.tuples import Row
+
+    relations = _relations_of(plan)
+    for name, rows in seed.windows.items():
+        relation = relations.get(name)
+        if relation is None:
+            continue
+        for rid, values in rows:
+            row = Row(rid, tuple(values))
+            probe = Update(name, row, Sign.INSERT, 0)
+            if shard in scheme.shards_for(probe):
+                relation.insert(row)
+
+
 def _poison_one_entry(plan) -> bool:
     """Chaos support: swap one cached row for a fake-rid impostor.
 
@@ -133,6 +158,7 @@ def run_shard(
     recovery=None,
     progress: Optional[Callable[[int], None]] = None,
     kill_after: Optional[int] = None,
+    coordination=None,
 ) -> ShardResult:
     """Execute shard ``shard`` of ``shard_count`` for one experiment.
 
@@ -160,17 +186,28 @@ def run_shard(
     every update (the supervisor throttles it into heartbeats).
     ``kill_after`` hard-kills the process (``os._exit``) once that count
     is reached — crash injection, only ever passed to worker processes.
+
+    ``coordination`` (with ``spec.adaptivity`` set) joins the shard to
+    the global adaptivity plane: an object with
+    ``exchange(epoch, shard, snapshot) -> CachePlan`` — a
+    :class:`~repro.parallel.adaptivity.ThreadChannel` or
+    :class:`~repro.parallel.adaptivity.PipeChannel`. At every epoch
+    boundary of the global stream the shard submits its profiler
+    snapshot, blocks for the coordinator's merged cache plan, and
+    applies it; local re-optimization cycles are disabled.
     """
     if not (spec.collect_obs or spec.profile):
         return _run_shard(
-            spec, shard, shard_count, scheme, recovery, progress, kill_after
+            spec, shard, shard_count, scheme, recovery, progress,
+            kill_after, coordination,
         )
     from repro import obs as obs_api
 
     worker_obs = obs_api.Observability.tracing(profile=spec.profile)
     with obs_api.session(worker_obs):
         return _run_shard(
-            spec, shard, shard_count, scheme, recovery, progress, kill_after
+            spec, shard, shard_count, scheme, recovery, progress,
+            kill_after, coordination,
         )
 
 
@@ -182,6 +219,7 @@ def _run_shard(
     recovery=None,
     progress: Optional[Callable[[int], None]] = None,
     kill_after: Optional[int] = None,
+    coordination=None,
 ) -> ShardResult:
     """The body of :func:`run_shard` (observability session pre-applied)."""
     workload = spec.workload_factory()
@@ -201,6 +239,35 @@ def _run_shard(
     else:
         plan = spec.engine.build(workload)
     ctx = plan.ctx
+
+    coordinate = coordination is not None and spec.adaptivity is not None
+    sync_every = spec.adaptivity.sync_every_updates if coordinate else 0
+    reoptimizer = getattr(plan, "reoptimizer", None)
+    if reoptimizer is not None:
+        # Always (re)set: a pickled checkpoint carries the attribute of
+        # the run that wrote it, which need not match this run's mode.
+        reoptimizer.coordinated = coordinate
+    if coordinate:
+        from repro.parallel.adaptivity import scale_bloom_windows
+
+        scale_bloom_windows(plan, shard_count)
+
+    def exchange_epoch(epoch: int) -> None:
+        """Submit this shard's snapshot; apply the coordinator's plan."""
+        from repro.parallel.adaptivity import snapshot_from_plan
+
+        snapshot = snapshot_from_plan(plan, shard, epoch)
+        pushed = coordination.exchange(epoch, shard, snapshot)
+        if pushed is not None and reoptimizer is not None:
+            reoptimizer.apply_plan(pushed)
+
+    if spec.reshard is not None and (
+        restored is None
+        or (restored.checkpoint_seq < 0 and not restored.replayed)
+    ):
+        # A rescaled run starting fresh (not restored mid-phase): seed
+        # the windows this shard owns under the *new* partitioning.
+        _seed_reshard_windows(plan, spec.reshard, scheme, shard)
 
     updates = workload.updates(spec.arrivals)
     if spec.fault_spec is not None:
@@ -306,38 +373,65 @@ def _run_shard(
             recorder.mark_processed(len(batch))
             recorder.maybe_checkpoint(last_seq, runner_state())
 
+    # Epoch barriers sit at fixed *positions* of the global stream
+    # (``source_seen``); every worker iterates the identical stream, so
+    # the barrier set is identical across shards with no communication.
+    skip_through = (
+        spec.reshard.skip_source_through if spec.reshard is not None else 0
+    )
+    source_seen = 0
+
     prof = ctx.obs.profiler
     if prof.enabled:
         prof.begin("run", ctx.clock.now_us)
     for update in updates:
+        source_seen += 1
+        if source_seen <= skip_through:
+            # Reshard skip region: the seeded windows already reflect
+            # this prefix. Every worker skips the same prefix, so no
+            # epoch barriers are crossed inside it.
+            if update.sign is Sign.INSERT:
+                arrivals_seen += 1
+            continue
         if update.seq <= resume_seq:
             # Restored region: replayed (or checkpoint-covered) already.
             # Arrivals at or before the checkpoint were counted in the
-            # restored tally; the replay span's still need counting.
+            # restored tally; the replay span's still need counting. No
+            # ``continue``: the barrier check below must still run so a
+            # restarted worker re-passes decided epochs (answered from
+            # the coordinator's plan log without blocking anyone).
             if update.seq > checkpoint_seq and update.sign is Sign.INSERT:
                 arrivals_seen += 1
-            continue
-        if start_updates is None and arrivals_seen >= warmup_arrivals:
-            # Drain buffered pre-warmup updates so the measured span
-            # starts at a batch boundary.
-            flush_pending()
-            start_updates = ctx.metrics.updates_processed
-            start_time_us = ctx.clock.now_us
-        if update.sign is Sign.INSERT:
-            arrivals_seen += 1
-        if shard in scheme.shards_for(update):
-            if recorder is not None:
-                recorder.log(update)
-            if spec.batch_size == 1:
-                record(update.seq, plan.process(update))
-                maybe_poison()
+        else:
+            if start_updates is None and arrivals_seen >= warmup_arrivals:
+                # Drain buffered pre-warmup updates so the measured span
+                # starts at a batch boundary.
+                flush_pending()
+                start_updates = ctx.metrics.updates_processed
+                start_time_us = ctx.clock.now_us
+            if update.sign is Sign.INSERT:
+                arrivals_seen += 1
+            if shard in scheme.shards_for(update):
                 if recorder is not None:
-                    recorder.mark_processed()
-                    recorder.maybe_checkpoint(update.seq, runner_state())
-            else:
-                pending.append(update)
-                if len(pending) >= spec.batch_size:
-                    flush_pending()
+                    recorder.log(update)
+                if spec.batch_size == 1:
+                    record(update.seq, plan.process(update))
+                    maybe_poison()
+                    if recorder is not None:
+                        recorder.mark_processed()
+                        recorder.maybe_checkpoint(update.seq, runner_state())
+                else:
+                    pending.append(update)
+                    if len(pending) >= spec.batch_size:
+                        flush_pending()
+        if sync_every and source_seen % sync_every == 0:
+            flush_pending()
+            exchange_epoch(source_seen // sync_every)
+        if (
+            spec.stop_after_updates is not None
+            and source_seen >= spec.stop_after_updates
+        ):
+            break
     flush_pending()
     if prof.enabled:
         prof.end(ctx.clock.now_us)

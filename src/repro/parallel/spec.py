@@ -13,10 +13,11 @@ bit-equivalent to the serial one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ParallelError
 from repro.faults.plan import FaultSpec
+from repro.parallel.adaptivity import AdaptivityConfig
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,32 @@ OUTPUT_MODES = ("none", "canonical", "deltas")
 
 
 @dataclass(frozen=True)
+class ReshardSeed:
+    """How a rescaled run resumes where its predecessor stopped.
+
+    ``windows`` is the predecessor's merged final window contents
+    (relation -> [(rid, values), ...]); every new shard seeds the rows
+    routed to it and then *skips* the first ``skip_source_through``
+    positions of the replayed global stream — the stream prefix those
+    windows already reflect. Caches start empty on every shard and are
+    re-established by coordinator plan pushes; since cache choices never
+    affect visible results, the combined output chronology of the
+    stopped run plus the rescaled run is byte-identical to one
+    fixed-shard run's (:func:`repro.parallel.engine.output_chronology`).
+    """
+
+    skip_source_through: int
+    windows: Dict[str, List[Tuple[int, tuple]]]
+
+    def __post_init__(self) -> None:
+        if self.skip_source_through < 0:
+            raise ParallelError(
+                "reshard skip_source_through must be >= 0, got "
+                f"{self.skip_source_through}"
+            )
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One shardable run: workload + engine + measurement directives."""
 
@@ -109,6 +136,16 @@ class ExperimentSpec:
     # (implies collect_obs for the return path).
     collect_obs: bool = False
     profile: bool = False
+    # Global adaptivity plane (repro.parallel.adaptivity): when set and
+    # the run is actually sharded, shards exchange profiler snapshots
+    # for coordinator cache plans at epoch boundaries.
+    adaptivity: Optional[AdaptivityConfig] = None
+    # Elastic resharding: stop cleanly after this many positions of the
+    # global stream (an update boundary), so ParallelRun.rescale can
+    # hand the suffix to a run with a different shard count ...
+    stop_after_updates: Optional[int] = None
+    # ... which resumes via this seed (windows + the prefix to skip).
+    reshard: Optional[ReshardSeed] = None
 
     def __post_init__(self) -> None:
         if self.arrivals <= 0:
@@ -129,3 +166,18 @@ class ExperimentSpec:
                 f"warmup_fraction must be in [0, 1), got "
                 f"{self.warmup_fraction}"
             )
+        if self.adaptivity is not None and self.engine.kind != "acaching":
+            raise ParallelError(
+                "coordinated adaptivity requires an acaching engine, "
+                f"got kind {self.engine.kind!r}"
+            )
+        if self.stop_after_updates is not None and self.stop_after_updates < 1:
+            raise ParallelError(
+                "stop_after_updates must be >= 1, got "
+                f"{self.stop_after_updates}"
+            )
+        if self.reshard is not None and self.engine.kind == "xjoin":
+            # XJoin materializes intermediate subresults that the window
+            # seed cannot reconstruct; resharding it would silently drop
+            # results.
+            raise ParallelError("xjoin engines cannot be resharded")

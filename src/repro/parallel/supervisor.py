@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, ParallelError
 from repro.obs.decisions import WORKER_FALLBACK, WORKER_RESTART, DecisionLog
+from repro.parallel.adaptivity import EpochCoordinator, PipeChannel
 from repro.parallel.engine import ParallelRun, count_source_updates
 from repro.parallel.partitioner import scheme_for_workload
 from repro.parallel.shard import ShardResult, run_shard
@@ -143,14 +144,35 @@ class SupervisedRun:
         return self.run.merged_telemetry()
 
     @property
+    def cache_plans(self):
+        return self.run.cache_plans
+
+    @property
+    def coordinator_decisions(self):
+        return self.run.coordinator_decisions
+
+    @property
     def total_restarts(self) -> int:
         return sum(self.restarts.values())
 
 
 def _supervised_worker(
-    conn, spec, shard, shard_count, recovery, kill_after, heartbeat_every
+    conn,
+    spec,
+    shard,
+    shard_count,
+    recovery,
+    kill_after,
+    heartbeat_every,
+    coordinate=False,
 ) -> None:
-    """Worker entry point: run the shard, streaming heartbeats back."""
+    """Worker entry point: run the shard, streaming heartbeats back.
+
+    With ``coordinate`` the same pipe doubles as the adaptivity-plane
+    transport: heartbeats and snapshots flow up, cache plans flow down
+    (the parent never sends anything else, so the worker's blocking
+    ``recv`` inside :class:`PipeChannel` only ever sees plans).
+    """
 
     def progress(processed: int) -> None:
         if processed % heartbeat_every == 0:
@@ -167,6 +189,7 @@ def _supervised_worker(
             recovery=recovery,
             progress=progress,
             kill_after=kill_after,
+            coordination=PipeChannel(conn) if coordinate else None,
         )
         conn.send(("ok", result))
     except Exception as error:  # surfaced to the parent as a failure
@@ -216,6 +239,11 @@ class Supervisor:
         # work is deterministic, just slower).
         self.recovery = recovery
         self.decisions = DecisionLog()
+        # Run-scoped adaptivity plane (set by run() when the spec asks
+        # for coordination): the coordinator plus a shard -> _ShardState
+        # map for routing its plan deliveries to live pipes.
+        self._coordinator: Optional[EpochCoordinator] = None
+        self._states_by_shard: Dict[int, _ShardState] = {}
 
     # ------------------------------------------------------------------
     # plumbing
@@ -232,7 +260,9 @@ class Supervisor:
         kill_after = None
         if crash is not None and state.spawns <= crash.attempts:
             kill_after = crash.after_updates
-        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+        coordinate = self._coordinator is not None
+        # Coordinated workers need the downstream direction for plans.
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=coordinate)
         process = multiprocessing.Process(
             target=_supervised_worker,
             args=(
@@ -243,6 +273,7 @@ class Supervisor:
                 self._shard_recovery(state.shard),
                 kill_after,
                 self.supervision.heartbeat_every_updates,
+                coordinate,
             ),
         )
         process.daemon = True
@@ -260,19 +291,44 @@ class Supervisor:
             state.process.join(timeout=5.0)
             state.process = None
 
+    def _push_plans(self, deliveries) -> None:
+        """Route coordinator plan deliveries to their shards' pipes."""
+        for shard, plan in deliveries:
+            target = self._states_by_shard.get(shard)
+            if target is None or target.conn is None:
+                continue
+            try:
+                target.conn.send(("plan", plan))
+            except (BrokenPipeError, OSError):
+                pass  # dying worker; its restart re-reaches the barrier
+
+    def _retire_shard(self, shard: int) -> None:
+        """Drop a shard from the adaptivity plane (done or fallback)."""
+        if self._coordinator is not None:
+            self._push_plans(self._coordinator.retire(shard))
+
     def _drain(self, state: _ShardState) -> None:
         """Pull every queued message off one shard's pipe."""
         while state.conn is not None and state.conn.poll(0):
             try:
-                kind, value = state.conn.recv()
+                message = state.conn.recv()
             except (EOFError, OSError):
                 return
+            kind = message[0]
             if kind == "hb":
                 state.last_beat = time.monotonic()
             elif kind == "ok":
-                state.result = value
+                state.result = message[1]
             elif kind == "err":
-                state.failure = value
+                state.failure = message[1]
+            elif kind == "snap" and self._coordinator is not None:
+                # Reaching a barrier proves liveness as surely as a
+                # heartbeat does.
+                state.last_beat = time.monotonic()
+                _, epoch, shard, snapshot = message
+                self._push_plans(
+                    self._coordinator.submit(epoch, shard, snapshot)
+                )
 
     def _on_failure(self, spec, state: _ShardState, shards, crash) -> None:
         reason = state.failure or (
@@ -294,6 +350,12 @@ class Supervisor:
                     f"degrading to in-parent serial execution"
                 ),
             )
+            # Leave the adaptivity plane first — remaining workers must
+            # not block on barriers this shard will never reach. The
+            # fallback runs uncoordinated (local adaptivity), which is
+            # the degraded-but-correct mode: cache choices never change
+            # emitted results.
+            self._retire_shard(state.shard)
             state.result = run_shard(
                 spec,
                 state.shard,
@@ -333,8 +395,14 @@ class Supervisor:
                     f"crash targets shard {crash.shard}, run has {shards}"
                 )
         scheme = scheme_for_workload(spec.workload_factory(), shards)
+        self._coordinator = (
+            EpochCoordinator(spec, shards)
+            if spec.adaptivity is not None and shards > 1
+            else None
+        )
         started = time.perf_counter()
         states = [_ShardState(shard) for shard in range(shards)]
+        self._states_by_shard = {state.shard: state for state in states}
         for state in states:
             self._spawn(spec, state, shards, crash_by_shard.get(state.shard))
 
@@ -352,6 +420,7 @@ class Supervisor:
                     continue
                 self._drain(state)
                 if state.result is not None:
+                    self._retire_shard(state.shard)
                     self._reap(state)
                     continue
                 if state.failure is not None:
@@ -367,6 +436,14 @@ class Supervisor:
                         )
                     else:
                         self._reap(state)
+                elif (
+                    self._coordinator is not None
+                    and state.shard in self._coordinator.waiting
+                ):
+                    # Blocked at an epoch barrier: provably alive (it
+                    # just submitted a snapshot) but unable to beat
+                    # until the plan arrives — don't count the silence.
+                    state.last_beat = time.monotonic()
                 elif time.monotonic() - state.last_beat > timeout:
                     state.process.terminate()
                     state.failure = (
@@ -384,6 +461,9 @@ class Supervisor:
             [result.stats for result in results],
             source_updates=source_updates,
         )
+        coordinator = self._coordinator
+        self._coordinator = None
+        self._states_by_shard = {}
         run = ParallelRun(
             scheme=scheme,
             backend="supervised",
@@ -391,6 +471,18 @@ class Supervisor:
             stats=stats,
             source_updates=source_updates,
             wall_seconds=wall,
+            spec=spec,
+            cache_plans=(
+                coordinator.plans_in_order() if coordinator else ()
+            ),
+            coordinator_decisions=(
+                [
+                    record.to_dict()
+                    for record in coordinator.decisions.entries()
+                ]
+                if coordinator
+                else []
+            ),
         )
         return SupervisedRun(
             run=run,

@@ -137,4 +137,4 @@ def test_bench_meets_the_speedup_floor():
     assert by_shards[4].modeled_speedup >= 1.8
     text = bench_to_json(report)
     assert '"kind": "parallel_bench"' in text
-    assert '"schema_version": 1' in text
+    assert '"schema_version": 2' in text

@@ -171,3 +171,20 @@ class TestProfilerIntegration:
         assert not profiler.profiles["T"].ready()
         # Other pipelines keep their history.
         assert profiler.profiles["R"].ready()
+
+    def test_rebuild_profiles_preserves_arrival_rate_history(self):
+        # Reordering a pipeline invalidates its δ/τ evidence (they
+        # describe the old plan) but not its arrival history: rate(Ri)
+        # is a property of the stream, not the plan. Losing it would
+        # zero the rate — and with it every d-term — until the window
+        # refills, starving selection after each reorder.
+        workload, executor = make_executor()
+        profiler = Profiler(
+            executor, ProfilerConfig(window=2, profile_probability=1.0)
+        )
+        executor.run(workload.updates(200))
+        rate_before = profiler.profiles["T"].rate()
+        assert rate_before > 0.0
+        executor.reorder_pipeline("T", ("R", "S"))
+        profiler.rebuild_profiles("T")
+        assert profiler.profiles["T"].rate() == pytest.approx(rate_before)

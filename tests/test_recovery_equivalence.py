@@ -207,7 +207,7 @@ def test_sharded_crash_recovers_identically(tmp_path, cache_mode, kill_after):
         ),
     )
     session = Session.adaptive(factory, config)
-    run = session.run_sharded(
+    run = session.execute(
         arrivals=arrivals,
         output_mode="deltas",
         crashes=[WorkerCrash(shard=1, after_updates=kill_after)],

@@ -170,7 +170,7 @@ def test_worker_crash_validation():
 def test_session_facade_requires_supervision_for_crashes():
     session = Session.adaptive(FACTORY, EngineConfig(shards=SHARDS))
     with pytest.raises(ConfigError):
-        session.run_sharded(
+        session.execute(
             arrivals=ARRIVALS,
             crashes=[WorkerCrash(shard=0, after_updates=10)],
         )
