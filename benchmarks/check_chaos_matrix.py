@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""The chaos-matrix gate (checks a CHAOS_matrix.json campaign).
+
+    python benchmarks/check_chaos_matrix.py fresh.json
+    python benchmarks/check_chaos_matrix.py fresh.json --baseline CHAOS_matrix.json
+
+Guards the cross-layer invariants the chaos campaign exists to pin:
+
+* every cell carries a known verdict (PASS/FAIL/SKIPPED/RECOVERED) —
+  a missing or unknown verdict means the sweep silently dropped a cell;
+* no cell reports FAIL;
+* every non-skipped, non-crash cell reports ``byte_identical``,
+  ``zero_acked_loss``, and ``dead_letter_conservation`` all true —
+  each execution mode must reproduce the serial run of the same
+  (scenario, fault plan) pair exactly, shed nothing, and quarantine
+  every injected corrupt/orphan event;
+* every crash-plan cell that ran (serial and supervised modes) is
+  RECOVERED with ``recovery_convergence`` true;
+* skipped cells must say why (non-empty ``detail``);
+* with ``--baseline``, every (scenario, plan, mode) cell present in
+  BOTH campaigns must not report a worse verdict in the fresh run, and
+  the two campaigns must overlap at all — CI runs a reduced slice
+  against the full committed matrix, so the fresh run may cover fewer
+  cells, never a disjoint set. Verdicts are compared, not digests —
+  digests legitimately move when engine tuning changes, verdicts only
+  move when an invariant breaks.
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+KNOWN_VERDICTS = ("PASS", "FAIL", "SKIPPED", "RECOVERED")
+REQUIRED_INVARIANTS = (
+    "byte_identical",
+    "zero_acked_loss",
+    "dead_letter_conservation",
+)
+#: Lower is worse; a fresh verdict must not rank below its baseline.
+VERDICT_RANK = {"FAIL": 0, "SKIPPED": 1, "RECOVERED": 2, "PASS": 2}
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("kind") != "chaos_matrix":
+        raise SystemExit(f"{path} is not a CHAOS_matrix.json payload")
+    return payload
+
+
+def _key(cell: dict) -> Tuple[str, str, str]:
+    return (cell.get("scenario"), cell.get("plan"), cell.get("mode"))
+
+
+def check(payload: dict, baseline: dict = None) -> int:
+    errors: List[str] = []
+    cells = payload.get("cells", [])
+    if not cells:
+        errors.append("the payload holds no cells — nothing was swept")
+
+    for cell in cells:
+        label = "{}/{}/{}".format(*_key(cell))
+        verdict = cell.get("verdict")
+        if verdict not in KNOWN_VERDICTS:
+            errors.append(f"{label}: unknown verdict {verdict!r}")
+            continue
+        if verdict == "FAIL":
+            broken = [
+                name
+                for name, ok in cell.get("invariants", {}).items()
+                if not ok
+            ]
+            errors.append(
+                f"{label}: FAIL (broken invariants: {broken or 'none listed'})"
+            )
+            continue
+        if verdict == "SKIPPED":
+            if not cell.get("detail"):
+                errors.append(f"{label}: skipped without a reason")
+            continue
+        invariants = cell.get("invariants", {})
+        if cell.get("plan") == "crash":
+            if verdict != "RECOVERED":
+                errors.append(
+                    f"{label}: crash cell ended {verdict}, not RECOVERED"
+                )
+            if not invariants.get("recovery_convergence", False):
+                errors.append(
+                    f"{label}: crash cell did not converge to the clean "
+                    "answer"
+                )
+            continue
+        for name in REQUIRED_INVARIANTS:
+            if not invariants.get(name, False):
+                errors.append(f"{label}: invariant {name} is false")
+
+    totals = payload.get("totals", {})
+    if totals.get("cells") != len(cells):
+        errors.append(
+            f"totals.cells says {totals.get('cells')} but the payload "
+            f"holds {len(cells)} cells"
+        )
+
+    if baseline is not None:
+        fresh: Dict[Tuple[str, str, str], str] = {
+            _key(c): c.get("verdict") for c in cells
+        }
+        compared = 0
+        for cell in baseline.get("cells", []):
+            key = _key(cell)
+            if key not in fresh:
+                # CI smoke runs a reduced slice against the full
+                # committed matrix; only shared cells are comparable.
+                continue
+            compared += 1
+            label = "{}/{}/{}".format(*key)
+            base_verdict = cell.get("verdict")
+            fresh_rank = VERDICT_RANK.get(fresh[key], -1)
+            base_rank = VERDICT_RANK.get(base_verdict, -1)
+            if fresh_rank < base_rank:
+                errors.append(
+                    f"{label}: regressed from {base_verdict} to "
+                    f"{fresh[key]}"
+                )
+        if compared == 0:
+            errors.append(
+                "the fresh campaign shares no (scenario, plan, mode) "
+                "cells with the baseline — nothing was compared"
+            )
+        else:
+            print(f"ok: {compared} cells compared against the baseline")
+
+    if not errors:
+        print(
+            "ok: {cells} cells — {p} pass, {r} recovered, "
+            "{s} skipped, {f} failed".format(
+                cells=totals.get("cells", len(cells)),
+                p=totals.get("pass", "?"),
+                r=totals.get("recovered", "?"),
+                s=totals.get("skipped", "?"),
+                f=totals.get("fail", "?"),
+            )
+        )
+    for line in errors:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly measured chaos matrix JSON")
+    parser.add_argument(
+        "--baseline",
+        help="committed CHAOS_matrix.json to compare verdicts against",
+    )
+    args = parser.parse_args(argv)
+    baseline = load(args.baseline) if args.baseline else None
+    return check(load(args.fresh), baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -319,11 +319,87 @@ def _cmd_service_chaos(args: argparse.Namespace) -> str:
     return body
 
 
+def _chaos_experiment_name(args: argparse.Namespace) -> str:
+    """The experiment reference one ``chaos``/``bench`` call names.
+
+    Exactly one of the positional EXPERIMENT, ``--trace FILE``, or
+    ``--scenario FILE`` must be given; the flags map onto the scenario
+    library's ``trace:PATH`` / ``scenario-file:PATH`` references.
+    """
+    given = [
+        ref
+        for ref in (
+            args.experiment,
+            f"trace:{args.trace}" if args.trace else None,
+            f"scenario-file:{args.scenario}" if args.scenario else None,
+        )
+        if ref
+    ]
+    if len(given) != 1:
+        raise CLIError(
+            "pass exactly one of an EXPERIMENT name, --trace FILE, or "
+            "--scenario FILE"
+        )
+    return given[0]
+
+
+def _split_list(text: Optional[str]) -> Optional[List[str]]:
+    if not text:
+        return None
+    parts = [part.strip() for part in text.split(",") if part.strip()]
+    return parts or None
+
+
+def _cmd_chaos_matrix(args: argparse.Namespace) -> str:
+    """``chaos matrix``: the scenario x fault plan x mode campaign."""
+    from repro.scenarios.matrix import (
+        FAIL,
+        format_matrix_report,
+        matrix_to_json,
+        run_matrix,
+    )
+
+    out = args.out if args.out is not None else "CHAOS_matrix.json"
+    _ensure_writable(out)
+    scenarios = _split_list(args.scenarios) or []
+    if args.trace:
+        scenarios.append(f"trace:{args.trace}")
+    if args.scenario:
+        scenarios.append(f"scenario-file:{args.scenario}")
+    payload = run_matrix(
+        scenarios=scenarios or None,
+        plans=_split_list(args.plans),
+        modes=_split_list(args.modes),
+        arrivals=args.arrivals if args.arrivals else 1500,
+        seed=args.seed,
+        progress=print,
+    )
+    body = format_matrix_report(payload)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(matrix_to_json(payload))
+        body += f"\nwrote chaos matrix to {out}"
+    if payload["totals"]["fail"]:
+        failed = [
+            f"{c['scenario']}/{c['plan']}/{c['mode']}"
+            for c in payload["cells"]
+            if c["verdict"] == FAIL
+        ]
+        raise CLIError(
+            f"{len(failed)} matrix cell(s) FAILED: {', '.join(failed)}"
+        )
+    return body
+
+
 def cmd_chaos(args: argparse.Namespace) -> str:
     """``chaos EXP``: run one experiment under a seeded fault schedule."""
     if args.experiment == "service":
         _ensure_writable(args.jsonl)
         return _cmd_service_chaos(args)
+    if args.experiment == "matrix":
+        _check_arrivals(args)
+        return _cmd_chaos_matrix(args)
+    args.experiment = _chaos_experiment_name(args)
     from repro.faults.chaos import (
         chaos_to_jsonl,
         format_chaos_report,
@@ -623,6 +699,14 @@ def cmd_bench(args: argparse.Namespace) -> str:
             f"--backend must be one of {list(BACKENDS)}, "
             f"got {args.backend!r}"
         )
+    if (args.trace or args.scenario) and (
+        args.multi or args.service or args.recovery or args.wall
+        or args.batch_size is not None or args.batch_sizes
+    ):
+        raise CLIError(
+            "--trace/--scenario only drive the parallel bench; drop the "
+            "other mode flags"
+        )
     if args.multi:
         return _run_multi_bench_cmd(args)
     if args.service:
@@ -637,10 +721,39 @@ def cmd_bench(args: argparse.Namespace) -> str:
     shard_counts = _parse_shard_counts(args)
     out = args.out if args.out is not None else DEFAULT_OUT
     _ensure_writable(out)
+    arrivals = args.arrivals if args.arrivals else DEFAULT_ARRIVALS
+    workload_factory = None
+    if args.trace and args.scenario:
+        raise CLIError("pass --trace or --scenario, not both")
+    if args.trace:
+        from functools import partial
+
+        from repro.scenarios.trace import load_trace_workload
+
+        # Load eagerly: an unknown path or bad checksum must fail now,
+        # not inside a shard worker.
+        recorded = load_trace_workload(args.trace).recorded_arrivals
+        workload_factory = partial(load_trace_workload, args.trace)
+        arrivals = args.arrivals if args.arrivals else recorded
+    elif args.scenario:
+        from functools import partial
+
+        from repro.scenarios.library import (
+            build_scenario_file_workload,
+            load_scenario,
+        )
+
+        scenario = load_scenario(args.scenario)
+        if not args.arrivals:
+            arrivals = int(scenario["arrivals"])
+        workload_factory = partial(
+            build_scenario_file_workload, args.scenario, arrivals
+        )
     report = run_parallel_bench(
         shard_counts=shard_counts,
-        arrivals=args.arrivals if args.arrivals else DEFAULT_ARRIVALS,
+        arrivals=arrivals,
         backend=args.backend,
+        workload_factory=workload_factory,
     )
     body = format_bench_report(report)
     if out:
@@ -944,11 +1057,39 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos", help="run an experiment under deterministic fault injection"
     )
     chaos.add_argument(
-        "experiment",
-        help="experiment name (figure key or demo); see `list`",
+        "experiment", nargs="?", default=None,
+        help="experiment name (figure key, demo, scenario:NAME, "
+             "'matrix' for the campaign runner, or 'service'); see `list`",
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--arrivals", type=int, default=None)
+    chaos.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="run a recorded trace file instead of a named experiment",
+    )
+    chaos.add_argument(
+        "--scenario", metavar="FILE", default=None,
+        help="run a scenario file (JSON/YAML) instead of a named "
+             "experiment",
+    )
+    chaos.add_argument(
+        "--scenarios", metavar="NAME,...", default=None,
+        help="with matrix: comma-separated scenario references "
+             "(default: every built-in scenario)",
+    )
+    chaos.add_argument(
+        "--plans", metavar="NAME,...", default=None,
+        help="with matrix: fault plans to sweep (default: all)",
+    )
+    chaos.add_argument(
+        "--modes", metavar="NAME,...", default=None,
+        help="with matrix: execution modes to sweep (default: all)",
+    )
+    chaos.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="with matrix: write the matrix JSON here "
+             "(default CHAOS_matrix.json)",
+    )
     chaos.add_argument(
         "--faults", metavar="K=V,...", default=None,
         help="override FaultSpec fields, e.g. "
@@ -1075,6 +1216,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--queries", type=int, default=None, metavar="N",
         help="with --multi: number of hosted queries (default 3)",
+    )
+    bench.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="bench a recorded trace file instead of the built-in "
+             "6-way workload",
+    )
+    bench.add_argument(
+        "--scenario", metavar="FILE", default=None,
+        help="bench a scenario file (JSON/YAML) instead of the built-in "
+             "6-way workload",
     )
     bench.add_argument(
         "--out", metavar="PATH", default=None,

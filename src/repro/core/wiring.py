@@ -33,6 +33,49 @@ class WiredCache:
     lookup_attached: bool = True
 
 
+class WindowWitness:
+    """Owner-witness count with no owner↔segment predicate.
+
+    Every owner row witnesses every composite, so a delete consumes its
+    entry only when the owner window is emptying. A class (not a
+    closure) so checkpointed engines pickle.
+    """
+
+    def __init__(self, relation):
+        self.relation = relation
+
+    def __call__(self, probe_key: tuple) -> int:
+        return len(self.relation)
+
+
+class OwnerWitnessCounter:
+    """Counts live owner rows whose key-linked attributes match a probe.
+
+    A class (not a closure) so checkpointed engines pickle.
+    """
+
+    def __init__(self, relation, first_index, first_attr, rest):
+        self.relation = relation
+        self.first_index = first_index
+        self.first_attr = first_attr
+        self.rest = rest
+
+    def __call__(self, probe_key: tuple) -> int:
+        rows = self.relation.matching(
+            self.first_attr, probe_key[self.first_index]
+        )
+        if not self.rest:
+            return len(rows)
+        return sum(
+            1
+            for row in rows
+            if all(
+                row.values[position] == probe_key[index]
+                for index, position in self.rest
+            )
+        )
+
+
 class CacheWiring:
     """Creates, shares, attaches, and detaches physical caches."""
 
@@ -103,25 +146,11 @@ class CacheWiring:
         if not owner_slots:
             # No direct owner↔segment predicate: every owner row witnesses
             # every composite, so consume only when the window is emptying.
-            return lambda probe_key: len(relation)
+            return WindowWitness(relation)
         first_index, first_position = owner_slots[0]
         first_attr = relation.schema.attributes[first_position]
         rest = owner_slots[1:]
-
-        def count(probe_key: tuple) -> int:
-            rows = relation.matching(first_attr, probe_key[first_index])
-            if not rest:
-                return len(rows)
-            return sum(
-                1
-                for row in rows
-                if all(
-                    row.values[position] == probe_key[index]
-                    for index, position in rest
-                )
-            )
-
-        return count
+        return OwnerWitnessCounter(relation, first_index, first_attr, rest)
 
     # ------------------------------------------------------------------
     # store acquisition hooks (overridden by the multi-query wiring)

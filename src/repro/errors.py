@@ -35,6 +35,10 @@ class WorkloadError(ReproError):
     """A synthetic workload specification was inconsistent."""
 
 
+class ScenarioError(WorkloadError):
+    """A scenario file, trace file, or campaign matrix spec was invalid."""
+
+
 class ConfigError(ReproError, ValueError):
     """A construction-time tunable was out of range.
 

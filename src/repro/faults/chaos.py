@@ -96,9 +96,30 @@ CHAOS_EXPERIMENTS: Dict[str, ChaosExperiment] = {
 }
 
 
+def resolve_experiment(experiment: str) -> ChaosExperiment:
+    """Resolve an experiment name: the built-in registry first, then the
+    scenario library's ``scenario:``/``scenario-file:``/``trace:`` prefixes.
+
+    The scenario import is lazy — :mod:`repro.scenarios.library` imports
+    this module for :class:`ChaosExperiment`.
+    """
+    exp = CHAOS_EXPERIMENTS.get(experiment)
+    if exp is not None:
+        return exp
+    if experiment.startswith(("scenario:", "scenario-file:", "trace:")):
+        from repro.scenarios.library import resolve_chaos_experiment
+
+        return resolve_chaos_experiment(experiment)
+    raise ResilienceError(
+        f"unknown chaos experiment {experiment!r}; available: "
+        f"{sorted(CHAOS_EXPERIMENTS)}, any 'scenario:NAME' from the "
+        "scenario library, or a 'scenario-file:PATH'/'trace:PATH' reference"
+    )
+
+
 def _build_workload(experiment: str, arrivals: int) -> Workload:
     """Module level so ``partial(_build_workload, name, n)`` pickles."""
-    return CHAOS_EXPERIMENTS[experiment].build(arrivals)
+    return resolve_experiment(experiment).build(arrivals)
 
 
 @dataclass
@@ -322,12 +343,7 @@ def run_chaos(
     comparison may legitimately drift slightly: load shedding triggers on
     virtual time, which batching changes.
     """
-    exp = CHAOS_EXPERIMENTS.get(experiment)
-    if exp is None:
-        raise ResilienceError(
-            f"unknown chaos experiment {experiment!r}; available: "
-            f"{sorted(CHAOS_EXPERIMENTS)}"
-        )
+    exp = resolve_experiment(experiment)
     total = arrivals if arrivals is not None else exp.arrivals
     if total <= 0:
         raise ResilienceError("arrivals must be positive")

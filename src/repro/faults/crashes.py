@@ -50,12 +50,12 @@ from functools import partial
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.api import EngineConfig
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, ReproError
 from repro.faults.chaos import (
-    CHAOS_EXPERIMENTS,
     _build_workload,
     _chaos_config,
     _engine,
+    resolve_experiment,
 )
 from repro.parallel.engine import ParallelConfig, run_sharded
 from repro.parallel.spec import ExperimentSpec
@@ -125,7 +125,7 @@ def _clean_serial(
     experiment: str, total: int
 ) -> Tuple[Counter, Dict[str, list]]:
     """Ground truth: outputs + final windows of an unjournaled run."""
-    exp = CHAOS_EXPERIMENTS[experiment]
+    exp = resolve_experiment(experiment)
     engine = _engine(exp.build(total), None)
     outputs: Counter = Counter()
     for update in exp.build(total).updates(total):
@@ -146,7 +146,7 @@ def _run_recorded_until_crash(
     Returns the seq of the last update the doomed process handled. The
     engine object is simply dropped — exactly what ``kill -9`` leaves.
     """
-    exp = CHAOS_EXPERIMENTS[experiment]
+    exp = resolve_experiment(experiment)
     engine = _engine(exp.build(total), None)
     recorder = Recorder(engine, config)
     outputs: Counter = Counter()
@@ -192,7 +192,7 @@ def _resume_serial(
     experiment: str, total: int, config: RecoveryConfig
 ) -> Tuple[Counter, Dict[str, list], "RecoveredState"]:
     """Restore from ``config``'s directory and run to completion."""
-    exp = CHAOS_EXPERIMENTS[experiment]
+    exp = resolve_experiment(experiment)
     manager = RecoveryManager(
         config, builder=lambda: _engine(exp.build(total), None)
     )
@@ -309,12 +309,10 @@ def run_crash_chaos(
     recover: bool = True,
 ) -> CrashReport:
     """One full crash-and-recover cycle; see the module docstring."""
-    exp = CHAOS_EXPERIMENTS.get(experiment)
-    if exp is None:
-        raise RecoveryError(
-            f"unknown chaos experiment {experiment!r}; available: "
-            f"{sorted(CHAOS_EXPERIMENTS)}"
-        )
+    try:
+        exp = resolve_experiment(experiment)
+    except ReproError as exc:
+        raise RecoveryError(str(exc)) from None
     if kind not in CRASH_KINDS:
         raise RecoveryError(
             f"crash kind must be one of {CRASH_KINDS}, got {kind!r}"
@@ -422,10 +420,12 @@ def recover_and_verify(wal_dir: str) -> CrashReport:
     """
     manifest = read_manifest(wal_dir)
     experiment = str(manifest["experiment"])
-    if experiment not in CHAOS_EXPERIMENTS:
+    try:
+        resolve_experiment(experiment)
+    except ReproError:
         raise RecoveryError(
             f"manifest names unknown experiment {experiment!r}"
-        )
+        ) from None
     total = int(manifest["arrivals"])
     shards = int(manifest.get("shards", 1))
     config = RecoveryConfig(

@@ -48,6 +48,7 @@ WORKER_FALLBACK = "worker_fallback"    # circuit breaker: shard ran serially
 # per-epoch merged re-optimization and elastic resharding events.
 PLAN_PUSH = "plan_push"                # coordinator pushed a global cache plan
 RESHARD = "reshard"                    # run repartitioned to a new shard count
+EPOCH_STALL = "epoch_stall"            # a shard left an epoch barrier hanging
 # Service actions (repro.service): the ingestion server's own overload
 # ladder and lifecycle events join the same chronological log.
 TIER_CHANGE = "tier_change"            # degradation ladder moved a step

@@ -303,8 +303,35 @@ class EpochCoordinator:
         shard; the freed deliveries are returned for the transport to
         flush.
         """
+        was_active = shard in self.active
         self.active.discard(shard)
         self.waiting.discard(shard)
+        # A shard that dies between heartbeat and barrier leaves every
+        # open epoch stalled on its snapshot. Name the culprit in the
+        # decision log so a chaos-matrix cell that kills a worker at a
+        # barrier is diagnosable, not just eventually restarted.
+        stalled = [
+            epoch
+            for epoch, pending in self._pending.items()
+            if was_active and epoch not in self.plans and shard not in pending
+        ]
+        if stalled:
+            now_us = max(
+                snapshot.now_us
+                for pending in self._pending.values()
+                for snapshot in pending.values()
+            )
+            self.decisions.record(
+                now_us,
+                decisions_log.EPOCH_STALL,
+                "coordinator",
+                reason=(
+                    f"shard {shard} retired without submitting epoch"
+                    f"{'s' if len(stalled) > 1 else ''} "
+                    f"{sorted(stalled)}; completing barriers without it"
+                ),
+                reopt_seq=self._reopt_seq,
+            )
         deliveries: List[Tuple[int, CachePlan]] = []
         for epoch in sorted(self._pending):
             pending = self._pending[epoch]
@@ -701,9 +728,12 @@ class ThreadChannel:
                 self._cond.notify_all()
             while shard not in self._inbox:
                 if not self._cond.wait(timeout=self.BARRIER_TIMEOUT_S):
+                    pending = self._coordinator._pending.get(epoch, {})
+                    missing = sorted(self._coordinator.active - set(pending))
                     raise ParallelError(
                         f"shard {shard} timed out waiting for the "
-                        f"epoch {epoch} cache plan"
+                        f"epoch {epoch} cache plan; still missing "
+                        f"snapshots from shard(s) {missing}"
                     )
             return self._inbox.pop(shard)
 

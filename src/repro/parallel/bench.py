@@ -85,15 +85,21 @@ def bench_engine_spec() -> EngineSpec:
 BENCH_SYNC_EVERY = 2_000
 
 
-def bench_spec(arrivals: int) -> ExperimentSpec:
+def bench_spec(
+    arrivals: int, workload_factory=None
+) -> ExperimentSpec:
     """The 6-way workload experiment, steady-state measured.
 
     Carries the adaptivity plane; :class:`ParallelEngine` only activates
     it when the run is actually sharded, so the serial reference still
-    measures the local (per-engine) re-optimizer.
+    measures the local (per-engine) re-optimizer. ``workload_factory``
+    (a zero-argument picklable callable) swaps the hardcoded 6-way
+    workload for any other — the ``bench --trace``/``--scenario`` path.
     """
+    if workload_factory is None:
+        workload_factory = partial(fig9_workload, BENCH_RELATIONS, window=48)
     return ExperimentSpec(
-        workload_factory=partial(fig9_workload, BENCH_RELATIONS, window=48),
+        workload_factory=workload_factory,
         arrivals=arrivals,
         engine=bench_engine_spec(),
         warmup_fraction=0.4,
@@ -161,8 +167,13 @@ def run_parallel_bench(
     shard_counts: Sequence[int] = DEFAULT_SHARDS,
     arrivals: int = DEFAULT_ARRIVALS,
     backend: str = "process",
+    workload_factory=None,
 ) -> BenchReport:
-    """Measure serial vs sharded throughput on the 6-way workload."""
+    """Measure serial vs sharded throughput on the 6-way workload.
+
+    ``workload_factory`` (zero-argument, picklable) benches any other
+    workload — a replayed trace or a compiled scenario — instead.
+    """
     if arrivals <= 0:
         raise ParallelError(f"arrivals must be positive, got {arrivals}")
     if not shard_counts:
@@ -171,7 +182,7 @@ def run_parallel_bench(
         if count < 1:
             raise ParallelError(f"shard count must be >= 1, got {count}")
 
-    spec = bench_spec(arrivals)
+    spec = bench_spec(arrivals, workload_factory)
 
     # Serial reference: the same computation as one shard of one.
     import time
@@ -222,7 +233,9 @@ def run_parallel_bench(
                 coordinated=bool(run.cache_plans),
             )
         )
-    report.resharding = run_reshard_demo(arrivals)
+    report.resharding = run_reshard_demo(
+        arrivals, workload_factory=workload_factory
+    )
     return report
 
 
@@ -230,6 +243,7 @@ def run_reshard_demo(
     arrivals: int = DEFAULT_ARRIVALS,
     from_shards: int = 2,
     to_shards: int = 4,
+    workload_factory=None,
 ) -> ReshardDemo:
     """Stop a coordinated run mid-stream, rescale it, verify identity.
 
@@ -243,7 +257,7 @@ def run_reshard_demo(
     # warmup_fraction=0 so the stopped prefix reports real hit rates —
     # the bench's 0.4 warmup would swallow the whole pre-rescale phase.
     base = replace(
-        bench_spec(arrivals),
+        bench_spec(arrivals, workload_factory),
         output_mode="deltas",
         collect_windows=True,
         warmup_fraction=0.0,

@@ -1,0 +1,59 @@
+"""Replayable traces, declarative scenarios, and the chaos campaign matrix.
+
+Three layers, each consumed by the one above:
+
+* :mod:`repro.scenarios.trace` — a versioned, checksummed JSONL trace
+  format (``TraceRecorder`` / ``TraceReplayer``) that records a
+  workload's exact update stream once and replays it byte-identically
+  through any backend;
+* :mod:`repro.scenarios.library` — a declarative scenario format
+  (JSON natively, YAML when available) plus built-in scenarios for the
+  classic robustness regimes (flash crowd, diurnal cycle, key skew
+  with churn, correlated delete storm, semi-stream master join), each
+  compiling to a workload or a trace;
+* :mod:`repro.scenarios.matrix` — the ``repro chaos matrix`` campaign
+  runner sweeping scenarios x fault plans x execution modes and
+  verifying the stack's standing invariants per cell.
+"""
+
+from repro.scenarios.trace import (
+    TraceRecorder,
+    TraceReplayer,
+    TraceWorkload,
+    chronology_digest,
+    load_trace_workload,
+    record_trace,
+)
+from repro.scenarios.library import (
+    SCENARIOS,
+    build_named_scenario_workload,
+    build_scenario_workload,
+    compile_scenario_to_trace,
+    load_scenario,
+    resolve_chaos_experiment,
+)
+from repro.scenarios.matrix import (
+    EXECUTION_MODES,
+    FAULT_PLANS,
+    matrix_to_json,
+    run_matrix,
+)
+
+__all__ = [
+    "TraceRecorder",
+    "TraceReplayer",
+    "TraceWorkload",
+    "chronology_digest",
+    "load_trace_workload",
+    "record_trace",
+    "SCENARIOS",
+    "build_named_scenario_workload",
+    "build_scenario_workload",
+    "compile_scenario_to_trace",
+    "load_scenario",
+    "resolve_chaos_experiment",
+    "EXECUTION_MODES",
+    "FAULT_PLANS",
+    "matrix_to_json",
+    "run_matrix",
+]

@@ -1,0 +1,456 @@
+"""The declarative scenario library.
+
+A scenario is a small JSON (or YAML, when a parser is installed)
+document describing a robustness regime::
+
+    {"version": 1, "name": "flash_crowd", "kind": "flash_crowd",
+     "arrivals": 8000, "seed": 11, "burst_stream": "R",
+     "params": {"spike_factor": 8.0, ...}}
+
+``kind`` selects one of the built-in builders; ``params`` overrides that
+builder's knobs. Five kinds ship with the library, covering the regimes
+the robustness literature (and ROADMAP item 5) calls for:
+
+* ``flash_crowd`` — one stream's rate spikes by ``spike_factor`` for a
+  slice of the run, then reverts;
+* ``diurnal`` — a sinusoidal rate cycle (the day/night load curve);
+* ``key_skew_churn`` — Zipf-hot join keys whose hot set rotates through
+  the domain, so a tuned cache goes stale mid-run;
+* ``delete_storm`` — small windows plus a mid-run insert flood, so the
+  windows emit a correlated storm of expiry deletes;
+* ``master_join`` — a semi-stream join: a large, slow-changing master
+  relation is prefilled, then fast streams join against it while the
+  master receives a trickle of updates (the CACHEJOIN regime).
+
+Every scenario compiles to a deterministic workload (fixed seed) and,
+via :func:`compile_scenario_to_trace`, to a replayable trace.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from functools import partial
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.errors import ScenarioError
+from repro.faults.chaos import ChaosExperiment
+from repro.relations.predicates import JoinGraph
+from repro.scenarios.trace import load_trace_workload, record_trace
+from repro.streams.generators import (
+    RotatingHotSetValues,
+    StreamSpec,
+    UniformValues,
+)
+from repro.streams.tuples import Schema
+from repro.streams.workloads import Workload, three_way_chain
+
+SCENARIO_VERSION = 1
+
+# Resolvable experiment-name prefixes (shared with the chaos CLI).
+SCENARIO_PREFIX = "scenario:"
+SCENARIO_FILE_PREFIX = "scenario-file:"
+TRACE_PREFIX = "trace:"
+
+
+def _params(scenario: Mapping, defaults: Dict[str, object]) -> Dict:
+    merged = dict(defaults)
+    given = scenario.get("params") or {}
+    unknown = set(given) - set(defaults)
+    if unknown:
+        raise ScenarioError(
+            f"scenario {scenario.get('name')!r} has unknown params "
+            f"{sorted(unknown)}; known: {sorted(defaults)}"
+        )
+    merged.update(given)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Builders: scenario dict + arrivals -> fresh Workload
+# ----------------------------------------------------------------------
+
+def _build_flash_crowd(scenario: Mapping, arrivals: int) -> Workload:
+    p = _params(
+        scenario,
+        {
+            "spike_start": 0.4,
+            "spike_end": 0.6,
+            "spike_factor": 8.0,
+            "t_multiplicity": 3.0,
+            "window": 96,
+        },
+    )
+    start = int(arrivals * float(p["spike_start"]))
+    end = int(arrivals * float(p["spike_end"]))
+    factor = float(p["spike_factor"])
+
+    def rates_at(emitted: int) -> Dict[str, float]:
+        return {"R": factor} if start <= emitted < end else {}
+
+    return three_way_chain(
+        t_multiplicity=float(p["t_multiplicity"]),
+        window_r=int(p["window"]),
+        window_s=int(p["window"]),
+        rate_function=rates_at,
+        name=f"scenario-{scenario['name']}",
+    )
+
+
+def _build_diurnal(scenario: Mapping, arrivals: int) -> Workload:
+    p = _params(
+        scenario,
+        {
+            "period": 600,
+            "amplitude": 0.8,
+            "t_multiplicity": 3.0,
+            "window": 96,
+        },
+    )
+    period = int(p["period"])
+    amplitude = float(p["amplitude"])
+    if not 0.0 <= amplitude < 1.0:
+        raise ScenarioError("diurnal amplitude must be in [0, 1)")
+
+    def rates_at(emitted: int) -> Dict[str, float]:
+        phase = 2.0 * math.pi * emitted / period
+        return {"R": 1.0 + amplitude * math.sin(phase)}
+
+    return three_way_chain(
+        t_multiplicity=float(p["t_multiplicity"]),
+        window_r=int(p["window"]),
+        window_s=int(p["window"]),
+        rate_function=rates_at,
+        name=f"scenario-{scenario['name']}",
+    )
+
+
+def _build_key_skew_churn(scenario: Mapping, arrivals: int) -> Workload:
+    p = _params(
+        scenario,
+        {
+            "domain": 48,
+            "domain_b": 48,
+            "exponent": 1.2,
+            "rotate_every": 400,
+            "hot_set_size": 8,
+            "window": 96,
+        },
+    )
+    seed = int(scenario.get("seed", 0))
+    domain, domain_b = int(p["domain"]), int(p["domain_b"])
+    graph = JoinGraph.parse(
+        [Schema("R", ("A",)), Schema("S", ("A", "B")), Schema("T", ("B",))],
+        ["R.A = S.A", "S.B = T.B"],
+    )
+
+    def hot(seed_offset: int, size: int) -> RotatingHotSetValues:
+        return RotatingHotSetValues(
+            size,
+            exponent=float(p["exponent"]),
+            seed=seed + seed_offset,
+            rotate_every=int(p["rotate_every"]),
+            hot_set_size=int(p["hot_set_size"]),
+        )
+
+    specs = {
+        "R": StreamSpec("R", ("A",), {"A": hot(0, domain)}),
+        "S": StreamSpec(
+            "S",
+            ("A", "B"),
+            {"A": hot(1, domain), "B": hot(2, domain_b)},
+        ),
+        "T": StreamSpec("T", ("B",), {"B": hot(3, domain_b)}),
+    }
+    window = int(p["window"])
+    return Workload(
+        name=f"scenario-{scenario['name']}",
+        graph=graph,
+        specs=specs,
+        windows={"R": window, "S": window, "T": window},
+        rates={"R": 1.0, "S": 1.0, "T": 1.0},
+        metadata={"scenario": scenario["name"]},
+    )
+
+
+def _build_delete_storm(scenario: Mapping, arrivals: int) -> Workload:
+    p = _params(
+        scenario,
+        {
+            "window": 32,
+            "storm_start": 0.5,
+            "storm_end": 0.65,
+            "storm_factor": 10.0,
+            "t_multiplicity": 2.0,
+        },
+    )
+    start = int(arrivals * float(p["storm_start"]))
+    end = int(arrivals * float(p["storm_end"]))
+    factor = float(p["storm_factor"])
+
+    def rates_at(emitted: int) -> Dict[str, float]:
+        # The flood fills the already-small R window instantly, so every
+        # storm insert carries a correlated expiry delete with it.
+        return {"R": factor} if start <= emitted < end else {}
+
+    window = int(p["window"])
+    return three_way_chain(
+        t_multiplicity=float(p["t_multiplicity"]),
+        window_r=window,
+        window_s=window,
+        window_t=window,
+        rate_function=rates_at,
+        name=f"scenario-{scenario['name']}",
+    )
+
+
+def _build_master_join(scenario: Mapping, arrivals: int) -> Workload:
+    p = _params(
+        scenario,
+        {
+            "master_rows": 600,
+            "domain": 64,
+            "domain_b": 64,
+            "master_trickle": 0.02,
+            "prefill_rate": 50.0,
+        },
+    )
+    seed = int(scenario.get("seed", 0))
+    master_rows = int(p["master_rows"])
+    trickle = float(p["master_trickle"])
+    prefill_rate = float(p["prefill_rate"])
+    graph = JoinGraph.parse(
+        [Schema("M", ("A",)), Schema("S", ("A", "B")), Schema("T", ("B",))],
+        ["M.A = S.A", "S.B = T.B"],
+    )
+    specs = {
+        "M": StreamSpec(
+            "M", ("A",), {"A": UniformValues(int(p["domain"]), seed)}
+        ),
+        "S": StreamSpec(
+            "S",
+            ("A", "B"),
+            {
+                "A": UniformValues(int(p["domain"]), seed + 1),
+                "B": UniformValues(int(p["domain_b"]), seed + 2),
+            },
+        ),
+        "T": StreamSpec(
+            "T", ("B",), {"B": UniformValues(int(p["domain_b"]), seed + 3)}
+        ),
+    }
+
+    def rates_at(emitted: int) -> Dict[str, float]:
+        # Prefill the master first, then stream against it while the
+        # master only trickles (its window keeps it slow-changing).
+        if emitted < master_rows:
+            return {"M": prefill_rate, "S": 0.02, "T": 0.02}
+        return {"M": trickle, "S": 1.0, "T": 1.0}
+
+    return Workload(
+        name=f"scenario-{scenario['name']}",
+        graph=graph,
+        specs=specs,
+        windows={"M": master_rows, "S": 96, "T": 96},
+        rates={"M": 1.0, "S": 1.0, "T": 1.0},
+        rate_function=rates_at,
+        metadata={"scenario": scenario["name"]},
+    )
+
+
+_BUILDERS: Dict[str, Callable[[Mapping, int], Workload]] = {
+    "flash_crowd": _build_flash_crowd,
+    "diurnal": _build_diurnal,
+    "key_skew_churn": _build_key_skew_churn,
+    "delete_storm": _build_delete_storm,
+    "master_join": _build_master_join,
+}
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios (one per kind, default knobs)
+# ----------------------------------------------------------------------
+
+SCENARIOS: Dict[str, Dict] = {
+    name: {
+        "version": SCENARIO_VERSION,
+        "name": name,
+        "kind": name,
+        "arrivals": 6_000,
+        "seed": 11,
+        "burst_stream": "M" if name == "master_join" else "R",
+        "params": {},
+    }
+    for name in _BUILDERS
+}
+
+
+def validate_scenario(scenario: object) -> Dict:
+    """Check a loaded scenario document; return it as a plain dict."""
+    if not isinstance(scenario, Mapping):
+        raise ScenarioError(
+            f"a scenario must be a mapping, got {type(scenario).__name__}"
+        )
+    out = dict(scenario)
+    if out.get("version") != SCENARIO_VERSION:
+        raise ScenarioError(
+            f"scenario version {out.get('version')!r} unsupported; this "
+            f"build reads version {SCENARIO_VERSION}"
+        )
+    name = out.get("name")
+    if not isinstance(name, str) or not name:
+        raise ScenarioError("scenario needs a non-empty string 'name'")
+    kind = out.get("kind")
+    if kind not in _BUILDERS:
+        raise ScenarioError(
+            f"scenario {name!r} has unknown kind {kind!r}; available: "
+            f"{sorted(_BUILDERS)}"
+        )
+    arrivals = out.get("arrivals")
+    if not isinstance(arrivals, int) or arrivals < 1:
+        raise ScenarioError(
+            f"scenario {name!r} needs a positive integer 'arrivals'"
+        )
+    if not isinstance(out.get("seed", 0), int):
+        raise ScenarioError(f"scenario {name!r} seed must be an integer")
+    burst = out.get("burst_stream", "R")
+    if not isinstance(burst, str) or not burst:
+        raise ScenarioError(
+            f"scenario {name!r} burst_stream must be a stream name"
+        )
+    out.setdefault("seed", 0)
+    out.setdefault("burst_stream", burst)
+    out.setdefault("params", {})
+    if not isinstance(out["params"], Mapping):
+        raise ScenarioError(f"scenario {name!r} params must be a mapping")
+    return out
+
+
+def build_scenario_workload(
+    scenario: Mapping, arrivals: Optional[int] = None
+) -> Workload:
+    """Compile a scenario document into a fresh deterministic workload."""
+    scenario = validate_scenario(scenario)
+    total = arrivals if arrivals is not None else int(scenario["arrivals"])
+    if total < 1:
+        raise ScenarioError("arrivals must be >= 1")
+    workload = _BUILDERS[scenario["kind"]](scenario, total)
+    if scenario["burst_stream"] not in workload.graph.schemas:
+        raise ScenarioError(
+            f"scenario {scenario['name']!r} names burst_stream "
+            f"{scenario['burst_stream']!r}, not a relation of its query"
+        )
+    return workload
+
+
+def build_named_scenario_workload(name: str, arrivals: int) -> Workload:
+    """Build a built-in scenario by name (module level, so it pickles)."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return build_scenario_workload(scenario, arrivals)
+
+
+def load_scenario(path: str) -> Dict:
+    """Load + validate a scenario file (JSON always; YAML when available)."""
+    if not os.path.exists(path):
+        raise ScenarioError(f"scenario file not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith((".yaml", ".yml")):
+        try:
+            import yaml
+        except ImportError:
+            raise ScenarioError(
+                f"{path} is YAML but no YAML parser is installed; "
+                "rewrite the scenario as JSON or install PyYAML"
+            ) from None
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(
+                f"scenario file {path} is not valid YAML: {exc}"
+            ) from None
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(
+                f"scenario file {path} is not valid JSON: {exc}"
+            ) from None
+    return validate_scenario(data)
+
+
+def build_scenario_file_workload(path: str, arrivals: int) -> Workload:
+    """Build from a scenario file (module level, so it pickles)."""
+    return build_scenario_workload(load_scenario(path), arrivals)
+
+
+def _trace_workload(path: str, arrivals: int):
+    """Trace-backed build callable (``arrivals`` is bounded by replay)."""
+    return load_trace_workload(path)
+
+
+def compile_scenario_to_trace(
+    scenario: Mapping, path: str, arrivals: Optional[int] = None
+) -> Dict:
+    """Record a scenario's update stream into a trace file at ``path``."""
+    scenario = validate_scenario(scenario)
+    total = arrivals if arrivals is not None else int(scenario["arrivals"])
+    workload = build_scenario_workload(scenario, total)
+    return record_trace(workload, total, path, scenario=dict(scenario))
+
+
+def resolve_chaos_experiment(name: str) -> ChaosExperiment:
+    """Resolve a prefixed experiment name into a :class:`ChaosExperiment`.
+
+    Three prefixes are understood (the chaos CLI's ``--scenario`` and
+    ``--trace`` flags produce them):
+
+    * ``scenario:NAME`` — a built-in scenario from :data:`SCENARIOS`;
+    * ``scenario-file:PATH`` — a scenario document on disk;
+    * ``trace:PATH`` — a recorded trace, replayed verbatim.
+
+    The returned experiment's ``build`` is picklable, so sharded chaos
+    runs can rebuild the workload inside worker processes.
+    """
+    if name.startswith(SCENARIO_PREFIX):
+        key = name[len(SCENARIO_PREFIX):]
+        if key not in SCENARIOS:
+            raise ScenarioError(
+                f"unknown scenario {key!r}; available: {sorted(SCENARIOS)}"
+            )
+        scenario = SCENARIOS[key]
+        return ChaosExperiment(
+            name=name,
+            build=partial(build_named_scenario_workload, key),
+            arrivals=int(scenario["arrivals"]),
+            burst_stream=str(scenario["burst_stream"]),
+        )
+    if name.startswith(SCENARIO_FILE_PREFIX):
+        path = name[len(SCENARIO_FILE_PREFIX):]
+        scenario = load_scenario(path)
+        return ChaosExperiment(
+            name=name,
+            build=partial(build_scenario_file_workload, path),
+            arrivals=int(scenario["arrivals"]),
+            burst_stream=str(scenario["burst_stream"]),
+        )
+    if name.startswith(TRACE_PREFIX):
+        path = name[len(TRACE_PREFIX):]
+        workload = load_trace_workload(path)  # verifies checksum up front
+        return ChaosExperiment(
+            name=name,
+            build=partial(_trace_workload, path),
+            arrivals=workload.recorded_arrivals,
+            burst_stream=next(iter(workload.graph.schemas)),
+        )
+    raise ScenarioError(
+        f"experiment {name!r} is not a scenario or trace reference; "
+        f"expected a '{SCENARIO_PREFIX}', '{SCENARIO_FILE_PREFIX}', or "
+        f"'{TRACE_PREFIX}' prefix"
+    )

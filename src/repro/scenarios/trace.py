@@ -1,0 +1,284 @@
+"""The replayable trace format: record a workload once, replay anywhere.
+
+A trace is a JSONL file. Line 1 is a manifest::
+
+    {"kind": "repro_trace", "version": 1, "name": ..., "arrivals": N,
+     "update_count": M, "checksum": "sha256:...", "scenario": {...}|null,
+     "schemas": {"R": ["A"], ...}, "predicates": ["R.A = S.A", ...],
+     "windows": {...}, "rates": {...}, "indexed_attributes": {...}|null,
+     "metadata": {...}}
+
+Every following line is one update event::
+
+    {"seq": 0, "relation": "R", "rid": 0, "values": [7], "sign": 1,
+     "arrival": 0}
+
+``arrival`` is the 0-based ordinal of the *insert* that produced the
+event (a window-expiry delete carries the ordinal of the insert that
+pushed it out), so replaying the first ``k`` arrivals of a trace yields
+exactly the recorded stream's ``k``-arrival prefix — sequence numbers
+included. The checksum is the sha256
+of the event-line bytes, so a truncated or edited trace is rejected
+before it can silently change an experiment.
+
+Replay reconstructs :class:`repro.streams.tuples.Row` objects *interned
+by rid*: row equality is identity-based, so a delete must reuse the very
+object its insert introduced or windows and caches would never match it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ScenarioError
+from repro.relations.predicates import JoinGraph
+from repro.streams.events import Sign, Update
+from repro.streams.tuples import Row, Schema
+
+TRACE_KIND = "repro_trace"
+TRACE_VERSION = 1
+
+
+def _predicate_strings(graph: JoinGraph) -> List[str]:
+    return [
+        f"{p.left.relation}.{p.left.attribute} = "
+        f"{p.right.relation}.{p.right.attribute}"
+        for p in graph.base_predicates
+    ]
+
+
+def _json_line(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def chronology_digest(chronology: object) -> str:
+    """A stable digest of an :func:`output_chronology` result.
+
+    Byte-identity across backends is asserted by comparing these digests;
+    the ``repr`` of the canonical chronology is deterministic because
+    canonical deltas are sorted tuples of plain values.
+    """
+    return hashlib.sha256(repr(chronology).encode("utf-8")).hexdigest()
+
+
+class TraceRecorder:
+    """Records a workload's update stream into the trace format."""
+
+    def __init__(self, workload, scenario: Optional[dict] = None):
+        self.workload = workload
+        self.scenario = dict(scenario) if scenario is not None else None
+
+    def record(self, arrivals: int, path: str) -> dict:
+        """Drive ``arrivals`` stream tuples and write the trace to ``path``.
+
+        Returns the manifest that was written.
+        """
+        if arrivals < 1:
+            raise ScenarioError("arrivals must be >= 1 to record a trace")
+        workload = self.workload
+        lines: List[str] = []
+        digest = hashlib.sha256()
+        inserts = 0
+        for update in workload.updates(arrivals):
+            if update.sign is Sign.INSERT:
+                inserts += 1
+            event = _json_line(
+                {
+                    "seq": update.seq,
+                    "relation": update.relation,
+                    "rid": update.row.rid,
+                    "values": list(update.row.values),
+                    "sign": int(update.sign),
+                    "arrival": inserts - 1,
+                }
+            )
+            digest.update(event.encode("utf-8"))
+            digest.update(b"\n")
+            lines.append(event)
+        manifest = {
+            "kind": TRACE_KIND,
+            "version": TRACE_VERSION,
+            "name": workload.name,
+            "arrivals": inserts,
+            "update_count": len(lines),
+            "checksum": f"sha256:{digest.hexdigest()}",
+            "scenario": self.scenario,
+            # Insertion order is preserved through JSON, so the replayed
+            # graph sees its relations in the original declaration order.
+            "schemas": {
+                name: list(schema.attributes)
+                for name, schema in workload.graph.schemas.items()
+            },
+            "predicates": _predicate_strings(workload.graph),
+            "windows": dict(workload.windows),
+            "rates": dict(workload.rates),
+            "indexed_attributes": (
+                {k: list(v) for k, v in workload.indexed_attributes.items()}
+                if workload.indexed_attributes is not None
+                else None
+            ),
+            "metadata": dict(getattr(workload, "metadata", {}) or {}),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            # No sort_keys here: the schemas mapping must keep its
+            # declaration order (insertion order is already stable).
+            handle.write(json.dumps(manifest, default=str) + "\n")
+            for line in lines:
+                handle.write(line + "\n")
+        return manifest
+
+
+def record_trace(
+    workload, arrivals: int, path: str, scenario: Optional[dict] = None
+) -> dict:
+    """Record ``workload`` for ``arrivals`` stream tuples into ``path``."""
+    return TraceRecorder(workload, scenario=scenario).record(arrivals, path)
+
+
+class TraceWorkload:
+    """A replayed trace exposed through the Workload duck-type surface.
+
+    Carries the same attributes the engine builders and partitioners
+    read (``graph``, ``windows``, ``rates``, ``indexed_attributes``,
+    ``metadata``, ``name``) and an ``updates(arrivals)`` that re-emits
+    the recorded events instead of re-running generators — so the same
+    trace drives serial, batched, sharded, supervised, and multi-query
+    execution with byte-identical inputs.
+    """
+
+    def __init__(self, manifest: dict, events: List[dict]):
+        self.manifest = manifest
+        self.name = manifest["name"]
+        self.graph = JoinGraph.parse(
+            [
+                Schema(name, tuple(attrs))
+                for name, attrs in manifest["schemas"].items()
+            ],
+            list(manifest["predicates"]),
+        )
+        self.specs: Dict[str, object] = {}
+        self.windows = {k: int(v) for k, v in manifest["windows"].items()}
+        self.rates = {k: float(v) for k, v in manifest["rates"].items()}
+        self.rate_function = None
+        indexed = manifest.get("indexed_attributes")
+        self.indexed_attributes = (
+            {k: tuple(v) for k, v in indexed.items()}
+            if indexed is not None
+            else None
+        )
+        self.metadata = dict(manifest.get("metadata", {}))
+        self.recorded_arrivals = int(manifest["arrivals"])
+        self._events = events
+
+    def updates(self, arrivals: int) -> Iterator[Update]:
+        """Replay the recorded update stream for the first ``arrivals``.
+
+        ``arrivals`` counts stream tuples (inserts), exactly like
+        :meth:`repro.streams.workloads.Workload.updates`; replaying
+        fewer arrivals than recorded yields the recorded stream's exact
+        prefix (generators whose knobs scale with the arrival count are
+        frozen at recording time — that is the point of a trace).
+        """
+        if arrivals < 1:
+            raise ScenarioError("arrivals must be >= 1")
+        if arrivals > self.recorded_arrivals:
+            raise ScenarioError(
+                f"trace {self.name!r} records {self.recorded_arrivals} "
+                f"arrivals; cannot replay {arrivals}"
+            )
+        return self._replay(arrivals)
+
+    def _replay(self, arrivals: int) -> Iterator[Update]:
+        live: Dict[int, Row] = {}
+        for event in self._events:
+            if event["arrival"] >= arrivals:
+                break
+            rid = event["rid"]
+            sign = Sign(event["sign"])
+            if sign is Sign.INSERT:
+                row = Row(rid, tuple(event["values"]))
+                live[rid] = row
+            else:
+                try:
+                    row = live.pop(rid)
+                except KeyError:
+                    raise ScenarioError(
+                        f"trace {self.name!r} deletes rid {rid} before "
+                        "inserting it — corrupt event stream"
+                    ) from None
+            yield Update(event["relation"], row, sign, event["seq"])
+
+
+class TraceReplayer:
+    """Loads and verifies a trace file, yielding :class:`TraceWorkload`s."""
+
+    def __init__(self, path: str, verify: bool = True):
+        self.path = path
+        if not os.path.exists(path):
+            raise ScenarioError(f"trace file not found: {path}")
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read().splitlines()
+        if not raw:
+            raise ScenarioError(f"trace file {path} is empty")
+        try:
+            manifest = json.loads(raw[0])
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(
+                f"trace file {path} has an unreadable manifest: {exc}"
+            ) from None
+        if manifest.get("kind") != TRACE_KIND:
+            raise ScenarioError(
+                f"{path} is not a {TRACE_KIND} file "
+                f"(kind={manifest.get('kind')!r})"
+            )
+        if manifest.get("version") != TRACE_VERSION:
+            raise ScenarioError(
+                f"trace {path} has version {manifest.get('version')!r}; "
+                f"this build reads version {TRACE_VERSION}"
+            )
+        event_lines = raw[1:]
+        if len(event_lines) != manifest.get("update_count"):
+            raise ScenarioError(
+                f"trace {path} is truncated: manifest promises "
+                f"{manifest.get('update_count')} events, file holds "
+                f"{len(event_lines)}"
+            )
+        if verify:
+            digest = hashlib.sha256()
+            for line in event_lines:
+                digest.update(line.encode("utf-8"))
+                digest.update(b"\n")
+            checksum = f"sha256:{digest.hexdigest()}"
+            if checksum != manifest.get("checksum"):
+                raise ScenarioError(
+                    f"trace {path} failed its checksum: manifest says "
+                    f"{manifest.get('checksum')}, events hash to {checksum}"
+                )
+        try:
+            events = [json.loads(line) for line in event_lines]
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(
+                f"trace file {path} has an unreadable event line: {exc}"
+            ) from None
+        self.manifest = manifest
+        self._events = events
+
+    @property
+    def recorded_arrivals(self) -> int:
+        return int(self.manifest["arrivals"])
+
+    def workload(self) -> TraceWorkload:
+        """A fresh replayable workload over the verified events."""
+        return TraceWorkload(self.manifest, self._events)
+
+
+def load_trace_workload(path: str) -> TraceWorkload:
+    """Load + verify ``path`` and return a replayable workload.
+
+    Module-level so ``functools.partial(load_trace_workload, path)`` is a
+    picklable workload factory for process-backend shard workers.
+    """
+    return TraceReplayer(path).workload()

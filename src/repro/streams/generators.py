@@ -102,6 +102,44 @@ class ZipfValues:
         return self.offset + rank
 
 
+class RotatingHotSetValues:
+    """Zipf-skewed draws whose hot set migrates through the domain.
+
+    Every ``rotate_every`` draws the rank->value mapping shifts by
+    ``hot_set_size``, so yesterday's hot keys go cold and a fresh slice
+    of the domain heats up. This is the "heavy key skew with churn"
+    regime: a cache tuned to the old hot set must re-profile or bleed
+    misses. Deterministic for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        domain: int,
+        exponent: float = 1.1,
+        seed: int = 0,
+        offset: int = 0,
+        rotate_every: int = 500,
+        hot_set_size: int = 8,
+    ):
+        if rotate_every < 1:
+            raise WorkloadError("rotate_every must be >= 1")
+        if hot_set_size < 1:
+            raise WorkloadError("hot_set_size must be >= 1")
+        self._zipf = ZipfValues(domain, exponent=exponent, seed=seed)
+        self.domain = domain
+        self.offset = offset
+        self.rotate_every = rotate_every
+        self.hot_set_size = hot_set_size
+        self._draws = 0
+
+    def next_value(self) -> int:
+        """Produce the next attribute value."""
+        shift = (self._draws // self.rotate_every) * self.hot_set_size
+        self._draws += 1
+        rank = self._zipf.next_value()  # offset 0: a raw rank in [0, domain)
+        return self.offset + (rank + shift) % self.domain
+
+
 class StreamSpec:
     """How to produce the tuples of one append-only stream.
 

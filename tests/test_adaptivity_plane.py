@@ -121,6 +121,31 @@ def test_retiring_a_shard_unblocks_the_survivors(fresh_plan):
     assert coordinator.active == {0}
 
 
+def test_retiring_a_straggler_logs_an_epoch_stall(fresh_plan):
+    coordinator = EpochCoordinator(_spec(400), 2)
+    coordinator.submit(1, 0, _snapshot(fresh_plan, 0, 1))
+    coordinator.retire(1)
+    stalls = [
+        record
+        for record in coordinator.decisions.entries()
+        if record.action == "epoch_stall"
+    ]
+    assert len(stalls) == 1
+    # The decision names the culprit shard and the epoch it hung.
+    assert "shard 1" in stalls[0].reason
+    assert "[1]" in stalls[0].reason
+    # Re-retiring, or retiring with nothing pending, logs nothing new.
+    coordinator.retire(1)
+    fresh = EpochCoordinator(_spec(400), 2)
+    fresh.retire(0)
+    assert sum(
+        1
+        for c in (coordinator, fresh)
+        for r in c.decisions.entries()
+        if r.action == "epoch_stall"
+    ) == 1
+
+
 def test_coordinator_rejects_non_acaching_engines():
     spec = _spec(400)
     bare = ExperimentSpec(

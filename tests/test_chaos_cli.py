@@ -20,10 +20,14 @@ def test_chaos_command_reports_degradation(capsys):
 
 
 def test_chaos_jsonl_is_deterministic(tmp_path, capsys):
+    # Migrated to the scenario library: the experiment under chaos is a
+    # declarative scenario, not a hand-rolled builtin.
+    args = ["chaos", "scenario:flash_crowd", "--arrivals", "1200",
+            "--seed", "3"]
     one = tmp_path / "one.jsonl"
     two = tmp_path / "two.jsonl"
-    assert main(CHAOS_ARGS + ["--jsonl", str(one)]) == 0
-    assert main(CHAOS_ARGS + ["--jsonl", str(two)]) == 0
+    assert main(args + ["--jsonl", str(one)]) == 0
+    assert main(args + ["--jsonl", str(two)]) == 0
     capsys.readouterr()
     assert one.read_bytes() == two.read_bytes()
     first = one.read_text().splitlines()[0]
@@ -58,6 +62,43 @@ def test_chaos_unknown_experiment_is_a_clean_error(capsys):
     err = capsys.readouterr().err
     assert err.startswith("error: ")
     assert "nope" in err
+
+
+def test_chaos_trace_flag_replays_a_recorded_trace(tmp_path, capsys):
+    from repro.scenarios import build_named_scenario_workload, record_trace
+
+    trace = tmp_path / "t.jsonl"
+    workload = build_named_scenario_workload("flash_crowd", 800)
+    record_trace(workload, 800, str(trace))
+    assert main(["chaos", "--trace", str(trace), "--seed", "3"]) == 0
+    assert "chaos trace:" in capsys.readouterr().out
+
+
+def test_chaos_unknown_trace_path_is_a_clean_error(capsys):
+    assert main(["chaos", "--trace", "/nope/missing.jsonl"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "missing.jsonl" in err
+
+
+def test_chaos_scenario_flag_drives_a_scenario_file(tmp_path, capsys):
+    import json
+
+    from repro.scenarios import SCENARIOS
+
+    path = tmp_path / "sc.json"
+    path.write_text(json.dumps(dict(SCENARIOS["diurnal"])))
+    assert (
+        main(["chaos", "--scenario", str(path), "--arrivals", "800"]) == 0
+    )
+    capsys.readouterr()
+
+
+def test_chaos_requires_exactly_one_experiment_source(capsys):
+    assert main(["chaos"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "exactly one" in err
 
 
 def test_parse_fault_overrides():

@@ -1,0 +1,204 @@
+"""The chaos campaign matrix and its CI gate."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ScenarioError
+from repro.scenarios.matrix import (
+    EXECUTION_MODES,
+    FAULT_PLANS,
+    format_matrix_report,
+    matrix_to_json,
+    run_matrix,
+)
+
+GATE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "check_chaos_matrix.py"
+)
+
+
+def _gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_chaos_matrix", GATE_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return run_matrix(
+        scenarios=["flash_crowd"],
+        plans=["none", "dup_reorder"],
+        modes=["serial", "batched", "sharded"],
+        arrivals=400,
+    )
+
+
+def test_small_matrix_passes_every_cell(small_matrix):
+    assert small_matrix["totals"]["fail"] == 0
+    assert small_matrix["totals"]["cells"] == 6
+    for cell in small_matrix["cells"]:
+        assert cell["verdict"] == "PASS"
+        assert all(cell["invariants"].values())
+        # Every non-serial cell reproduces its pair's serial digest.
+        if cell["mode"] != "serial":
+            assert cell["digest"] == cell["reference_digest"]
+
+
+def test_faulted_cells_quarantine_every_injected_corruption():
+    payload = run_matrix(
+        scenarios=["delete_storm"],
+        plans=["drop_orphan_corrupt"],
+        modes=["serial"],
+        arrivals=400,
+    )
+    (cell,) = payload["cells"]
+    injected = cell["injected"]
+    assert injected["corrupted"] + injected["orphans"] > 0
+    assert cell["quarantined"] >= injected["corrupted"] + injected["orphans"]
+    assert cell["shed"] == 0
+
+
+def test_crash_cells_are_skipped_outside_restartable_modes():
+    payload = run_matrix(
+        scenarios=["flash_crowd"],
+        plans=["crash"],
+        modes=["batched", "multi"],
+        arrivals=400,
+    )
+    for cell in payload["cells"]:
+        assert cell["verdict"] == "SKIPPED"
+        assert cell["detail"]
+
+
+def test_matrix_rejects_unknown_plans_and_modes():
+    with pytest.raises(ScenarioError, match="fault plan"):
+        run_matrix(plans=["nope"], arrivals=100)
+    with pytest.raises(ScenarioError, match="execution mode"):
+        run_matrix(modes=["nope"], arrivals=100)
+
+
+def test_matrix_json_is_deterministic(small_matrix):
+    again = run_matrix(
+        scenarios=["flash_crowd"],
+        plans=["none", "dup_reorder"],
+        modes=["serial", "batched", "sharded"],
+        arrivals=400,
+    )
+    assert matrix_to_json(again) == matrix_to_json(small_matrix)
+
+
+def test_report_formats_without_error(small_matrix):
+    report = format_matrix_report(small_matrix)
+    assert "chaos matrix" in report
+    assert "flash_crowd" in report
+
+
+def test_gate_accepts_a_clean_matrix(small_matrix, capsys):
+    gate = _gate()
+    assert gate.check(json.loads(matrix_to_json(small_matrix))) == 0
+    assert "ok:" in capsys.readouterr().out
+
+
+def test_gate_fails_a_synthetically_regressed_cell(small_matrix, capsys):
+    # The negative test the acceptance criteria demand: flip one cell's
+    # byte-identity invariant and the gate must go red.
+    gate = _gate()
+    payload = json.loads(matrix_to_json(small_matrix))
+    victim = payload["cells"][3]
+    victim["verdict"] = "FAIL"
+    victim["invariants"]["byte_identical"] = False
+    assert gate.check(payload) == 1
+    err = capsys.readouterr().err
+    assert "FAIL" in err and victim["scenario"] in err
+
+
+def test_gate_baseline_catches_verdict_regressions(small_matrix, capsys):
+    gate = _gate()
+    baseline = json.loads(matrix_to_json(small_matrix))
+    fresh = json.loads(matrix_to_json(small_matrix))
+    fresh["cells"][0]["verdict"] = "SKIPPED"
+    fresh["cells"][0]["detail"] = "synthetic"
+    assert gate.check(fresh, baseline) == 1
+    assert "regressed" in capsys.readouterr().err
+    # A reduced slice is fine (CI smoke runs one against the full
+    # committed matrix) — but a disjoint campaign compares nothing.
+    sliced = json.loads(matrix_to_json(small_matrix))
+    sliced["cells"] = sliced["cells"][1:]
+    sliced["totals"]["cells"] -= 1
+    assert gate.check(sliced, baseline) == 0
+    capsys.readouterr()
+    disjoint = json.loads(matrix_to_json(small_matrix))
+    for cell in disjoint["cells"]:
+        cell["scenario"] = "scenario:other"
+    assert gate.check(disjoint, baseline) == 1
+    assert "no (scenario, plan, mode)" in capsys.readouterr().err
+
+
+def test_gate_main_runs_against_a_file(small_matrix, tmp_path, capsys):
+    gate = _gate()
+    path = tmp_path / "matrix.json"
+    path.write_text(matrix_to_json(small_matrix))
+    assert gate.main([str(path), "--baseline", str(path)]) == 0
+    capsys.readouterr()
+    not_matrix = tmp_path / "other.json"
+    not_matrix.write_text(json.dumps({"kind": "parallel_bench"}))
+    with pytest.raises(SystemExit):
+        gate.main([str(not_matrix)])
+
+
+def test_matrix_cli_writes_the_artifact(tmp_path, capsys):
+    out = tmp_path / "matrix.json"
+    assert (
+        main(
+            [
+                "chaos",
+                "matrix",
+                "--scenarios",
+                "flash_crowd",
+                "--plans",
+                "none",
+                "--modes",
+                "serial,batched",
+                "--arrivals",
+                "400",
+                "--out",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload["kind"] == "chaos_matrix"
+    assert payload["totals"]["fail"] == 0
+
+
+@pytest.mark.slow
+def test_full_plan_and_mode_coverage_on_one_scenario():
+    # Every fault plan x every execution mode on one scenario, at a
+    # reduced arrival count: the full-shape sweep the committed
+    # artifact runs at 1500 arrivals across all five scenarios.
+    payload = run_matrix(
+        scenarios=["delete_storm"],
+        plans=list(FAULT_PLANS),
+        modes=list(EXECUTION_MODES),
+        arrivals=600,
+    )
+    assert payload["totals"]["fail"] == 0
+    assert payload["totals"]["cells"] == len(FAULT_PLANS) * len(
+        EXECUTION_MODES
+    )
+    verdicts = {
+        (c["plan"], c["mode"]): c["verdict"] for c in payload["cells"]
+    }
+    assert verdicts[("crash", "serial")] == "RECOVERED"
+    assert verdicts[("crash", "supervised")] == "RECOVERED"
+    assert verdicts[("crash", "batched")] == "SKIPPED"
+    assert verdicts[("dup_reorder", "multi")] == "SKIPPED"

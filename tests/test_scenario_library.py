@@ -1,0 +1,151 @@
+"""The declarative scenario library and its file/trace resolution."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError, ScenarioError
+from repro.faults.chaos import resolve_experiment
+from repro.scenarios import (
+    SCENARIOS,
+    build_named_scenario_workload,
+    compile_scenario_to_trace,
+    load_trace_workload,
+)
+from repro.scenarios.library import (
+    build_scenario_file_workload,
+    build_scenario_workload,
+    load_scenario,
+    validate_scenario,
+)
+from repro.streams.events import Sign
+
+EXPECTED = {
+    "flash_crowd",
+    "diurnal",
+    "key_skew_churn",
+    "delete_storm",
+    "master_join",
+}
+
+
+def test_library_covers_the_paper_workload_shapes():
+    assert set(SCENARIOS) == EXPECTED
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_every_builtin_scenario_builds_and_streams(name):
+    # master_join spends its first 600 arrivals prefilling the master
+    # relation, so it needs a longer stream to touch S and T.
+    arrivals = 800 if name == "master_join" else 300
+    workload = build_named_scenario_workload(name, arrivals)
+    updates = list(workload.updates(arrivals))
+    inserts = sum(1 for u in updates if u.sign is Sign.INSERT)
+    assert inserts == arrivals
+    # Every relation in the graph appears in the stream at this scale.
+    assert {u.relation for u in updates} == set(workload.graph.schemas)
+
+
+def test_flash_crowd_spikes_the_burst_relation():
+    # The spike window multiplies R's rate 8x: R must dominate the
+    # mid-stream segment far beyond its fair share.
+    workload = build_named_scenario_workload("flash_crowd", 1000)
+    inserts = [
+        u.relation for u in workload.updates(1000) if u.sign is Sign.INSERT
+    ]
+    spike = inserts[400:600]
+    assert spike.count("R") / len(spike) > 0.5
+
+
+def test_master_join_prefills_the_master_relation():
+    workload = build_named_scenario_workload("master_join", 800)
+    inserts = [
+        u.relation for u in workload.updates(800) if u.sign is Sign.INSERT
+    ]
+    head = inserts[:200]
+    assert head.count("M") / len(head) > 0.9
+
+
+def test_unknown_scenario_name_is_rejected():
+    with pytest.raises(ScenarioError, match="nope"):
+        build_named_scenario_workload("nope", 100)
+
+
+def test_unknown_params_are_rejected():
+    scenario = dict(SCENARIOS["flash_crowd"])
+    scenario["params"] = {"bogus_knob": 3}
+    with pytest.raises(ScenarioError, match="bogus_knob"):
+        build_scenario_workload(scenario, 100)
+
+
+def test_validate_scenario_rejects_malformed_documents():
+    with pytest.raises(ScenarioError, match="mapping"):
+        validate_scenario(["not", "a", "mapping"])
+    with pytest.raises(ScenarioError, match="version"):
+        validate_scenario({"version": 99, "name": "x", "kind": "diurnal"})
+    bad_kind = dict(SCENARIOS["diurnal"], kind="tsunami")
+    with pytest.raises(ScenarioError, match="tsunami"):
+        validate_scenario(bad_kind)
+
+
+def test_scenario_file_round_trips(tmp_path):
+    scenario = dict(SCENARIOS["diurnal"])
+    scenario["name"] = "my_diurnal"
+    path = tmp_path / "sc.json"
+    path.write_text(json.dumps(scenario))
+    loaded = load_scenario(str(path))
+    assert loaded["name"] == "my_diurnal"
+    workload = build_scenario_file_workload(str(path), 200)
+    assert sum(
+        1 for u in workload.updates(200) if u.sign is Sign.INSERT
+    ) == 200
+
+
+def test_yaml_scenario_file_loads_when_yaml_is_available(tmp_path):
+    yaml = pytest.importorskip("yaml")
+    scenario = dict(SCENARIOS["flash_crowd"])
+    scenario["name"] = "my_yaml_flash"
+    path = tmp_path / "sc.yaml"
+    path.write_text(yaml.safe_dump(scenario))
+    assert load_scenario(str(path))["name"] == "my_yaml_flash"
+
+
+def test_compiled_trace_matches_the_live_build(tmp_path):
+    # scenario -> trace -> replay is the same stream as scenario -> live.
+    path = tmp_path / "skew.jsonl"
+    compile_scenario_to_trace(
+        SCENARIOS["key_skew_churn"], str(path), arrivals=300
+    )
+    live = list(
+        build_named_scenario_workload("key_skew_churn", 300).updates(300)
+    )
+    replayed = list(load_trace_workload(str(path)).updates(300))
+    assert [
+        (u.seq, u.relation, u.row.rid, u.row.values, u.sign)
+        for u in replayed
+    ] == [
+        (u.seq, u.relation, u.row.rid, u.row.values, u.sign) for u in live
+    ]
+
+
+def test_resolve_experiment_understands_every_prefix(tmp_path):
+    exp = resolve_experiment("scenario:delete_storm")
+    assert exp.burst_stream == "R"
+    assert exp.build(150) is not None
+
+    scenario = dict(SCENARIOS["delete_storm"])
+    path = tmp_path / "sc.json"
+    path.write_text(json.dumps(scenario))
+    assert resolve_experiment(f"scenario-file:{path}").build(150) is not None
+
+    trace = tmp_path / "t.jsonl"
+    compile_scenario_to_trace(scenario, str(trace), arrivals=150)
+    via_trace = resolve_experiment(f"trace:{trace}")
+    assert via_trace.arrivals == 150
+
+
+def test_resolve_experiment_rejects_unknowns_with_a_hint():
+    with pytest.raises(ReproError) as excinfo:
+        resolve_experiment("definitely_not_a_thing")
+    message = str(excinfo.value)
+    assert "scenario:" in message  # the error teaches the prefixes

@@ -1,0 +1,141 @@
+"""The replayable trace format: record once, replay byte-identically.
+
+The format's reason to exist: a trace recorded from any workload must
+replay the *exact* recorded update stream — rids, seqs, signs, row
+identity — through every execution backend, so a chaos cell that fails
+can be re-run anywhere without the generators' randomness in the loop.
+"""
+
+import json
+from functools import partial
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.faults.chaos import _chaos_config
+from repro.api import EngineConfig
+from repro.parallel.engine import (
+    ParallelConfig,
+    output_chronology,
+    run_sharded,
+)
+from repro.parallel.spec import ExperimentSpec
+from repro.scenarios import (
+    TraceReplayer,
+    build_named_scenario_workload,
+    chronology_digest,
+    load_trace_workload,
+    record_trace,
+)
+from repro.streams.events import Sign
+
+ARRIVALS = 600
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "flash.jsonl"
+    workload = build_named_scenario_workload("flash_crowd", ARRIVALS)
+    record_trace(workload, ARRIVALS, str(path))
+    return str(path)
+
+
+def test_replay_equals_the_recorded_stream(trace_path):
+    recorded = list(
+        build_named_scenario_workload("flash_crowd", ARRIVALS).updates(
+            ARRIVALS
+        )
+    )
+    replayed = list(load_trace_workload(trace_path).updates(ARRIVALS))
+    assert len(replayed) == len(recorded)
+    for ours, theirs in zip(replayed, recorded):
+        assert ours.seq == theirs.seq
+        assert ours.relation == theirs.relation
+        assert ours.sign == theirs.sign
+        assert ours.row.rid == theirs.row.rid
+        assert ours.row.values == theirs.row.values
+
+
+def test_replay_interns_rows_by_rid(trace_path):
+    # Row equality is identity-based: a replayed delete must carry the
+    # very object its insert introduced or windows would never match it.
+    live = {}
+    for update in load_trace_workload(trace_path).updates(ARRIVALS):
+        if update.sign is Sign.INSERT:
+            live[update.row.rid] = update.row
+        else:
+            assert update.row is live.pop(update.row.rid)
+
+
+def test_replay_prefix_is_the_recorded_prefix(trace_path):
+    # Replaying k < recorded arrivals yields the recorded stream's
+    # k-arrival prefix — generator knobs that scale with the arrival
+    # count are frozen at recording time; that is the point of a trace.
+    full = list(load_trace_workload(trace_path).updates(ARRIVALS))
+    half = list(load_trace_workload(trace_path).updates(ARRIVALS // 2))
+    assert half == full[: len(half)]
+
+
+def test_trace_digest_identical_across_backends(trace_path):
+    # The acceptance property: one trace, byte-identical chronology
+    # through serial, batched, and 4-shard execution.
+    def digest(shards, batch_size):
+        spec = ExperimentSpec(
+            workload_factory=partial(load_trace_workload, trace_path),
+            arrivals=ARRIVALS,
+            engine=EngineConfig(
+                tuning=_chaos_config(None)
+            ).engine_spec("adaptive"),
+            output_mode="deltas",
+            batch_size=batch_size,
+        )
+        run = run_sharded(
+            spec, ParallelConfig(shards=shards, backend="serial")
+        )
+        return chronology_digest(output_chronology(run))
+
+    serial = digest(1, 1)
+    assert digest(1, 8) == serial
+    assert digest(4, 1) == serial
+
+
+def test_replaying_more_than_recorded_is_rejected(trace_path):
+    with pytest.raises(ScenarioError, match="cannot replay"):
+        list(load_trace_workload(trace_path).updates(ARRIVALS + 1))
+
+
+def test_checksum_rejects_a_tampered_trace(trace_path, tmp_path):
+    lines = open(trace_path, encoding="utf-8").read().splitlines()
+    event = json.loads(lines[1])
+    event["values"] = [v + 1 for v in event["values"]]
+    lines[1] = json.dumps(event, sort_keys=True)
+    bad = tmp_path / "tampered.jsonl"
+    bad.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ScenarioError, match="checksum"):
+        TraceReplayer(str(bad))
+
+
+def test_truncated_trace_is_rejected(trace_path, tmp_path):
+    lines = open(trace_path, encoding="utf-8").read().splitlines()
+    bad = tmp_path / "truncated.jsonl"
+    bad.write_text("\n".join(lines[:-5]) + "\n")
+    with pytest.raises(ScenarioError, match="truncated"):
+        TraceReplayer(str(bad))
+
+
+def test_wrong_kind_and_missing_file_are_rejected(tmp_path):
+    with pytest.raises(ScenarioError, match="not found"):
+        TraceReplayer(str(tmp_path / "nope.jsonl"))
+    other = tmp_path / "other.jsonl"
+    other.write_text(json.dumps({"kind": "something_else"}) + "\n")
+    with pytest.raises(ScenarioError, match="not a repro_trace"):
+        TraceReplayer(str(other))
+
+
+def test_manifest_preserves_relation_declaration_order(trace_path):
+    # JoinGraph reconstruction depends on schema order surviving the
+    # JSON round-trip; sorted keys would silently reorder relations.
+    workload = build_named_scenario_workload("flash_crowd", ARRIVALS)
+    replayed = load_trace_workload(trace_path)
+    assert list(replayed.graph.schemas) == list(workload.graph.schemas)
+    assert replayed.windows == workload.windows
